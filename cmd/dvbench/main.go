@@ -1,0 +1,125 @@
+// Command dvbench regenerates the paper's evaluation: every figure of
+// "Exploring DataVortex Systems for Irregular Applications" plus the
+// extension studies listed in DESIGN.md.
+//
+// Usage:
+//
+//	dvbench                 # run everything at full size
+//	dvbench -small          # fast smoke sizes
+//	dvbench -exp fig6a      # one experiment (fig3a fig3b fig4 fig5 fig6a
+//	                        # fig6b fig7 fig8 fig9 extA extB extC)
+//	dvbench -trace out.csv  # where fig5 writes its trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	small := flag.Bool("small", false, "use reduced problem sizes")
+	exp := flag.String("exp", "all", "experiment id or 'all'")
+	tracePath := flag.String("trace", "gups_trace.csv", "output file for the fig5 trace CSV")
+	jsonPath := flag.String("json", "", "also write results as JSON to this file")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments: fig3a fig3b fig4 fig5 fig6a fig6b fig7 fig8 fig9")
+		fmt.Println("extensions:  extA(switch) extB(scale) extC(ablation) extD(scaleapps)")
+		fmt.Println("             extE(routing) extF(multirail) extG(pagerank) extH(faults)")
+		fmt.Println("             extI(spmv) extJ(subset) extK(sort) extL(provisioning)")
+		fmt.Println("             extM(appscaling) validate")
+		return
+	}
+	opt := bench.Options{Small: *small}
+	var traceOut io.Writer
+	openTrace := func() io.Writer {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvbench: %v\n", err)
+			os.Exit(1)
+		}
+		traceOut = f
+		return f
+	}
+
+	var tables []*bench.Table
+	switch strings.ToLower(*exp) {
+	case "all":
+		tables = bench.All(opt, openTrace())
+	case "fig3a":
+		tables = append(tables, bench.Fig3a(opt))
+	case "fig3b":
+		tables = append(tables, bench.Fig3b(opt))
+	case "fig4":
+		tables = append(tables, bench.Fig4(opt))
+	case "fig5":
+		tables = append(tables, bench.Fig5(opt, openTrace()))
+	case "fig6a", "fig6b", "fig6":
+		a, b := bench.Fig6(opt)
+		tables = append(tables, a, b)
+	case "fig7":
+		tables = append(tables, bench.Fig7(opt))
+	case "fig8":
+		tables = append(tables, bench.Fig8(opt))
+	case "fig9":
+		tables = append(tables, bench.Fig9(opt))
+	case "exta", "switch":
+		tables = append(tables, bench.ExtSwitchTraffic(opt))
+	case "extb", "scale":
+		tables = append(tables, bench.ExtScale(opt))
+	case "extc", "ablation":
+		tables = append(tables, bench.ExtAblation(opt))
+	case "extd", "scaleapps":
+		tables = append(tables, bench.ExtScaleApps(opt))
+	case "exte", "routing":
+		tables = append(tables, bench.ExtRouting(opt))
+	case "extf", "multirail":
+		tables = append(tables, bench.ExtMultiRail(opt))
+	case "extg", "pagerank":
+		tables = append(tables, bench.ExtPageRank(opt))
+	case "exth", "faults":
+		tables = append(tables, bench.ExtFaults(opt))
+	case "exti", "spmv":
+		tables = append(tables, bench.ExtSpMV(opt))
+	case "extj", "subset":
+		tables = append(tables, bench.ExtSubsetBarrier(opt))
+	case "extk", "sort":
+		tables = append(tables, bench.ExtSort(opt))
+	case "extl", "provisioning":
+		tables = append(tables, bench.ExtProvisioning(opt))
+	case "extm", "appscaling":
+		tables = append(tables, bench.ExtAppScaling(opt))
+	case "validate":
+		tables = append(tables, bench.Validate(opt))
+	default:
+		fmt.Fprintf(os.Stderr, "dvbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	for _, t := range tables {
+		t.Fprint(os.Stdout)
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteAllJSON(f, tables); err != nil {
+			fmt.Fprintf(os.Stderr, "dvbench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("results written to %s\n", *jsonPath)
+	}
+	if c, ok := traceOut.(io.Closer); ok && c != nil {
+		c.Close()
+		fmt.Printf("fig5 trace written to %s\n", *tracePath)
+	}
+}

@@ -1,0 +1,48 @@
+// Command dvinfo prints the simulated testbed's configuration for a given
+// node count: switch geometry, calibration constants, and the derived peak
+// rates — a quick reference for interpreting benchmark output.
+//
+//	dvinfo [-nodes 32] [-rails 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/dvswitch"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 32, "cluster nodes")
+	rails := flag.Int("rails", 1, "VICs per node")
+	flag.Parse()
+
+	cfg := cluster.DefaultConfig(*nodes)
+	geom := dvswitch.ForPorts(*nodes * *rails)
+	fmt.Printf("Testbed for %d nodes (x%d rails)\n", *nodes, *rails)
+	fmt.Printf("\nData Vortex switch\n")
+	fmt.Printf("  geometry        H=%d heights x A=%d angles = %d ports, %d cylinders\n",
+		geom.Heights, geom.Angles, geom.Ports(), geom.Cylinders())
+	fmt.Printf("  switching nodes %d (A*H*(log2 H + 1))\n",
+		geom.Angles*geom.Heights*geom.Cylinders())
+	fmt.Printf("  cycle time      %v (peak payload %.2f GB/s/port)\n",
+		dvswitch.DefaultCycleTime, 8/dvswitch.DefaultCycleTime.Seconds()/1e9)
+	fmt.Printf("\nVIC\n")
+	fmt.Printf("  DV Memory       %d MB (%d words)\n", cfg.VIC.MemWords*8>>20, cfg.VIC.MemWords)
+	fmt.Printf("  group counters  %d (scratch %d, barrier %d/%d)\n",
+		cfg.VIC.GroupCounters, cfg.VIC.ScratchGC, cfg.VIC.BarrierGCA, cfg.VIC.BarrierGCB)
+	fmt.Printf("  DMA table       %d entries, engine %.1f GB/s, setup %v\n",
+		cfg.VIC.DMATableEntries, cfg.VIC.DMABW/1e9, cfg.VIC.DMASetup)
+	fmt.Printf("  PIO write       %.0f MB/s (single PCIe lane), latency %v\n",
+		cfg.VIC.PIOWriteBW/1e6, cfg.VIC.PIOLatency)
+	fmt.Printf("\nInfiniBand (FDR) / MPI\n")
+	fmt.Printf("  link peak       %.1f GB/s (stream %.1f GB/s = %.0f%%)\n",
+		cfg.IB.LinkBW/1e9, cfg.IB.StreamBW/1e9, 100*cfg.IB.StreamBW/cfg.IB.LinkBW)
+	fmt.Printf("  fat tree        %d nodes/leaf, %d spines, hop %v\n",
+		cfg.IB.LeafSize, cfg.IB.Spines, cfg.IB.HopLatency)
+	fmt.Printf("  MPI eager limit %d B, overheads %v send / %v recv\n",
+		cfg.MPI.EagerLimit, cfg.MPI.SendOverhead, cfg.MPI.RecvOverhead)
+	fmt.Printf("\nHost CPU model: %.0f GFLOPS, %v/random access, %v/small op\n",
+		cfg.CPU.GFLOPS, cfg.CPU.RandomAccess, cfg.CPU.SmallOp)
+}

@@ -1,0 +1,80 @@
+// Command dvplot renders dvbench results as SVG figures — the actual plots
+// of the paper's evaluation, regenerated end to end:
+//
+//	go run ./cmd/dvbench -json results.json
+//	go run ./cmd/dvplot -in results.json -out figures/
+//
+// Alternatively, -run regenerates the experiments directly (no intermediate
+// JSON file):
+//
+//	go run ./cmd/dvplot -run -small -out figures/
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+	"repro/internal/plot"
+)
+
+func main() {
+	in := flag.String("in", "", "dvbench JSON results file")
+	out := flag.String("out", "figures", "output directory for SVGs")
+	run := flag.Bool("run", false, "regenerate the experiments instead of reading JSON")
+	small := flag.Bool("small", false, "with -run: reduced problem sizes")
+	width := flag.Int("width", 720, "SVG width")
+	height := flag.Int("height", 440, "SVG height")
+	flag.Parse()
+
+	var tables []*bench.Table
+	switch {
+	case *run:
+		tables = bench.All(bench.Options{Small: *small}, io.Discard)
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := json.NewDecoder(f).Decode(&tables); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *in, err))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "dvplot: need -in results.json or -run")
+		os.Exit(2)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	rendered := 0
+	for _, t := range tables {
+		c, ok := plot.FromTable(t)
+		if !ok {
+			fmt.Printf("skip %-8s (not plottable)\n", t.ID)
+			continue
+		}
+		path := filepath.Join(*out, t.ID+".svg")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := c.RenderSVG(f, *width, *height); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", path)
+		rendered++
+	}
+	fmt.Printf("%d figures rendered to %s\n", rendered, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dvplot: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Exploring DataVortex
+// Systems for Irregular Applications" (Gioiosa et al., 2017): a
+// deterministic discrete-event simulation of the paper's 32-node dual-fabric
+// testbed (Data Vortex + FDR InfiniBand/MPI) and every workload of its
+// evaluation. See README.md for usage, DESIGN.md for the system inventory,
+// and EXPERIMENTS.md for paper-vs-measured results.
+//
+// This root package holds the repository-level benchmarks (one per paper
+// figure; see bench_test.go) and the cross-engine integration tests.
+package repro

@@ -1,0 +1,91 @@
+package repro
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEveryExportedSymbolDocumented walks the library sources and fails on
+// any exported top-level declaration without a doc comment — the
+// documentation deliverable, enforced.
+func TestEveryExportedSymbolDocumented(t *testing.T) {
+	var violations []string
+	err := filepath.WalkDir("internal", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for _, decl := range f.Decls {
+			switch dd := decl.(type) {
+			case *ast.FuncDecl:
+				if recvUnexported(dd) {
+					continue
+				}
+				if dd.Name.IsExported() && dd.Doc == nil {
+					violations = append(violations,
+						fset.Position(dd.Pos()).String()+" func "+dd.Name.Name)
+				}
+			case *ast.GenDecl:
+				if dd.Tok != token.TYPE && dd.Tok != token.VAR && dd.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range dd.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && dd.Doc == nil && s.Doc == nil && s.Comment == nil {
+							violations = append(violations,
+								fset.Position(s.Pos()).String()+" type "+s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, name := range s.Names {
+							if name.IsExported() && dd.Doc == nil && s.Doc == nil && s.Comment == nil {
+								violations = append(violations,
+									fset.Position(s.Pos()).String()+" value "+name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range violations {
+		t.Errorf("undocumented exported symbol: %s", v)
+	}
+}
+
+// recvUnexported reports whether fn is a method on an unexported receiver
+// type (its exported methods are not part of the public API surface).
+func recvUnexported(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return !tt.IsExported()
+		default:
+			return false
+		}
+	}
+}

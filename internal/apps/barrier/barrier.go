@@ -1,0 +1,128 @@
+// Package barrier implements the paper's global-barrier micro-benchmark
+// (§V, Figure 4). Three implementations are compared at scale:
+//
+//   - "Data Vortex": the API's intrinsic barrier, executed by the VICs over
+//     the two reserved group counters;
+//   - "Fast Barrier": the authors' in-house all-to-all barrier, built on
+//     normal API calls (every node decrements a counter on every other
+//     node, then waits for its own counter to drain);
+//   - "Infiniband": MPI_Barrier (dissemination) over the fat tree.
+package barrier
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/vic"
+)
+
+// Impl selects the barrier implementation.
+type Impl int
+
+const (
+	// DVIntrinsic is the API's hardware-supported barrier.
+	DVIntrinsic Impl = iota
+	// DVFastBarrier is the in-house all-to-all barrier.
+	DVFastBarrier
+	// MPIBarrier is MPI over InfiniBand.
+	MPIBarrier
+)
+
+// String names the implementation as Figure 4 labels it.
+func (i Impl) String() string {
+	switch i {
+	case DVIntrinsic:
+		return "Data Vortex"
+	case DVFastBarrier:
+		return "Fast Barrier"
+	case MPIBarrier:
+		return "Infiniband"
+	}
+	return "unknown"
+}
+
+// Result is one measurement.
+type Result struct {
+	Impl    Impl
+	Nodes   int
+	Iters   int
+	Latency sim.Time // mean time per barrier
+}
+
+// Run measures mean barrier latency over iters synchronised barriers.
+func Run(impl Impl, nodes, iters int) Result {
+	if iters <= 0 {
+		iters = 100
+	}
+	cfg := cluster.DefaultConfig(nodes)
+	if impl == MPIBarrier {
+		cfg.Stacks = cluster.StackIB
+	} else {
+		cfg.Stacks = cluster.StackDV
+	}
+	var total sim.Time
+	cluster.Run(cfg, func(n *cluster.Node) {
+		var bar func()
+		switch impl {
+		case DVIntrinsic:
+			bar = n.DV.Barrier
+		case DVFastBarrier:
+			bar = newFastBarrier(n)
+		case MPIBarrier:
+			bar = n.MPI.Barrier
+		}
+		bar() // synchronise entry
+		t0 := n.P.Now()
+		for i := 0; i < iters; i++ {
+			bar()
+		}
+		if d := n.P.Now() - t0; n.ID == 0 {
+			total = d
+		}
+	})
+	return Result{Impl: impl, Nodes: nodes, Iters: iters, Latency: total / sim.Time(iters)}
+}
+
+// newFastBarrier builds the all-to-all barrier closure for one node. Two
+// counters alternate between consecutive barriers so that a fast neighbour's
+// next-epoch decrements never race this node's re-arm.
+func newFastBarrier(n *cluster.Node) func() {
+	e := n.DV
+	gcs := [2]int{e.AllocGC(), e.AllocGC()}
+	peers := int64(e.Size() - 1)
+	e.ArmGC(gcs[0], peers)
+	e.ArmGC(gcs[1], peers)
+	e.Barrier() // everyone armed before first use
+	epoch := 0
+	words := make([]vic.Word, 0, peers)
+	return func() {
+		gc := gcs[epoch&1]
+		epoch++
+		words = words[:0]
+		for d := 0; d < e.Size(); d++ {
+			if d != e.Rank() {
+				words = append(words, vic.Word{Dst: d, Op: vic.OpDecGC, GC: vic.NoGC, Addr: uint32(gc), Val: 1})
+			}
+		}
+		e.Scatter(vic.PIOCached, words)
+		e.WaitGC(gc, sim.Forever)
+		e.AddGC(gc, peers) // re-arm for two epochs later
+	}
+}
+
+// Sweep measures all implementations across node counts.
+func Sweep(nodeCounts []int, iters int) []Result {
+	var out []Result
+	for _, n := range nodeCounts {
+		for _, impl := range []Impl{DVIntrinsic, DVFastBarrier, MPIBarrier} {
+			out = append(out, Run(impl, n, iters))
+		}
+	}
+	return out
+}
+
+// String renders a result row.
+func (r Result) String() string {
+	return fmt.Sprintf("%-12s %2d nodes  %v/barrier", r.Impl, r.Nodes, r.Latency)
+}

@@ -1,0 +1,231 @@
+package bfs
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/dv"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/vic"
+)
+
+// packVisit encodes a visit message (destination vertex, proposed parent) in
+// one 64-bit payload; Scale is limited to 31 bits per endpoint.
+func packVisit(v, u int64) uint64       { return uint64(v)<<32 | uint64(u) }
+func unpackVisit(w uint64) (v, u int64) { return int64(w >> 32), int64(w & 0xFFFFFFFF) }
+
+// visitLocal attempts to claim vertex v (global id) with parent u; it
+// reports whether v was newly visited.
+func visitLocal(g *graph, parent []int64, v, u int64) bool {
+	li := v - g.lo
+	if parent[li] == -1 {
+		parent[li] = u
+		return true
+	}
+	return false
+}
+
+// searchMPI is the level-synchronous Graph500 BFS over MPI: visit messages
+// are bucketed by owner and exchanged with one all-to-all per level.
+func searchMPI(n *cluster.Node, g *graph, root int64, parent []int64) Search {
+	c := n.MPI
+	p := c.Size()
+	var frontier []int64 // local indices
+	c.Barrier()
+	t0 := n.P.Now()
+	if owner(root, g.perNode) == n.ID {
+		parent[root-g.lo] = root
+		frontier = append(frontier, root-g.lo)
+	}
+	var edgesScanned, visited int64
+	if len(frontier) > 0 {
+		visited = 1
+	}
+	for {
+		buckets := make([][]uint64, p)
+		var next []int64
+		localVisits := 0
+		for _, lu := range frontier {
+			u := g.lo + lu
+			for _, v := range g.neighbors(lu) {
+				edgesScanned++
+				q := owner(v, g.perNode)
+				if q == n.ID {
+					localVisits++
+					if visitLocal(g, parent, v, u) {
+						next = append(next, v-g.lo)
+						visited++
+					}
+				} else {
+					buckets[q] = append(buckets[q], packVisit(v, u))
+				}
+			}
+		}
+		n.Ops(edgesScannedThisLevel(frontier, g) + int64(localVisits))
+		send := make([][]byte, p)
+		for q := range buckets {
+			send[q] = mpi.Uint64sToBytes(buckets[q])
+		}
+		recv := c.Alltoall(send)
+		got := 0
+		for src, data := range recv {
+			if src == n.ID {
+				continue
+			}
+			for _, w := range mpi.BytesToUint64s(data) {
+				v, u := unpackVisit(w)
+				got++
+				if visitLocal(g, parent, v, u) {
+					next = append(next, v-g.lo)
+					visited++
+				}
+			}
+		}
+		n.Ops(int64(got))
+		frontier = next
+		total := c.Allreduce([]float64{float64(len(frontier))}, mpi.Sum)
+		if total[0] == 0 {
+			break
+		}
+	}
+	sums := c.Allreduce([]float64{float64(edgesScanned), float64(visited)}, mpi.Sum)
+	elapsed := n.P.Now() - t0
+	c.Barrier()
+	return Search{Edges: int64(sums[0]), Visited: int64(sums[1]), Elapsed: elapsed}
+}
+
+// dvState holds the per-run Data Vortex BFS communication state.
+type dvState struct {
+	nodes   int
+	cntBase uint32 // per-source sent-count slots
+	gcCnt   int
+	coll    *dv.Collective
+}
+
+func newDVState(n *cluster.Node, nodes int) *dvState {
+	e := n.DV
+	st := &dvState{
+		nodes:   nodes,
+		cntBase: e.Alloc(nodes),
+		gcCnt:   e.AllocGC(),
+		coll:    dv.NewCollective(e, 1),
+	}
+	e.ArmGC(st.gcCnt, int64(nodes-1))
+	e.Barrier()
+	return st
+}
+
+// searchDV is the Data Vortex BFS: every visit is one fine-grained packet to
+// the owner's surprise FIFO, batched across PCIe at the source, drained
+// opportunistically at the receiver, with a counted flush per level.
+func searchDV(n *cluster.Node, st *dvState, g *graph, root int64, parent []int64) Search {
+	e := n.DV
+	p := st.nodes
+	var frontier []int64
+	e.Barrier()
+	t0 := n.P.Now()
+	if owner(root, g.perNode) == n.ID {
+		parent[root-g.lo] = root
+		frontier = append(frontier, root-g.lo)
+	}
+	var edgesScanned, visited int64
+	if len(frontier) > 0 {
+		visited = 1
+	}
+	var next []int64
+	drained := 0
+	drain := func(block bool) {
+		for {
+			var w uint64
+			var ok bool
+			if block {
+				w, ok = e.PopFIFO(sim.Forever)
+			} else {
+				w, ok = e.TryPopFIFO()
+			}
+			if !ok {
+				return
+			}
+			drained++
+			v, u := unpackVisit(w)
+			n.Ops(1)
+			if visitLocal(g, parent, v, u) {
+				next = append(next, v-g.lo)
+				visited++
+			}
+			if block {
+				return
+			}
+		}
+	}
+	for {
+		next = next[:0]
+		drained = 0
+		sentTo := make([]int64, p)
+		words := make([]vic.Word, 0, 4096)
+		localVisits := 0
+		for _, lu := range frontier {
+			u := g.lo + lu
+			for _, v := range g.neighbors(lu) {
+				edgesScanned++
+				q := owner(v, g.perNode)
+				if q == n.ID {
+					localVisits++
+					if visitLocal(g, parent, v, u) {
+						next = append(next, v-g.lo)
+						visited++
+					}
+					continue
+				}
+				words = append(words, vic.Word{Dst: q, Op: vic.OpFIFO, GC: vic.NoGC, Val: packVisit(v, u)})
+				sentTo[q]++
+				if len(words) == 4096 {
+					e.Scatter(vic.DMACached, words)
+					words = words[:0]
+					drain(false)
+				}
+			}
+		}
+		e.Scatter(vic.DMACached, words)
+		n.Ops(edgesScannedThisLevel(frontier, g) + int64(localVisits))
+		// Counted flush: exchange per-destination send counts, then drain
+		// to the exact expected total.
+		cnt := make([]vic.Word, 0, p-1)
+		for d := 0; d < p; d++ {
+			if d != n.ID {
+				cnt = append(cnt, vic.Word{Dst: d, Op: vic.OpWrite, GC: st.gcCnt,
+					Addr: st.cntBase + uint32(n.ID), Val: uint64(sentTo[d])})
+			}
+		}
+		e.Scatter(vic.PIOCached, cnt)
+		e.WaitGC(st.gcCnt, sim.Forever)
+		expected := 0
+		for src, w := range e.Read(st.cntBase, p) {
+			if src != n.ID {
+				expected += int(w)
+			}
+		}
+		for drained < expected {
+			drain(true)
+		}
+		e.ArmGC(st.gcCnt, int64(p-1)) // re-arm; fenced by allGather's barrier
+		frontier = append(frontier[:0], next...)
+		if st.coll.AllReduceSum(uint64(len(frontier))) == 0 {
+			break
+		}
+	}
+	globalEdges := int64(st.coll.AllReduceSum(uint64(edgesScanned)))
+	globalVisited := int64(st.coll.AllReduceSum(uint64(visited)))
+	elapsed := n.P.Now() - t0
+	e.Barrier()
+	return Search{Edges: globalEdges, Visited: globalVisited, Elapsed: elapsed}
+}
+
+// edgesScannedThisLevel returns the software cost units for scanning the
+// frontier's adjacency lists.
+func edgesScannedThisLevel(frontier []int64, g *graph) int64 {
+	var c int64
+	for _, lu := range frontier {
+		c += int64(g.adjOff[lu+1] - g.adjOff[lu])
+	}
+	return c
+}

@@ -1,0 +1,88 @@
+package bfs
+
+import "fmt"
+
+// ReferenceLevels computes BFS levels from root on a single core by
+// replaying the edge stream (-1 = unreachable). It is the oracle for
+// Graph500-style validation.
+func ReferenceLevels(par Params, root int64) []int64 {
+	par.defaults()
+	nv := int64(1) << par.Scale
+	adj := make(map[int64][]int64)
+	ne := nv * int64(par.EdgeFactor)
+	for i := int64(0); i < ne; i++ {
+		u, v := GenerateEdge(par.Seed, par.Scale, i)
+		if u != v {
+			adj[u] = append(adj[u], v)
+			adj[v] = append(adj[v], u)
+		}
+	}
+	level := make([]int64, nv)
+	for i := range level {
+		level[i] = -1
+	}
+	level[root] = 0
+	queue := []int64{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if level[v] == -1 {
+				level[v] = level[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return level
+}
+
+// EdgeSet materialises the undirected edge set (validation only).
+func EdgeSet(par Params) map[[2]int64]bool {
+	par.defaults()
+	nv := int64(1) << par.Scale
+	ne := nv * int64(par.EdgeFactor)
+	set := make(map[[2]int64]bool)
+	for i := int64(0); i < ne; i++ {
+		u, v := GenerateEdge(par.Seed, par.Scale, i)
+		set[[2]int64{u, v}] = true
+		set[[2]int64{v, u}] = true
+	}
+	return set
+}
+
+// ValidateParents performs the Graph500 result checks on one search's
+// parent array: the root is its own parent; visited vertices are exactly
+// the reachable ones; every tree edge exists in the graph; and — because
+// the searches are level-synchronous — every parent sits exactly one level
+// above its child.
+func ValidateParents(par Params, root int64, parent []int64) error {
+	par.defaults()
+	level := ReferenceLevels(par, root)
+	edges := EdgeSet(par)
+	if parent[root] != root {
+		return fmt.Errorf("bfs: parent[root=%d] = %d", root, parent[root])
+	}
+	for v, p := range parent {
+		v := int64(v)
+		if p == -1 {
+			if level[v] != -1 {
+				return fmt.Errorf("bfs: vertex %d reachable (level %d) but not visited", v, level[v])
+			}
+			continue
+		}
+		if level[v] == -1 {
+			return fmt.Errorf("bfs: vertex %d visited but unreachable", v)
+		}
+		if v == root {
+			continue
+		}
+		if !edges[[2]int64{p, v}] {
+			return fmt.Errorf("bfs: tree edge (%d,%d) not in graph", p, v)
+		}
+		if level[v] != level[p]+1 {
+			return fmt.Errorf("bfs: vertex %d at level %d has parent %d at level %d",
+				v, level[v], p, level[p])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,351 @@
+// Package fft implements the distributed 1-D complex FFT benchmark (§VI,
+// Figure 7) using the six-step (transpose) algorithm: local row FFTs,
+// twiddle scaling, and two distributed matrix transposes.
+//
+// The MPI variant exchanges transpose blocks with an all-to-all and pays
+// pack/unpack passes on both sides. The Data Vortex variant exploits the
+// fabric's natural scatter capability: every element is sent straight to its
+// transposed location in the destination VIC's DV Memory, folding the data
+// reordering into the communication itself — the idiom the paper highlights
+// for redistribution-heavy applications.
+package fft
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/fftkernel"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/vic"
+)
+
+// Net selects the network variant.
+type Net int
+
+const (
+	// DV is the Data Vortex implementation.
+	DV Net = iota
+	// IB is the MPI implementation over InfiniBand.
+	IB
+)
+
+// String names the network variant as the paper labels it.
+func (n Net) String() string {
+	if n == DV {
+		return "Data Vortex"
+	}
+	return "Infiniband"
+}
+
+// Params configures a run.
+type Params struct {
+	Nodes int
+	LogN  int // total points = 2^LogN
+	Seed  uint64
+	// KeepResult gathers the distributed spectrum for validation.
+	KeepResult bool
+	// CycleAccurate routes packets through the cycle-level switch.
+	CycleAccurate bool
+	// IBAdaptive enables adaptive fat-tree routing for the MPI variant.
+	IBAdaptive bool
+}
+
+func (p *Params) defaults() {
+	if p.LogN == 0 {
+		p.LogN = 16
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+}
+
+// Result is one measurement.
+type Result struct {
+	Net     Net
+	Nodes   int
+	N       int
+	Elapsed sim.Time
+	// Spectrum is the gathered result, row-major X[k1][k2] with k = k2 +
+	// n2·k1, when KeepResult was set.
+	Spectrum []complex128
+}
+
+// GFLOPS returns the aggregate rate under the HPCC 5·N·log2(N) convention
+// (Figure 7's y axis).
+func (r Result) GFLOPS() float64 {
+	return fftkernel.Flops(r.N) / r.Elapsed.Seconds() / 1e9
+}
+
+// geometry splits N into an n1×n2 matrix with n1 ≤ n2, both divisible by P.
+func geometry(logN, nodes int) (n1, n2 int) {
+	l1 := logN / 2
+	n1 = 1 << l1
+	n2 = 1 << (logN - l1)
+	if n1%nodes != 0 || n2%nodes != 0 {
+		panic(fmt.Sprintf("fft: 2^%d points not divisible over %d nodes", logN, nodes))
+	}
+	return
+}
+
+// inputValue deterministically generates the value of matrix element
+// (j1, j2) so every variant (and the serial reference) agrees on the input.
+func inputValue(seed uint64, j1, j2, n2 int) complex128 {
+	r := sim.NewRNG(seed ^ uint64(j1*n2+j2)*0x94d049bb133111eb)
+	return complex(r.Float64()*2-1, r.Float64()*2-1)
+}
+
+// SerialReference computes the full FFT on one core, returning the spectrum
+// in the same row-major X[k1][k2] layout the distributed variants produce.
+func SerialReference(par Params) []complex128 {
+	par.defaults()
+	n1, n2 := geometry(par.LogN, 1)
+	n := n1 * n2
+	// Build x[j] with j = j1 + n1·j2 from the matrix M[j1][j2].
+	x := make([]complex128, n)
+	for j1 := 0; j1 < n1; j1++ {
+		for j2 := 0; j2 < n2; j2++ {
+			x[j1+n1*j2] = inputValue(par.Seed, j1, j2, n2)
+		}
+	}
+	fftkernel.Forward(x)
+	// X[k] with k = k2 + n2·k1 → row-major (k1, k2).
+	out := make([]complex128, n)
+	for k1 := 0; k1 < n1; k1++ {
+		for k2 := 0; k2 < n2; k2++ {
+			out[k1*n2+k2] = x[k2+n2*k1]
+		}
+	}
+	return out
+}
+
+// Run executes the benchmark.
+func Run(net Net, par Params) Result {
+	par.defaults()
+	n1, n2 := geometry(par.LogN, par.Nodes)
+	cfg := cluster.DefaultConfig(par.Nodes)
+	cfg.Seed = par.Seed
+	cfg.CycleAccurate = par.CycleAccurate
+	cfg.IB.Adaptive = par.IBAdaptive
+	if net == DV {
+		cfg.Stacks = cluster.StackDV
+	} else {
+		cfg.Stacks = cluster.StackIB
+	}
+	res := Result{Net: net, Nodes: par.Nodes, N: n1 * n2}
+	var rows [][]complex128
+	if par.KeepResult {
+		rows = make([][]complex128, par.Nodes)
+	}
+	var span sim.Time
+	cluster.Run(cfg, func(n *cluster.Node) {
+		out, d := runNode(n, net, par, n1, n2)
+		if d > span {
+			span = d
+		}
+		if par.KeepResult {
+			rows[n.ID] = out
+		}
+	})
+	res.Elapsed = span
+	if par.KeepResult {
+		for _, r := range rows {
+			res.Spectrum = append(res.Spectrum, r...)
+		}
+	}
+	return res
+}
+
+// runNode executes the six-step FFT on one node and returns its slab of the
+// final spectrum (rows k1 ∈ [id·n1/P, ...)) and the measured time.
+func runNode(n *cluster.Node, net Net, par Params, n1, n2 int) ([]complex128, sim.Time) {
+	p := par.Nodes
+	rowsA := n1 / p // rows of the n1×n2 matrix per node
+	rowsB := n2 / p // rows of the transposed n2×n1 matrix per node
+	id := n.ID
+
+	// Initialise local slab of M (rows of length n2).
+	local := make([]complex128, rowsA*n2)
+	for r := 0; r < rowsA; r++ {
+		for c := 0; c < n2; c++ {
+			local[r*n2+c] = inputValue(par.Seed, id*rowsA+r, c, n2)
+		}
+	}
+
+	var tp *transposer
+	if net == DV {
+		tp = newTransposer(n, n1, n2)
+	}
+	barrier := func() {
+		if net == DV {
+			n.DV.Barrier()
+		} else {
+			n.MPI.Barrier()
+		}
+	}
+	barrier()
+	t0 := n.P.Now()
+
+	// Step 1: row FFTs of length n2.
+	for r := 0; r < rowsA; r++ {
+		fftkernel.Forward(local[r*n2 : (r+1)*n2])
+	}
+	n.Flops(float64(rowsA) * fftkernel.Flops(n2))
+
+	// Step 2: twiddle by W_N^(j1·k2).
+	N := float64(n1 * n2)
+	for r := 0; r < rowsA; r++ {
+		j1 := float64(id*rowsA + r)
+		for c := 0; c < n2; c++ {
+			local[r*n2+c] *= fftkernel.Twiddle(-1, j1*float64(c), N)
+		}
+	}
+	n.Flops(8 * float64(rowsA*n2))
+
+	// Step 3: distributed transpose to n2×n1, then row FFTs of length n1.
+	localT := transpose(n, net, tp, local, n1, n2)
+	for r := 0; r < rowsB; r++ {
+		fftkernel.Forward(localT[r*n1 : (r+1)*n1])
+	}
+	n.Flops(float64(rowsB) * fftkernel.Flops(n1))
+
+	// Step 4: transpose back to n1×n2 natural order.
+	out := transpose(n, net, tp, localT, n2, n1)
+	barrier()
+	return out, n.P.Now() - t0
+}
+
+// transpose redistributes an r×c matrix (rows split over nodes) into its c×r
+// transpose (rows split over nodes).
+func transpose(n *cluster.Node, net Net, tp *transposer, local []complex128, r, c int) []complex128 {
+	if net == DV {
+		return tp.run(n, local, r, c)
+	}
+	return mpiTranspose(n, local, r, c)
+}
+
+// mpiTranspose is the all-to-all implementation with pack/unpack passes.
+func mpiTranspose(n *cluster.Node, local []complex128, r, c int) []complex128 {
+	p := n.MPI.Size()
+	myRows := r / p
+	outRows := c / p
+	// Pack: block for node q holds elements (row, col) with col in q's
+	// output-row range, stored column-major so the receiver can splice rows.
+	send := make([][]byte, p)
+	for q := 0; q < p; q++ {
+		block := make([]float64, 0, 2*myRows*outRows)
+		for col := q * outRows; col < (q+1)*outRows; col++ {
+			for row := 0; row < myRows; row++ {
+				v := local[row*c+col]
+				block = append(block, real(v), imag(v))
+			}
+		}
+		send[q] = mpi.Float64sToBytes(block)
+	}
+	n.Compute(sim.BytesAt(len(local)*16, 8e9)) // pack pass
+	recv := n.MPI.Alltoall(send)
+	out := make([]complex128, outRows*r)
+	for q := 0; q < p; q++ {
+		vals := mpi.BytesToFloat64s(recv[q])
+		i := 0
+		// Block from q: columns (now rows) in my range, original rows in
+		// q's range.
+		for or := 0; or < outRows; or++ {
+			for sr := 0; sr < myRows; sr++ {
+				out[or*r+q*myRows+sr] = complex(vals[i], vals[i+1])
+				i += 2
+			}
+		}
+	}
+	n.Compute(sim.BytesAt(len(out)*16, 8e9)) // unpack pass
+	return out
+}
+
+// transposer holds the Data Vortex transpose state: a DV Memory region per
+// direction and alternating group counters (re-armed each use, fenced by the
+// intrinsic barrier).
+type transposer struct {
+	region uint32
+	gc     int
+	words  int // region capacity in words
+}
+
+func newTransposer(n *cluster.Node, n1, n2 int) *transposer {
+	p := n.DV.Size()
+	maxWords := 2 * (n2 / p) * n1
+	if w := 2 * (n1 / p) * n2; w > maxWords {
+		maxWords = w
+	}
+	return &transposer{region: n.DV.Alloc(maxWords), gc: n.DV.AllocGC(), words: maxWords}
+}
+
+// run scatters each element directly to its transposed location in the
+// destination VIC's DV Memory — redistribution folded into communication.
+func (tp *transposer) run(n *cluster.Node, local []complex128, r, c int) []complex128 {
+	e := n.DV
+	p := e.Size()
+	id := e.Rank()
+	myRows := r / p
+	outRows := c / p
+	row0 := id * myRows
+	remoteWords := int64(2 * outRows * (r - myRows)) // incoming from peers
+	e.ArmGC(tp.gc, remoteWords)
+	e.Barrier() // everyone armed
+
+	out := make([]complex128, outRows*r)
+	words := make([]vic.Word, 0, 2*myRows*outRows)
+	for q := 0; q < p; q++ {
+		if q == id {
+			// Own block: place directly (host memory copy).
+			for col := id * outRows; col < (id+1)*outRows; col++ {
+				for row := 0; row < myRows; row++ {
+					out[(col-id*outRows)*r+row0+row] = local[row*c+col]
+				}
+			}
+			continue
+		}
+		words = words[:0]
+		for col := q * outRows; col < (q+1)*outRows; col++ {
+			for row := 0; row < myRows; row++ {
+				v := local[row*c+col]
+				// Destination slot: row (col - q·outRows), column row0+row.
+				addr := tp.region + uint32(2*((col-q*outRows)*r+row0+row))
+				words = append(words,
+					vic.Word{Dst: q, Op: vic.OpWrite, GC: tp.gc, Addr: addr, Val: math.Float64bits(real(v))},
+					vic.Word{Dst: q, Op: vic.OpWrite, GC: tp.gc, Addr: addr + 1, Val: math.Float64bits(imag(v))})
+			}
+		}
+		e.Scatter(vic.DMACached, words)
+	}
+	n.Compute(sim.BytesAt(len(local)*16, 8e9)) // stage DMA buffers
+	e.WaitGC(tp.gc, sim.Forever)
+	// Pull the received region and merge (own block already placed).
+	raw := e.Read(tp.region, 2*outRows*r)
+	for or := 0; or < outRows; or++ {
+		for col := 0; col < r; col++ {
+			if col >= row0 && col < row0+myRows {
+				continue // own block
+			}
+			i := 2 * (or*r + col)
+			out[or*r+col] = complex(math.Float64frombits(raw[i]), math.Float64frombits(raw[i+1]))
+		}
+	}
+	e.Barrier() // fence before the counter is re-armed next call
+	return out
+}
+
+// String renders a result row.
+func (r Result) String() string {
+	return fmt.Sprintf("%-12s %2d nodes  N=2^%d  %8.2f GFLOPS  (%v)",
+		r.Net, r.Nodes, intLog2(r.N), r.GFLOPS(), r.Elapsed)
+}
+
+func intLog2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}

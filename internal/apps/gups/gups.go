@@ -1,0 +1,298 @@
+// Package gups implements the Giga-Updates-Per-Second benchmark (§VI):
+// random read-modify-write (XOR) updates against a table distributed over
+// all nodes. Any node may update any element, transactions are 8 bytes, and
+// the HPCC rules cap buffering at 1024 updates — precisely the traffic that
+// cannot be aggregated by destination, which the paper identifies as the
+// Data Vortex sweet spot (Figures 5 and 6).
+//
+// The MPI variant follows the HPCC algorithm: rounds of up to 1024 updates,
+// bucketed by owner and exchanged with an all-to-all. The Data Vortex
+// variant aggregates at the source only: each round's updates — destined for
+// many different nodes — cross PCIe in one DMA batch of fine-grained packets
+// addressed to the owners' surprise FIFOs, and every node drains its own
+// FIFO concurrently with sending.
+package gups
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vic"
+)
+
+// Net selects the network variant.
+type Net int
+
+const (
+	// DV is the Data Vortex implementation.
+	DV Net = iota
+	// IB is the HPCC MPI implementation over InfiniBand.
+	IB
+)
+
+// String names the network variant as the paper labels it.
+func (n Net) String() string {
+	if n == DV {
+		return "Data Vortex"
+	}
+	return "Infiniband"
+}
+
+// Params configures a run.
+type Params struct {
+	Nodes          int
+	TableWordsNode int // table words per node (power of two)
+	UpdatesPerNode int
+	Seed           uint64
+	BatchWords     int // HPCC buffering cap (default 1024)
+	// KeepTables retains the final table fragments for validation.
+	KeepTables bool
+	// CycleAccurate routes packets through the cycle-level switch.
+	CycleAccurate bool
+	// Trace records execution states and messages (Figure 5).
+	Trace *trace.Recorder
+	// IBAdaptive enables adaptive fat-tree routing for the MPI variant.
+	IBAdaptive bool
+}
+
+func (p *Params) defaults() {
+	if p.TableWordsNode == 0 {
+		p.TableWordsNode = 1 << 16
+	}
+	if p.UpdatesPerNode == 0 {
+		p.UpdatesPerNode = 1 << 14
+	}
+	if p.BatchWords == 0 {
+		p.BatchWords = 1024
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+}
+
+// Result is one measurement.
+type Result struct {
+	Net     Net
+	Nodes   int
+	Updates int64 // total updates applied
+	Elapsed sim.Time
+	// Tables holds each node's final fragment when KeepTables was set.
+	Tables [][]uint64
+}
+
+// MUPSPerNode returns millions of updates per second per processing element
+// (Figure 6a).
+func (r Result) MUPSPerNode() float64 {
+	return float64(r.Updates) / float64(r.Nodes) / r.Elapsed.Seconds() / 1e6
+}
+
+// MUPS returns the aggregate update rate in millions per second (Figure 6b).
+func (r Result) MUPS() float64 {
+	return float64(r.Updates) / r.Elapsed.Seconds() / 1e6
+}
+
+// UpdateStream deterministically generates node i's update values (exported
+// for external validation against serial replay).
+func UpdateStream(seed uint64, node int) *sim.RNG { return updateStream(seed, node) }
+
+// Owner maps an update value to its (node, local index), as the benchmark
+// variants do internally.
+func Owner(a uint64, nodes, wordsPerNode int) (int, int) { return owner(a, nodes, wordsPerNode) }
+
+// updateStream deterministically generates node i's update values.
+func updateStream(seed uint64, node int) *sim.RNG {
+	return sim.NewRNG(seed*0xff51afd7ed558ccd + uint64(node)*0x100000001b3 + 7)
+}
+
+// owner maps an update value to (node, local index).
+func owner(a uint64, nodes, wordsPerNode int) (int, int) {
+	total := uint64(nodes * wordsPerNode)
+	idx := a % total
+	return int(idx) / wordsPerNode, int(idx) % wordsPerNode
+}
+
+// Run executes the benchmark and returns the measurement.
+func Run(net Net, par Params) Result {
+	par.defaults()
+	cfg := cluster.DefaultConfig(par.Nodes)
+	cfg.Seed = par.Seed
+	cfg.CycleAccurate = par.CycleAccurate
+	cfg.Trace = par.Trace
+	cfg.IB.Adaptive = par.IBAdaptive
+	if net == DV {
+		cfg.Stacks = cluster.StackDV
+	} else {
+		cfg.Stacks = cluster.StackIB
+	}
+	res := Result{Net: net, Nodes: par.Nodes, Updates: int64(par.Nodes) * int64(par.UpdatesPerNode)}
+	if par.KeepTables {
+		res.Tables = make([][]uint64, par.Nodes)
+	}
+	var span sim.Time
+	cluster.Run(cfg, func(n *cluster.Node) {
+		table := make([]uint64, par.TableWordsNode)
+		var d sim.Time
+		if net == DV {
+			d = runDV(n, par, table)
+		} else {
+			d = runMPI(n, par, table)
+		}
+		if d > span {
+			span = d
+		}
+		if par.KeepTables {
+			res.Tables[n.ID] = table
+		}
+	})
+	res.Elapsed = span
+	return res
+}
+
+// runMPI is the HPCC-style implementation: rounds of ≤1024 updates bucketed
+// by destination and exchanged with Alltoall.
+func runMPI(n *cluster.Node, par Params, table []uint64) sim.Time {
+	c := n.MPI
+	rng := updateStream(par.Seed, n.ID)
+	rounds := (par.UpdatesPerNode + par.BatchWords - 1) / par.BatchWords
+	c.Barrier()
+	t0 := n.P.Now()
+	left := par.UpdatesPerNode
+	for r := 0; r < rounds; r++ {
+		b := par.BatchWords
+		if b > left {
+			b = left
+		}
+		left -= b
+		buckets := make([][]uint64, par.Nodes)
+		localApplied := 0
+		for i := 0; i < b; i++ {
+			a := rng.Uint64()
+			dst, li := owner(a, par.Nodes, par.TableWordsNode)
+			if dst == n.ID {
+				table[li] ^= a
+				localApplied++
+			} else {
+				buckets[dst] = append(buckets[dst], a)
+			}
+		}
+		n.Ops(int64(2 * b)) // generation + bucketing
+		n.MemOps(int64(localApplied))
+		send := make([][]byte, par.Nodes)
+		for d := range buckets {
+			send[d] = mpi.Uint64sToBytes(buckets[d])
+		}
+		recv := c.Alltoall(send)
+		applied := 0
+		for src, data := range recv {
+			if src == n.ID {
+				continue
+			}
+			for _, a := range mpi.BytesToUint64s(data) {
+				_, li := owner(a, par.Nodes, par.TableWordsNode)
+				table[li] ^= a
+				applied++
+			}
+		}
+		n.Ops(int64(applied))
+		n.MemOps(int64(applied))
+	}
+	c.Barrier()
+	return n.P.Now() - t0
+}
+
+// runDV aggregates at the source: every batch crosses PCIe as one DMA of
+// FIFO-addressed packets, the receiver drains its surprise FIFO between
+// batches, and a counted final exchange established how many updates each
+// node must still drain.
+func runDV(n *cluster.Node, par Params, table []uint64) sim.Time {
+	e := n.DV
+	countBase := e.Alloc(par.Nodes) // per-source sent counters
+	countGC := e.AllocGC()
+	e.ArmGC(countGC, int64(par.Nodes-1))
+	rng := updateStream(par.Seed, n.ID)
+	e.Barrier()
+	t0 := n.P.Now()
+
+	drained := 0
+	drain := func(block bool) {
+		for {
+			var a uint64
+			var ok bool
+			if block {
+				a, ok = e.PopFIFO(sim.Forever)
+			} else {
+				a, ok = e.TryPopFIFO()
+			}
+			if !ok {
+				return
+			}
+			_, li := owner(a, par.Nodes, par.TableWordsNode)
+			table[li] ^= a
+			drained++
+			n.Ops(1)    // decode
+			n.MemOps(1) // apply
+			if block {
+				return
+			}
+		}
+	}
+
+	sentTo := make([]int64, par.Nodes)
+	words := make([]vic.Word, 0, par.BatchWords)
+	left := par.UpdatesPerNode
+	for left > 0 {
+		b := par.BatchWords
+		if b > left {
+			b = left
+		}
+		left -= b
+		words = words[:0]
+		localApplied := 0
+		for i := 0; i < b; i++ {
+			a := rng.Uint64()
+			dst, li := owner(a, par.Nodes, par.TableWordsNode)
+			if dst == e.Rank() {
+				table[li] ^= a
+				localApplied++
+			} else {
+				words = append(words, vic.Word{Dst: dst, Op: vic.OpFIFO, GC: vic.NoGC, Val: a})
+				sentTo[dst]++
+			}
+		}
+		n.Ops(int64(2 * b))
+		n.MemOps(int64(localApplied))
+		e.Scatter(vic.DMACached, words)
+		drain(false) // overlap: apply whatever has arrived
+	}
+	// Tell every peer how many updates we sent it, then drain to the exact
+	// expected count.
+	counts := make([]vic.Word, 0, par.Nodes-1)
+	for d := 0; d < par.Nodes; d++ {
+		if d != e.Rank() {
+			counts = append(counts, vic.Word{Dst: d, Op: vic.OpWrite, GC: countGC,
+				Addr: countBase + uint32(e.Rank()), Val: uint64(sentTo[d])})
+		}
+	}
+	e.Scatter(vic.DMACached, counts)
+	e.WaitGC(countGC, sim.Forever)
+	expected := 0
+	for src, w := range e.Read(countBase, par.Nodes) {
+		if src != e.Rank() {
+			expected += int(w)
+		}
+	}
+	for drained < expected {
+		drain(true)
+	}
+	e.Barrier()
+	return n.P.Now() - t0
+}
+
+// String renders a result row.
+func (r Result) String() string {
+	return fmt.Sprintf("%-12s %2d nodes  %7.2f MUPS/PE  %8.2f MUPS aggregate",
+		r.Net, r.Nodes, r.MUPSPerNode(), r.MUPS())
+}

@@ -1,0 +1,116 @@
+package gups
+
+import (
+	"testing"
+)
+
+// replaySerial computes the expected final table by applying every node's
+// update stream serially (XOR commutes, so order is irrelevant).
+func replaySerial(par Params) [][]uint64 {
+	par.defaults()
+	tables := make([][]uint64, par.Nodes)
+	for i := range tables {
+		tables[i] = make([]uint64, par.TableWordsNode)
+	}
+	for node := 0; node < par.Nodes; node++ {
+		rng := updateStream(par.Seed, node)
+		for u := 0; u < par.UpdatesPerNode; u++ {
+			a := rng.Uint64()
+			dst, li := owner(a, par.Nodes, par.TableWordsNode)
+			tables[dst][li] ^= a
+		}
+	}
+	return tables
+}
+
+func checkTables(t *testing.T, got, want [][]uint64, label string) {
+	t.Helper()
+	for node := range want {
+		for i := range want[node] {
+			if got[node][i] != want[node][i] {
+				t.Fatalf("%s: table[%d][%d] = %x, want %x", label, node, i, got[node][i], want[node][i])
+			}
+		}
+	}
+}
+
+func TestDVCorrectness(t *testing.T) {
+	par := Params{Nodes: 4, TableWordsNode: 1 << 10, UpdatesPerNode: 4096, KeepTables: true}
+	r := Run(DV, par)
+	checkTables(t, r.Tables, replaySerial(par), "DV")
+}
+
+func TestMPICorrectness(t *testing.T) {
+	par := Params{Nodes: 4, TableWordsNode: 1 << 10, UpdatesPerNode: 4096, KeepTables: true}
+	r := Run(IB, par)
+	checkTables(t, r.Tables, replaySerial(par), "MPI")
+}
+
+func TestDVCorrectnessCycleAccurate(t *testing.T) {
+	par := Params{Nodes: 4, TableWordsNode: 1 << 8, UpdatesPerNode: 1024,
+		KeepTables: true, CycleAccurate: true}
+	r := Run(DV, par)
+	checkTables(t, r.Tables, replaySerial(par), "DV cycle-accurate")
+}
+
+func TestNonPowerOfTwoNodes(t *testing.T) {
+	par := Params{Nodes: 3, TableWordsNode: 1 << 9, UpdatesPerNode: 2048, KeepTables: true}
+	r := Run(DV, par)
+	checkTables(t, r.Tables, replaySerial(par), "DV n=3")
+}
+
+// TestFigure6Shape pins the GUPS scaling story: the Data Vortex rate per
+// node stays roughly flat from 4 to 32 nodes while the MPI rate decays, so
+// the aggregate gap widens with node count and DV leads at every point.
+func TestFigure6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep is slow")
+	}
+	par := func(n int) Params {
+		return Params{Nodes: n, TableWordsNode: 1 << 14, UpdatesPerNode: 1 << 13}
+	}
+	dv4, dv32 := Run(DV, par(4)), Run(DV, par(32))
+	ib4, ib32 := Run(IB, par(4)), Run(IB, par(32))
+
+	if dv4.MUPSPerNode() < ib4.MUPSPerNode() {
+		t.Errorf("at 4 nodes DV (%0.1f) should lead MPI (%0.1f) MUPS/PE",
+			dv4.MUPSPerNode(), ib4.MUPSPerNode())
+	}
+	// DV per-PE rate roughly flat (within 2x).
+	if ratio := dv4.MUPSPerNode() / dv32.MUPSPerNode(); ratio > 2 {
+		t.Errorf("DV per-PE rate decayed %0.2fx from 4 to 32 nodes", ratio)
+	}
+	// IB per-PE rate decays materially.
+	if ratio := ib4.MUPSPerNode() / ib32.MUPSPerNode(); ratio < 1.5 {
+		t.Errorf("IB per-PE rate should decay with scale, got %0.2fx", ratio)
+	}
+	// Aggregate gap widens.
+	gap4 := dv4.MUPS() / ib4.MUPS()
+	gap32 := dv32.MUPS() / ib32.MUPS()
+	if gap32 <= gap4 {
+		t.Errorf("aggregate DV/IB gap should widen: %0.2fx @4 vs %0.2fx @32", gap4, gap32)
+	}
+}
+
+func TestOwnerMapsAllNodes(t *testing.T) {
+	seen := make(map[int]bool)
+	rng := updateStream(1, 0)
+	for i := 0; i < 10000; i++ {
+		d, li := owner(rng.Uint64(), 8, 1024)
+		if d < 0 || d >= 8 || li < 0 || li >= 1024 {
+			t.Fatalf("owner out of range: %d %d", d, li)
+		}
+		seen[d] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("owner only hit %d nodes", len(seen))
+	}
+}
+
+func TestDeterministicElapsed(t *testing.T) {
+	par := Params{Nodes: 4, TableWordsNode: 1 << 10, UpdatesPerNode: 2048}
+	a, b := Run(DV, par), Run(DV, par)
+	if a.Elapsed != b.Elapsed {
+		t.Fatalf("non-deterministic: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+}

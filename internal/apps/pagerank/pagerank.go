@@ -1,0 +1,334 @@
+// Package pagerank implements distributed PageRank over the same Kronecker
+// graphs as the Graph500 benchmark — a second data-analytics kernel of the
+// kind the paper's introduction motivates. Each power iteration pushes
+// rank mass along out-edges: contributions are combined at the source per
+// destination vertex, exchanged, and reduced at the owner.
+//
+// The Data Vortex variant is written entirely against the shmem PGAS layer
+// (symmetric slabs, one-sided puts, the counting fence, and collective
+// reductions), demonstrating that a software runtime in the style the paper
+// surveys (§VIII) builds naturally on the VIC primitives. The baseline uses
+// MPI all-to-all.
+package pagerank
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/apps/bfs"
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/shmem"
+	"repro/internal/sim"
+)
+
+// Net selects the network variant.
+type Net int
+
+const (
+	// DV is the Data Vortex implementation (over the shmem layer).
+	DV Net = iota
+	// IB is the MPI implementation over InfiniBand.
+	IB
+)
+
+// String names the network variant as the paper labels it.
+func (n Net) String() string {
+	if n == DV {
+		return "Data Vortex"
+	}
+	return "Infiniband"
+}
+
+// Params configures a run.
+type Params struct {
+	Nodes      int
+	Scale      int // 2^Scale vertices
+	EdgeFactor int
+	Damping    float64
+	Tol        float64 // L1 convergence threshold
+	MaxIters   int
+	Seed       uint64
+	// KeepRanks gathers the converged rank vector for validation.
+	KeepRanks bool
+	// CycleAccurate routes packets through the cycle-level switch.
+	CycleAccurate bool
+}
+
+func (p *Params) defaults() {
+	if p.Scale == 0 {
+		p.Scale = 12
+	}
+	if p.EdgeFactor == 0 {
+		p.EdgeFactor = 8
+	}
+	if p.Damping == 0 {
+		p.Damping = 0.85
+	}
+	if p.Tol == 0 {
+		p.Tol = 1e-8
+	}
+	if p.MaxIters == 0 {
+		p.MaxIters = 50
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+}
+
+// Result is one measurement.
+type Result struct {
+	Net     Net
+	Nodes   int
+	Iters   int
+	Delta   float64 // final L1 change
+	Elapsed sim.Time
+	Ranks   []float64 // gathered when KeepRanks
+}
+
+// outEdges builds node id's slab: out-adjacency of owned vertices (directed
+// edges as generated; self-loops dropped) plus the global out-degree vector.
+func outEdges(par Params, id int) (adjOff []int32, adj []int64, outDeg []int32, perNode int64) {
+	nv := int64(1) << par.Scale
+	perNode = nv / int64(par.Nodes)
+	lo := int64(id) * perNode
+	hi := lo + perNode
+	ne := nv * int64(par.EdgeFactor)
+	outDeg = make([]int32, nv)
+	deg := make([]int32, perNode)
+	type edge struct{ u, v int64 }
+	var local []edge
+	for i := int64(0); i < ne; i++ {
+		u, v := bfs.GenerateEdge(par.Seed, par.Scale, i)
+		if u == v {
+			continue
+		}
+		outDeg[u]++
+		if u >= lo && u < hi {
+			local = append(local, edge{u, v})
+			deg[u-lo]++
+		}
+	}
+	adjOff = make([]int32, perNode+1)
+	for i := int64(0); i < perNode; i++ {
+		adjOff[i+1] = adjOff[i] + deg[i]
+	}
+	adj = make([]int64, adjOff[perNode])
+	fill := make([]int32, perNode)
+	for _, e := range local {
+		li := e.u - lo
+		adj[adjOff[li]+fill[li]] = e.v
+		fill[li]++
+	}
+	return
+}
+
+// SerialReference computes PageRank on one core.
+func SerialReference(par Params) []float64 {
+	par.defaults()
+	nv := int64(1) << par.Scale
+	ne := nv * int64(par.EdgeFactor)
+	outDeg := make([]int32, nv)
+	type edge struct{ u, v int64 }
+	var edges []edge
+	for i := int64(0); i < ne; i++ {
+		u, v := bfs.GenerateEdge(par.Seed, par.Scale, i)
+		if u != v {
+			edges = append(edges, edge{u, v})
+			outDeg[u]++
+		}
+	}
+	rank := make([]float64, nv)
+	next := make([]float64, nv)
+	for i := range rank {
+		rank[i] = 1 / float64(nv)
+	}
+	for it := 0; it < par.MaxIters; it++ {
+		var dangling float64
+		for v := int64(0); v < nv; v++ {
+			if outDeg[v] == 0 {
+				dangling += rank[v]
+			}
+		}
+		base := (1-par.Damping)/float64(nv) + par.Damping*dangling/float64(nv)
+		for i := range next {
+			next[i] = base
+		}
+		for _, e := range edges {
+			next[e.v] += par.Damping * rank[e.u] / float64(outDeg[e.u])
+		}
+		var delta float64
+		for i := range rank {
+			delta += math.Abs(next[i] - rank[i])
+		}
+		rank, next = next, rank
+		if delta < par.Tol {
+			break
+		}
+	}
+	return rank
+}
+
+// Run executes the benchmark.
+func Run(net Net, par Params) Result {
+	par.defaults()
+	if (int64(1)<<par.Scale)%int64(par.Nodes) != 0 {
+		panic(fmt.Sprintf("pagerank: 2^%d vertices not divisible over %d nodes", par.Scale, par.Nodes))
+	}
+	cfg := cluster.DefaultConfig(par.Nodes)
+	cfg.Seed = par.Seed
+	cfg.CycleAccurate = par.CycleAccurate
+	if net == DV {
+		cfg.Stacks = cluster.StackDV
+	} else {
+		cfg.Stacks = cluster.StackIB
+	}
+	res := Result{Net: net, Nodes: par.Nodes}
+	if par.KeepRanks {
+		res.Ranks = make([]float64, int64(1)<<par.Scale)
+	}
+	cluster.Run(cfg, func(n *cluster.Node) {
+		iters, delta, elapsed, ranks := runNode(n, net, par)
+		if n.ID == 0 {
+			res.Iters, res.Delta = iters, delta
+		}
+		if elapsed > res.Elapsed {
+			res.Elapsed = elapsed
+		}
+		if par.KeepRanks {
+			perNode := (int64(1) << par.Scale) / int64(par.Nodes)
+			copy(res.Ranks[int64(n.ID)*perNode:], ranks)
+		}
+	})
+	return res
+}
+
+func runNode(n *cluster.Node, net Net, par Params) (int, float64, sim.Time, []float64) {
+	adjOff, adj, outDeg, perNode := outEdges(par, n.ID)
+	nv := int64(1) << par.Scale
+	lo := int64(n.ID) * perNode
+	p := par.Nodes
+
+	rank := make([]float64, perNode)
+	for i := range rank {
+		rank[i] = 1 / float64(nv)
+	}
+	// contrib[g] accumulates this node's pushed mass per global vertex.
+	contrib := make([]float64, nv)
+
+	var ctx *shmem.Ctx
+	var slab shmem.Sym // [src][localV] contribution slots
+	if net == DV {
+		ctx = shmem.New(n.DV)
+		slab = ctx.Malloc(p * int(perNode))
+	}
+	barrier := func() {
+		if net == DV {
+			ctx.Barrier()
+		} else {
+			n.MPI.Barrier()
+		}
+	}
+	// sumAll reduces one float64 in rank order on both stacks, so the two
+	// variants stay bit-identical (a tree allreduce would reorder the sum).
+	sumAll := func(v float64) float64 {
+		var sum float64
+		if net == DV {
+			for _, w := range ctx.Gather(v) {
+				sum += w
+			}
+			return sum
+		}
+		for _, b := range n.MPI.Allgather(mpi.Float64sToBytes([]float64{v})) {
+			sum += mpi.BytesToFloat64s(b)[0]
+		}
+		return sum
+	}
+
+	barrier()
+	t0 := n.P.Now()
+	iters := 0
+	var delta float64
+	for iters = 1; iters <= par.MaxIters; iters++ {
+		// Push: combine contributions per destination vertex at the source.
+		for i := range contrib {
+			contrib[i] = 0
+		}
+		var dangling float64
+		for li := int64(0); li < perNode; li++ {
+			u := lo + li
+			if outDeg[u] == 0 {
+				dangling += rank[li]
+				continue
+			}
+			c := par.Damping * rank[li] / float64(outDeg[u])
+			for _, v := range adj[adjOff[li]:adjOff[li+1]] {
+				contrib[v] += c
+			}
+		}
+		n.Ops(int64(len(adj)) + perNode)
+		gDangling := sumAll(dangling)
+
+		// Exchange: deliver my per-destination slices.
+		recvSum := make([]float64, perNode)
+		if net == DV {
+			for q := 0; q < p; q++ {
+				if q == n.ID {
+					continue
+				}
+				slice := contrib[int64(q)*perNode : int64(q+1)*perNode]
+				words := make([]uint64, perNode)
+				for i, v := range slice {
+					words[i] = math.Float64bits(v)
+				}
+				ctx.Put(q, slab, n.ID*int(perNode), words)
+			}
+			n.Compute(sim.BytesAt(int(nv)*8, 8e9)) // stage payloads
+			ctx.Fence()
+			raw := ctx.Local(slab)
+			// Accumulate in source order (matching the MPI variant bit for
+			// bit), substituting the local slice for our own slab slot.
+			for src := 0; src < p; src++ {
+				if src == n.ID {
+					for i, v := range contrib[int64(src)*perNode : int64(src+1)*perNode] {
+						recvSum[i] += v
+					}
+					continue
+				}
+				for i := int64(0); i < perNode; i++ {
+					recvSum[i] += math.Float64frombits(raw[int64(src)*perNode+i])
+				}
+			}
+		} else {
+			send := make([][]byte, p)
+			for q := 0; q < p; q++ {
+				send[q] = mpi.Float64sToBytes(contrib[int64(q)*perNode : int64(q+1)*perNode])
+			}
+			n.Compute(sim.BytesAt(int(nv)*8, 8e9)) // pack
+			recv := n.MPI.Alltoall(send)
+			for _, data := range recv {
+				for i, v := range mpi.BytesToFloat64s(data) {
+					recvSum[i] += v
+				}
+			}
+		}
+		n.Ops(int64(p) * perNode)
+
+		// Apply damping and the dangling redistribution; measure change.
+		base := (1-par.Damping)/float64(nv) + par.Damping*gDangling/float64(nv)
+		var localDelta float64
+		for i := range rank {
+			nv2 := base + recvSum[i]
+			localDelta += math.Abs(nv2 - rank[i])
+			rank[i] = nv2
+		}
+		n.Ops(perNode)
+		delta = sumAll(localDelta)
+		if delta < par.Tol {
+			break
+		}
+	}
+	elapsed := n.P.Now() - t0
+	barrier()
+	return iters, delta, elapsed, rank
+}

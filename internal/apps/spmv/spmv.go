@@ -1,0 +1,223 @@
+// Package spmv implements distributed sparse matrix–vector multiplication,
+// the canonical irregular kernel of the paper's introduction ("data
+// structures built on pointers or linked-lists such as graphs, sparse
+// matrices ... data can potentially be accessed from any node with
+// transaction sizes of only a few bytes"). The matrix is the adjacency
+// structure of a Kronecker graph plus the unit diagonal; rows and the
+// vector are block-distributed.
+//
+// Each multiply needs the remote x entries named by the local rows' column
+// sets (the "ghost" entries). The MPI variant does the standard owner-push
+// ghost exchange: request lists are computed once, then every multiply
+// ships value messages point-to-point. The Data Vortex variant instead
+// issues one source-aggregated batch of QUERY packets per multiply: the
+// owners' VICs assemble the replies in hardware — no host on the owner side
+// ever touches the request — and a group counter announces when every ghost
+// has landed. Fine-grained remote reads are exactly what the fabric was
+// designed for.
+package spmv
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/apps/bfs"
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Net selects the network variant.
+type Net int
+
+const (
+	// DV is the Data Vortex implementation (query-packet gathers).
+	DV Net = iota
+	// IB is the MPI implementation (owner-push ghost exchange).
+	IB
+)
+
+// String names the network variant as the paper labels it.
+func (n Net) String() string {
+	if n == DV {
+		return "Data Vortex"
+	}
+	return "Infiniband"
+}
+
+// Params configures a run.
+type Params struct {
+	Nodes      int
+	Scale      int // 2^Scale rows/columns
+	EdgeFactor int // nonzeros per row (average, power-law distributed)
+	Iters      int // multiplies (with max-normalisation between)
+	Seed       uint64
+	// KeepVector gathers the final vector for validation.
+	KeepVector bool
+	// CycleAccurate routes packets through the cycle-level switch.
+	CycleAccurate bool
+}
+
+func (p *Params) defaults() {
+	if p.Scale == 0 {
+		p.Scale = 12
+	}
+	if p.EdgeFactor == 0 {
+		p.EdgeFactor = 8
+	}
+	if p.Iters == 0 {
+		p.Iters = 4
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+}
+
+// Result is one measurement.
+type Result struct {
+	Net     Net
+	Nodes   int
+	Iters   int
+	Elapsed sim.Time
+	// GhostWords is the per-multiply remote-entry count of node 0
+	// (telemetry for the study).
+	GhostWords int
+	Vector     []float64
+}
+
+// weight deterministically assigns a matrix value to entry (u, v).
+func weight(seed uint64, u, v int64) float64 {
+	r := sim.NewRNG(seed ^ uint64(u)<<21 ^ uint64(v)*0x94d049bb133111eb)
+	return r.Float64()*0.5 + 0.25
+}
+
+// x0 is the deterministic initial vector entry.
+func x0(seed uint64, i int64) float64 {
+	r := sim.NewRNG(seed*3 + uint64(i)*0x2545f4914f6cdd1d)
+	return r.Float64() + 0.5
+}
+
+// matrix is one node's CSR slab: rows [lo, lo+rows), global column ids.
+type matrix struct {
+	nv   int64
+	rows int64
+	lo   int64
+	off  []int32
+	col  []int64
+	val  []float64
+}
+
+// buildLocal constructs the slab by replaying the deterministic edge stream
+// (construction is untimed, as in the BFS benchmark).
+func buildLocal(par Params, id int) *matrix {
+	nv := int64(1) << par.Scale
+	rows := nv / int64(par.Nodes)
+	lo := int64(id) * rows
+	hi := lo + rows
+	type ent struct {
+		r, c int64
+		v    float64
+	}
+	var ents []ent
+	deg := make([]int32, rows)
+	ne := nv * int64(par.EdgeFactor)
+	seen := make(map[[2]int64]bool)
+	for i := int64(0); i < ne; i++ {
+		u, v := bfs.GenerateEdge(par.Seed, par.Scale, i)
+		if u == v || u < lo || u >= hi {
+			continue
+		}
+		key := [2]int64{u, v}
+		if seen[key] {
+			continue // collapse duplicate entries
+		}
+		seen[key] = true
+		ents = append(ents, ent{u, v, weight(par.Seed, u, v)})
+		deg[u-lo]++
+	}
+	// Unit diagonal keeps every row non-empty.
+	for r := lo; r < hi; r++ {
+		ents = append(ents, ent{r, r, 1})
+		deg[r-lo]++
+	}
+	m := &matrix{nv: nv, rows: rows, lo: lo}
+	m.off = make([]int32, rows+1)
+	for i := int64(0); i < rows; i++ {
+		m.off[i+1] = m.off[i] + deg[i]
+	}
+	m.col = make([]int64, m.off[rows])
+	m.val = make([]float64, m.off[rows])
+	fill := make([]int32, rows)
+	for _, e := range ents {
+		li := e.r - lo
+		at := m.off[li] + fill[li]
+		m.col[at] = e.c
+		m.val[at] = e.v
+		fill[li]++
+	}
+	return m
+}
+
+// SerialReference runs the iteration on one core.
+func SerialReference(par Params) []float64 {
+	par.defaults()
+	save := par.Nodes
+	par.Nodes = 1
+	m := buildLocal(par, 0)
+	par.Nodes = save
+	x := make([]float64, m.nv)
+	for i := range x {
+		x[i] = x0(par.Seed, int64(i))
+	}
+	y := make([]float64, m.nv)
+	for it := 0; it < par.Iters; it++ {
+		var max float64
+		for r := int64(0); r < m.nv; r++ {
+			var s float64
+			for k := m.off[r]; k < m.off[r+1]; k++ {
+				s += m.val[k] * x[m.col[k]]
+			}
+			y[r] = s
+			if a := math.Abs(s); a > max {
+				max = a
+			}
+		}
+		for i := range x {
+			x[i] = y[i] / max
+		}
+	}
+	return x
+}
+
+// Run executes the benchmark.
+func Run(net Net, par Params) Result {
+	par.defaults()
+	if (int64(1)<<par.Scale)%int64(par.Nodes) != 0 {
+		panic(fmt.Sprintf("spmv: 2^%d rows not divisible over %d nodes", par.Scale, par.Nodes))
+	}
+	cfg := cluster.DefaultConfig(par.Nodes)
+	cfg.Seed = par.Seed
+	cfg.CycleAccurate = par.CycleAccurate
+	if net == DV {
+		cfg.Stacks = cluster.StackDV
+	} else {
+		cfg.Stacks = cluster.StackIB
+	}
+	res := Result{Net: net, Nodes: par.Nodes, Iters: par.Iters}
+	if par.KeepVector {
+		res.Vector = make([]float64, int64(1)<<par.Scale)
+	}
+	cluster.Run(cfg, func(n *cluster.Node) {
+		elapsed, ghost, x := runNode(n, net, par)
+		if elapsed > res.Elapsed {
+			res.Elapsed = elapsed
+		}
+		if n.ID == 0 {
+			res.GhostWords = ghost
+		}
+		if par.KeepVector {
+			perNode := (int64(1) << par.Scale) / int64(par.Nodes)
+			copy(res.Vector[int64(n.ID)*perNode:], x)
+		}
+	})
+	return res
+}

@@ -1,0 +1,270 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps/barrier"
+	"repro/internal/apps/bfs"
+	"repro/internal/apps/fft"
+	"repro/internal/apps/gups"
+	"repro/internal/apps/heat"
+	"repro/internal/apps/pingpong"
+	"repro/internal/apps/snap"
+	"repro/internal/apps/vorticity"
+	"repro/internal/trace"
+)
+
+// Fig3a regenerates Figure 3a: ping-pong bandwidth versus message size for
+// the four transfer configurations.
+func Fig3a(opt Options) *Table {
+	t := &Table{
+		ID:      "fig3a",
+		Title:   "Ping-pong bandwidth vs message size (GB/s)",
+		Columns: []string{"words", "DWr/NoCached", "DWr/Cached", "DMA/Cached", "MPI"},
+		Notes: []string{
+			"paper: direct writes plateau at the PCIe lane (~0.25/0.5 GB/s); DMA/Cached reaches 99.4% of the 4.4 GB/s peak at 256Ki words; MPI peaks near 72% of 6.8 GB/s and leads at 32-128 and >=512 words",
+		},
+	}
+	maxWords := 1 << 18
+	iters := 40
+	if opt.Small {
+		maxWords = 1 << 12
+		iters = 8
+	}
+	for words := 1; words <= maxWords; words *= 4 {
+		row := []string{fmt.Sprintf("%d", words)}
+		for _, m := range []pingpong.Mode{pingpong.DVWrNoCached, pingpong.DVWrCached,
+			pingpong.DVDMACached, pingpong.MPIIB} {
+			it := iters
+			if words >= 1<<14 {
+				it = 6
+			}
+			r := pingpong.Run(m, pingpong.Params{Words: words, Iters: it})
+			row = append(row, fmt.Sprintf("%.3f", r.Bandwidth/1e9))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig3b regenerates Figure 3b: the same sweep as a percentage of each
+// network's nominal peak.
+func Fig3b(opt Options) *Table {
+	t := &Table{
+		ID:      "fig3b",
+		Title:   "Ping-pong bandwidth as % of nominal peak",
+		Columns: []string{"words", "DWr/NoCached", "DWr/Cached", "DMA/Cached", "MPI"},
+		Notes: []string{
+			"peaks: Data Vortex 4.4 GB/s, FDR InfiniBand 6.8 GB/s (paper values)",
+		},
+	}
+	maxWords := 1 << 18
+	iters := 40
+	if opt.Small {
+		maxWords = 1 << 12
+		iters = 8
+	}
+	for words := 1; words <= maxWords; words *= 4 {
+		row := []string{fmt.Sprintf("%d", words)}
+		for _, m := range []pingpong.Mode{pingpong.DVWrNoCached, pingpong.DVWrCached,
+			pingpong.DVDMACached, pingpong.MPIIB} {
+			it := iters
+			if words >= 1<<14 {
+				it = 6
+			}
+			r := pingpong.Run(m, pingpong.Params{Words: words, Iters: it})
+			row = append(row, fmt.Sprintf("%.1f%%", r.PercentPeak()))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig4 regenerates Figure 4: global barrier latency at scale for the DV
+// intrinsic barrier, the in-house Fast Barrier, and MPI over InfiniBand.
+func Fig4(opt Options) *Table {
+	t := &Table{
+		ID:      "fig4",
+		Title:   "Global barrier latency vs node count (us)",
+		Columns: []string{"nodes", "Data Vortex", "Fast Barrier", "Infiniband"},
+		Notes: []string{
+			"paper: MPI barrier grows steeply past 8 nodes (~12us at 32); both Data Vortex barriers stay flat at a few us",
+		},
+	}
+	iters := 200
+	if opt.Small {
+		iters = 30
+	}
+	for _, n := range opt.nodeSweep(2) {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, impl := range []barrier.Impl{barrier.DVIntrinsic, barrier.DVFastBarrier, barrier.MPIBarrier} {
+			r := barrier.Run(impl, n, iters)
+			row = append(row, fmt.Sprintf("%.3f", r.Latency.Micros()))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig5 regenerates Figure 5: an execution trace of the MPI GUPS
+// implementation, showing compute intervals and the unaggregatable message
+// pattern. The trace CSV is written to w; the returned table summarises it.
+func Fig5(opt Options, w io.Writer) *Table {
+	rec := trace.New()
+	par := gups.Params{Nodes: 4, TableWordsNode: 1 << 12, UpdatesPerNode: 1 << 11, Trace: rec}
+	if opt.Small {
+		par.UpdatesPerNode = 1 << 9
+	}
+	gups.Run(gups.IB, par)
+	if w != nil {
+		if err := rec.WriteCSV(w); err != nil {
+			panic(err)
+		}
+	}
+	states, msgs, span := rec.Summary()
+	t := &Table{
+		ID:      "fig5",
+		Title:   "GUPS execution trace summary (full trace written as CSV)",
+		Columns: []string{"metric", "value"},
+		Notes: []string{
+			"paper: the Extrae trace shows no exploitable regularity for destination aggregation; every interval mixes messages to many destinations",
+		},
+	}
+	t.AddRow("state intervals", fmt.Sprintf("%d", states))
+	t.AddRow("messages", fmt.Sprintf("%d", msgs))
+	t.AddRow("span", span.String())
+	// Destination mixing: count distinct destinations per 64-message window.
+	window, distinct, windows := 0, map[int]bool{}, 0
+	mixed := 0
+	for _, m := range rec.Messages {
+		distinct[m.Dst] = true
+		window++
+		if window == 64 {
+			windows++
+			if len(distinct) > 1 {
+				mixed++
+			}
+			window, distinct = 0, map[int]bool{}
+		}
+	}
+	if windows > 0 {
+		t.AddRow("windows with mixed destinations", fmt.Sprintf("%d/%d", mixed, windows))
+	}
+	return t
+}
+
+// Fig6 regenerates Figure 6: GUPS per processing element (a) and aggregate
+// (b) versus node count.
+func Fig6(opt Options) (a, b *Table) {
+	a = &Table{
+		ID:      "fig6a",
+		Title:   "GUPS per processing element (MUPS)",
+		Columns: []string{"nodes", "Data Vortex", "Infiniband"},
+		Notes: []string{
+			"paper: DV stays near-flat (~35-40 MUPS/PE, small dip 4->8); IB decays steadily from 4 to 32 nodes",
+		},
+	}
+	b = &Table{
+		ID:      "fig6b",
+		Title:   "Aggregate GUPS (MUPS)",
+		Columns: []string{"nodes", "Data Vortex", "Infiniband"},
+		Notes: []string{
+			"paper: aggregate gap widens with node count (DV ~1200 MUPS at 32 nodes)",
+		},
+	}
+	par := gups.Params{TableWordsNode: 1 << 16, UpdatesPerNode: 1 << 14}
+	if opt.Small {
+		par.TableWordsNode = 1 << 12
+		par.UpdatesPerNode = 1 << 11
+	}
+	for _, n := range opt.nodeSweep(4) {
+		par.Nodes = n
+		dv := gups.Run(gups.DV, par)
+		ib := gups.Run(gups.IB, par)
+		a.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%.2f", dv.MUPSPerNode()), fmt.Sprintf("%.2f", ib.MUPSPerNode()))
+		b.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%.1f", dv.MUPS()), fmt.Sprintf("%.1f", ib.MUPS()))
+	}
+	return a, b
+}
+
+// Fig7 regenerates Figure 7: distributed FFT aggregate GFLOPS at scale.
+func Fig7(opt Options) *Table {
+	t := &Table{
+		ID:      "fig7",
+		Title:   "FFT-1D aggregate GFLOPS vs node count",
+		Columns: []string{"nodes", "Data Vortex", "Infiniband"},
+		Notes: []string{
+			"paper: DV above IB with a gap that widens with node count (paper runs 2^33 points; this harness scales the size down, preserving the scaling shape)",
+		},
+	}
+	logN := 20
+	if opt.Small {
+		logN = 14
+	}
+	for _, n := range opt.nodeSweep(2) {
+		dv := fft.Run(fft.DV, fft.Params{Nodes: n, LogN: logN})
+		ib := fft.Run(fft.IB, fft.Params{Nodes: n, LogN: logN})
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%.2f", dv.GFLOPS()), fmt.Sprintf("%.2f", ib.GFLOPS()))
+	}
+	return t
+}
+
+// Fig8 regenerates Figure 8: Graph500 harmonic-mean TEPS at scale.
+func Fig8(opt Options) *Table {
+	t := &Table{
+		ID:      "fig8",
+		Title:   "Graph500 harmonic mean TEPS (MTEPS) vs node count",
+		Columns: []string{"nodes", "Data Vortex", "Infiniband"},
+		Notes: []string{
+			"paper: DV consistently above IB, gap widening with node count",
+		},
+	}
+	par := bfs.Params{Scale: 15, EdgeFactor: 8, NRoots: 4}
+	if opt.Small {
+		par.Scale = 12
+		par.NRoots = 2
+	}
+	for _, n := range opt.nodeSweep(2) {
+		par.Nodes = n
+		dv := bfs.Run(bfs.DV, par)
+		ib := bfs.Run(bfs.IB, par)
+		t.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.1f", dv.HarmonicMeanTEPS()/1e6),
+			fmt.Sprintf("%.1f", ib.HarmonicMeanTEPS()/1e6))
+	}
+	return t
+}
+
+// Fig9 regenerates Figure 9: application speedup of the Data Vortex ports
+// over the MPI/InfiniBand implementations at 32 nodes.
+func Fig9(opt Options) *Table {
+	t := &Table{
+		ID:      "fig9",
+		Title:   "Application speedup, Data Vortex vs MPI-over-InfiniBand",
+		Columns: []string{"application", "DV time", "IB time", "speedup"},
+		Notes: []string{
+			"paper at 32 nodes: SNAP 1.19x (best-effort port), Vorticity and Heat 2.46x-3.41x (aggressively restructured)",
+		},
+	}
+	nodes := 32
+	sp := snap.Params{Nodes: nodes, NX: 16, NY: 16, NZ: 16, MaxIters: 6}
+	vp := vorticity.Params{Nodes: nodes, N: 128, Steps: 4}
+	hp := heat.Params{Nodes: nodes, N: 16, Steps: 20}
+	if opt.Small {
+		nodes = 8
+		sp = snap.Params{Nodes: nodes, NX: 8, NY: 8, NZ: 8, MaxIters: 3}
+		vp = vorticity.Params{Nodes: nodes, N: 64, Steps: 2}
+		hp = heat.Params{Nodes: nodes, N: 16, Steps: 5}
+	}
+	sd, si := snap.Run(snap.DV, sp), snap.Run(snap.IB, sp)
+	t.AddRow("SNAP", sd.Elapsed.String(), si.Elapsed.String(),
+		fmt.Sprintf("%.2fx", float64(si.Elapsed)/float64(sd.Elapsed)))
+	vd, vi := vorticity.Run(vorticity.DV, vp), vorticity.Run(vorticity.IB, vp)
+	t.AddRow("Vorticity", vd.Elapsed.String(), vi.Elapsed.String(),
+		fmt.Sprintf("%.2fx", float64(vi.Elapsed)/float64(vd.Elapsed)))
+	hd, hi := heat.Run(heat.DV, hp), heat.Run(heat.IB, hp)
+	t.AddRow("Heat", hd.Elapsed.String(), hi.Elapsed.String(),
+		fmt.Sprintf("%.2fx", float64(hi.Elapsed)/float64(hd.Elapsed)))
+	return t
+}

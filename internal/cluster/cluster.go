@@ -1,0 +1,264 @@
+// Package cluster assembles the evaluation testbed of §IV: N nodes, each
+// with a calibrated host CPU model, a VIC attached to a shared Data Vortex
+// switch, and an InfiniBand NIC attached to a fat tree driven through MPI.
+// SPMD programs run as one simulated process per node against whichever
+// stack(s) the configuration enables, and a Report collects virtual-time
+// results and fabric telemetry.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/dv"
+	"repro/internal/dvswitch"
+	"repro/internal/ib"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vic"
+)
+
+// Stack selects which network stacks a run instantiates.
+type Stack int
+
+const (
+	// StackDV enables the Data Vortex fabric and API.
+	StackDV Stack = 1 << iota
+	// StackIB enables the InfiniBand fabric and MPI.
+	StackIB
+	// StackBoth enables both side by side (as on the paper's testbed).
+	StackBoth = StackDV | StackIB
+)
+
+// CPUModel is the calibrated host-side cost model. The testbed nodes are
+// dual Haswell-EP (E5-2623v3); these rates describe what one benchmark
+// process sustains, so that computation:communication ratios — the quantity
+// the paper's analysis hinges on — are realistic.
+type CPUModel struct {
+	// GFLOPS is the dense floating-point rate of one node process.
+	GFLOPS float64
+	// RandomAccess is the cost of one irregular (cache-missing) memory
+	// access, e.g. a GUPS table update.
+	RandomAccess sim.Time
+	// SmallOp is the cost of light per-item software work (decode a
+	// received word, bucket an update, push to a queue).
+	SmallOp sim.Time
+}
+
+// DefaultCPU returns the calibrated CPU model.
+func DefaultCPU() CPUModel {
+	return CPUModel{
+		GFLOPS:       8,
+		RandomAccess: 15 * sim.Nanosecond,
+		SmallOp:      4 * sim.Nanosecond,
+	}
+}
+
+// Config describes one simulated cluster run.
+type Config struct {
+	Nodes  int
+	Seed   uint64
+	Stacks Stack
+
+	// VICsPerNode attaches multiple Data Vortex rails per node (the paper:
+	// "each node in the cluster contains at least one VIC"). Rail 0 is
+	// Node.DV; all rails appear in Node.Rails.
+	VICsPerNode int
+
+	// CycleAccurate selects the cycle-level switch engine instead of the
+	// calibrated fast model for the Data Vortex fabric.
+	CycleAccurate bool
+	// SwitchGeom overrides the switch geometry (default: smallest geometry
+	// with one port per node, as on the paper's fully-subscribed testbed).
+	SwitchGeom dvswitch.Params
+	// CycleTime overrides the switch cycle period.
+	CycleTime sim.Time
+
+	VIC vic.Params
+	IB  ib.Params
+	MPI mpi.Params
+	CPU CPUModel
+
+	// Trace, when non-nil, records states and MPI messages.
+	Trace *trace.Recorder
+}
+
+// DefaultConfig returns the calibrated testbed configuration for n nodes
+// with both stacks enabled.
+func DefaultConfig(n int) Config {
+	return Config{
+		Nodes:      n,
+		Seed:       1,
+		Stacks:     StackBoth,
+		SwitchGeom: dvswitch.ForPorts(n),
+		CycleTime:  dvswitch.DefaultCycleTime,
+		VIC:        vic.DefaultParams(),
+		IB:         ib.DefaultParams(),
+		MPI:        mpi.DefaultParams(),
+		CPU:        DefaultCPU(),
+	}
+}
+
+// Node is one cluster node as seen by an SPMD program body.
+type Node struct {
+	ID    int
+	P     *sim.Proc
+	RNG   *sim.RNG
+	DV    *dv.Endpoint   // rail 0 (nil unless StackDV)
+	Rails []*dv.Endpoint // all Data Vortex rails (len = VICsPerNode)
+	MPI   *mpi.Comm      // nil unless StackIB
+	CPU   CPUModel
+	Trace *trace.Recorder
+}
+
+// Compute advances virtual time by d, representing host computation, and
+// records a trace interval when tracing is enabled.
+func (n *Node) Compute(d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	t0 := n.P.Now()
+	n.P.Wait(d)
+	n.Trace.State(n.ID, "compute", t0, n.P.Now())
+}
+
+// Flops advances time by the cost of f floating-point operations.
+func (n *Node) Flops(f float64) {
+	n.Compute(sim.DurationOf(f / (n.CPU.GFLOPS * 1e9)))
+}
+
+// MemOps advances time by the cost of c irregular memory accesses.
+func (n *Node) MemOps(c int64) {
+	n.Compute(sim.Time(c) * n.CPU.RandomAccess)
+}
+
+// Ops advances time by the cost of c small software operations.
+func (n *Node) Ops(c int64) {
+	n.Compute(sim.Time(c) * n.CPU.SmallOp)
+}
+
+// InState runs fn and records the elapsed interval under the given state.
+func (n *Node) InState(state string, fn func()) {
+	t0 := n.P.Now()
+	fn()
+	n.Trace.State(n.ID, state, t0, n.P.Now())
+}
+
+// Report summarises one run.
+type Report struct {
+	// Elapsed is the virtual time from launch to the last node finishing —
+	// the "execution time" every paper metric derives from.
+	Elapsed   sim.Time
+	NodeTimes []sim.Time
+
+	DVFabric dvswitch.Stats
+	VICs     []vic.Stats
+	IBFabric ib.Stats
+}
+
+// Run executes body SPMD-style on every node and returns the report.
+func Run(cfg Config, body func(n *Node)) *Report {
+	if cfg.Nodes <= 0 {
+		panic(fmt.Sprintf("cluster: invalid node count %d", cfg.Nodes))
+	}
+	k := sim.NewKernel()
+	rng := sim.NewRNG(cfg.Seed)
+
+	// Data Vortex stack. With R rails, VIC g = rail*Nodes + node sits at
+	// port g*stride; each VIC's resolver maps node ids onto its own rail,
+	// so rails are fully independent planes of the same switch.
+	rails := cfg.VICsPerNode
+	if rails < 1 {
+		rails = 1
+	}
+	var fabric dvswitch.Fabric
+	var vics []*vic.VIC
+	var stride int
+	if cfg.Stacks&StackDV != 0 {
+		total := cfg.Nodes * rails
+		geom := cfg.SwitchGeom
+		if geom.Ports() < total {
+			geom = dvswitch.ForPorts(total)
+		}
+		ct := cfg.CycleTime
+		if ct == 0 {
+			ct = dvswitch.DefaultCycleTime
+		}
+		if cfg.CycleAccurate {
+			fabric = dvswitch.NewEngine(k, geom, ct)
+		} else {
+			fabric = dvswitch.NewFastModel(k, geom, ct, rng.Split())
+		}
+		stride = fabric.Ports() / total
+		vics = make([]*vic.VIC, total)
+		for r := 0; r < rails; r++ {
+			for i := 0; i < cfg.Nodes; i++ {
+				g := r*cfg.Nodes + i
+				v := vic.New(k, i, g*stride, cfg.VIC, fabric.Inject)
+				base := r * cfg.Nodes
+				v.SetPortResolver(func(id int) int { return (base + id) * stride })
+				v.BarrierInit(cfg.Nodes)
+				vics[g] = v
+			}
+		}
+		deliver := func(pkt dvswitch.Packet) { vics[pkt.Dst/stride].Receive(pkt) }
+		if cfg.Trace.Enabled() {
+			inner := deliver
+			deliver = func(pkt dvswitch.Packet) {
+				// Packet-granularity record: 16 wire bytes per delivery.
+				cfg.Trace.Message(pkt.Src/stride%cfg.Nodes, pkt.Dst/stride%cfg.Nodes,
+					k.Now(), k.Now(), dvswitch.WireBytes)
+				inner(pkt)
+			}
+		}
+		fabric.OnDeliver(deliver)
+	}
+
+	// InfiniBand/MPI stack.
+	var world *mpi.World
+	if cfg.Stacks&StackIB != 0 {
+		world = mpi.NewWorld(k, ib.New(k, cfg.Nodes, cfg.IB), cfg.MPI)
+		if cfg.Trace.Enabled() {
+			world.OnMessage(func(src, dst int, t0, t1 sim.Time, bytes int) {
+				cfg.Trace.Message(src, dst, t0, t1, bytes)
+			})
+		}
+	}
+
+	rep := &Report{NodeTimes: make([]sim.Time, cfg.Nodes)}
+	for i := 0; i < cfg.Nodes; i++ {
+		i := i
+		nodeRNG := rng.Split()
+		k.Spawn(fmt.Sprintf("node%d", i), func(p *sim.Proc) {
+			n := &Node{ID: i, P: p, RNG: nodeRNG, CPU: cfg.CPU, Trace: cfg.Trace}
+			if vics != nil {
+				for r := 0; r < rails; r++ {
+					e := dv.NewEndpoint(vics[r*cfg.Nodes+i], i, cfg.Nodes)
+					e.Bind(p)
+					n.Rails = append(n.Rails, e)
+				}
+				n.DV = n.Rails[0]
+			}
+			if world != nil {
+				n.MPI = world.Bind(i, p)
+			}
+			body(n)
+			rep.NodeTimes[i] = p.Now()
+			if p.Now() > rep.Elapsed {
+				rep.Elapsed = p.Now()
+			}
+		})
+	}
+	k.Run()
+	if fabric != nil {
+		rep.DVFabric = fabric.FabricStats()
+		rep.VICs = make([]vic.Stats, len(vics))
+		for i, v := range vics {
+			rep.VICs[i] = v.Stats()
+		}
+	}
+	if world != nil {
+		rep.IBFabric = world.F.FabricStats()
+	}
+	return rep
+}

@@ -1,0 +1,69 @@
+// Package core is the top-level entry point of the Data Vortex system
+// reproduction: a one-stop facade over the simulated testbed that examples
+// and downstream users drive.
+//
+// The system underneath (see DESIGN.md for the full inventory):
+//
+//   - internal/sim        deterministic discrete-event kernel (virtual time)
+//   - internal/dvswitch   cycle-accurate Data Vortex switch + fast model
+//   - internal/vic        Vortex Interface Controller (DV Memory, group
+//     counters, surprise FIFO, DMA engines, PCIe)
+//   - internal/dv         the Data Vortex programming API of the paper's §III
+//   - internal/ib, mpi    FDR InfiniBand fat tree and the MPI baseline
+//   - internal/cluster    the 32-node evaluation testbed of §IV
+//   - internal/apps/...   every workload of §V–§VII, both network variants
+//   - internal/bench      regenerates every figure of the evaluation
+//
+// A minimal program: run four nodes, write a word into a neighbour's DV
+// Memory, and synchronise with the intrinsic barrier:
+//
+//	core.Run(4, func(n *core.Node) {
+//		slot := n.DV.Alloc(1)
+//		gc := n.DV.AllocGC()
+//		n.DV.ArmGC(gc, 1)
+//		n.DV.Barrier()
+//		peer := (n.ID + 1) % 4
+//		n.DV.Put(vic.DMACached, peer, slot, gc, []uint64{uint64(n.ID)})
+//		n.DV.WaitGC(gc, sim.Forever)
+//		got := n.DV.Read(slot, 1)
+//		fmt.Printf("node %d received %d\n", n.ID, got[0])
+//	})
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"
+
+// Node is one simulated cluster node as seen by an SPMD program: it carries
+// the Data Vortex endpoint (Node.DV), the MPI communicator (Node.MPI), the
+// calibrated CPU model, and the node's deterministic RNG.
+type Node = cluster.Node
+
+// Config describes a testbed; see cluster.Config for every knob.
+type Config = cluster.Config
+
+// Report summarises a run in virtual time plus fabric telemetry.
+type Report = cluster.Report
+
+// DefaultConfig returns the calibrated §IV testbed configuration for n
+// nodes with both network stacks attached.
+func DefaultConfig(n int) Config { return cluster.DefaultConfig(n) }
+
+// Run executes body on every node of a default two-stack testbed and
+// returns the run report. Virtual time starts at zero; Report.Elapsed is
+// the time the slowest node finished.
+func Run(nodes int, body func(n *Node)) *Report {
+	return cluster.Run(cluster.DefaultConfig(nodes), body)
+}
+
+// RunConfig executes body under an explicit configuration.
+func RunConfig(cfg Config, body func(n *Node)) *Report {
+	return cluster.Run(cfg, body)
+}
+
+// Elapsed converts a virtual duration to seconds (convenience for reports).
+func Elapsed(t sim.Time) float64 { return t.Seconds() }

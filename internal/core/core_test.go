@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/vic"
+)
+
+func TestRunFacade(t *testing.T) {
+	seen := 0
+	rep := Run(4, func(n *Node) {
+		seen++
+		slot := n.DV.Alloc(1)
+		gc := n.DV.AllocGC()
+		n.DV.ArmGC(gc, 1)
+		n.DV.Barrier()
+		peer := (n.ID + 1) % 4
+		n.DV.Put(vic.DMACached, peer, slot, gc, []uint64{uint64(n.ID)})
+		n.DV.WaitGC(gc, sim.Forever)
+		got := n.DV.Read(slot, 1)
+		want := uint64((n.ID + 3) % 4)
+		if got[0] != want {
+			t.Errorf("node %d got %d, want %d", n.ID, got[0], want)
+		}
+	})
+	if seen != 4 {
+		t.Fatalf("body ran %d times", seen)
+	}
+	if rep.Elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+}
+
+func TestRunConfigSingleStack(t *testing.T) {
+	cfg := DefaultConfig(2)
+	rep := RunConfig(cfg, func(n *Node) {
+		n.MPI.Barrier()
+		n.DV.Barrier()
+	})
+	if Elapsed(rep.Elapsed) <= 0 {
+		t.Fatal("Elapsed helper returned nothing")
+	}
+}

@@ -1,0 +1,83 @@
+package dv
+
+import (
+	"repro/internal/sim"
+	"repro/internal/vic"
+)
+
+// Collective is a reusable small all-gather over the Data Vortex API: every
+// node contributes a handful of words and receives everyone's contribution.
+// It is the DV idiom for the tiny allreduce/allgather steps irregular
+// applications need (level termination, convergence tests): a scatter of
+// single-word writes into per-source DV Memory slots counted by a pre-armed
+// group counter, fenced by the intrinsic barrier.
+//
+// Construction must happen symmetrically on every node (same Alloc/AllocGC
+// sequence) before first use.
+type Collective struct {
+	e     *Endpoint
+	width int // words contributed per node
+	base  uint32
+	gc    int
+}
+
+// NewCollective allocates a collective in which each node contributes width
+// words per operation.
+func NewCollective(e *Endpoint, width int) *Collective {
+	c := &Collective{e: e, width: width, base: e.Alloc(e.Size() * width), gc: e.AllocGC()}
+	e.ArmGC(c.gc, int64((e.Size()-1)*width))
+	return c
+}
+
+// AllGather shares vals (length width) with every node and returns the
+// concatenated contributions in rank order. It is collective: every node
+// must call it the same number of times.
+func (c *Collective) AllGather(vals []uint64) []uint64 {
+	e := c.e
+	if len(vals) != c.width {
+		panic("dv: AllGather called with wrong width")
+	}
+	n := e.Size()
+	if n == 1 {
+		out := make([]uint64, c.width)
+		copy(out, vals)
+		return out
+	}
+	words := make([]vic.Word, 0, (n-1)*c.width)
+	for d := 0; d < n; d++ {
+		if d == e.Rank() {
+			continue
+		}
+		for i, v := range vals {
+			words = append(words, vic.Word{Dst: d, Op: vic.OpWrite, GC: c.gc,
+				Addr: c.base + uint32(e.Rank()*c.width+i), Val: v})
+		}
+	}
+	e.Scatter(vic.PIOCached, words)
+	e.WaitGC(c.gc, sim.Forever)
+	out := e.Read(c.base, n*c.width)
+	copy(out[e.Rank()*c.width:], vals)
+	e.ArmGC(c.gc, int64((n-1)*c.width)) // re-arm before the fence
+	e.Barrier()
+	return out
+}
+
+// AllReduceSum all-gathers one word per node and returns the sum.
+func (c *Collective) AllReduceSum(val uint64) uint64 {
+	var sum uint64
+	for _, v := range c.AllGather([]uint64{val}) {
+		sum += v
+	}
+	return sum
+}
+
+// AllReduceMaxFloat all-gathers one float64 per node and returns the max.
+func (c *Collective) AllReduceMaxFloat(val float64) float64 {
+	max := val
+	for _, w := range c.AllGather([]uint64{floatBits(val)}) {
+		if v := floatFrom(w); v > max {
+			max = v
+		}
+	}
+	return max
+}

@@ -1,0 +1,210 @@
+// Package dv is the Data Vortex programming model of §III: the application-
+// facing API over the VIC. It mirrors the structure of the real dvapi
+// library — packet sends through the PIO and DMA paths, globally addressable
+// DV Memory, group counters for completion detection, the surprise FIFO for
+// unscheduled messages, query packets, and the intrinsic barrier — plus the
+// symmetric allocators SPMD programs need to agree on addresses and counter
+// ids across nodes.
+//
+// Direct translation of MPI primitives onto this API is deliberately not
+// provided: as the paper stresses, algorithms must be restructured around
+// fine-grained packets, source-side aggregation, and pre-armed counters to
+// perform well. The workloads under internal/apps show those idioms.
+package dv
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/vic"
+)
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+func floatFrom(w uint64) float64 { return math.Float64frombits(w) }
+
+// Endpoint is one node's handle on the Data Vortex network.
+type Endpoint struct {
+	V    *vic.VIC
+	rank int
+	size int
+	p    *sim.Proc
+
+	heapNext uint32
+	gcNext   int
+}
+
+// NewEndpoint wraps a VIC as rank's endpoint in a size-node program.
+func NewEndpoint(v *vic.VIC, rank, size int) *Endpoint {
+	return &Endpoint{V: v, rank: rank, size: size, gcNext: 1} // GC 0 is scratch
+}
+
+// Bind attaches the endpoint to its node's simulated process.
+func (e *Endpoint) Bind(p *sim.Proc) { e.p = p }
+
+// Rank returns this endpoint's node id.
+func (e *Endpoint) Rank() int { return e.rank }
+
+// Size returns the number of nodes.
+func (e *Endpoint) Size() int { return e.size }
+
+// Proc returns the bound simulated process.
+func (e *Endpoint) Proc() *sim.Proc { return e.p }
+
+// Alloc reserves words of DV Memory from the symmetric heap and returns the
+// base address. Every node must perform the same Alloc sequence so the
+// addresses agree cluster-wide — the coordination discipline the paper
+// describes for DV Memory slot reuse.
+func (e *Endpoint) Alloc(words int) uint32 {
+	if int(e.heapNext)+words > e.V.Params().MemWords {
+		panic(fmt.Sprintf("dv: symmetric heap exhausted (%d + %d words)", e.heapNext, words))
+	}
+	base := e.heapNext
+	e.heapNext += uint32(words)
+	return base
+}
+
+// AllocGC reserves a group counter from the symmetric pool (skipping the
+// scratch counter and the two barrier-reserved counters).
+func (e *Endpoint) AllocGC() int {
+	gc := e.gcNext
+	if gc >= e.V.Params().BarrierGCA {
+		panic("dv: out of group counters")
+	}
+	e.gcNext++
+	return gc
+}
+
+// ---------------------------------------------------------------------------
+// Sends
+
+// Put writes vals into dst's DV Memory starting at addr, decrementing dst's
+// group counter gc once per word (vic.NoGC to skip counting).
+func (e *Endpoint) Put(mode vic.SendMode, dst int, addr uint32, gc int, vals []uint64) {
+	words := make([]vic.Word, len(vals))
+	for i, v := range vals {
+		words[i] = vic.Word{Dst: dst, Op: vic.OpWrite, GC: gc, Addr: addr + uint32(i), Val: v}
+	}
+	e.V.HostSend(e.p, mode, words)
+}
+
+// PutFloat64s is Put for float64 payloads.
+func (e *Endpoint) PutFloat64s(mode vic.SendMode, dst int, addr uint32, gc int, vals []float64) {
+	words := make([]vic.Word, len(vals))
+	for i, v := range vals {
+		words[i] = vic.Word{Dst: dst, Op: vic.OpWrite, GC: gc, Addr: addr + uint32(i), Val: math.Float64bits(v)}
+	}
+	e.V.HostSend(e.p, mode, words)
+}
+
+// Scatter sends an arbitrary batch of packets — different destinations,
+// addresses, and opcodes — in one host transfer. This is the paper's
+// "aggregation at source": many fine-grained packets to many destinations
+// amortise one PCIe transfer, which the Data Vortex fabric then routes
+// without destination aggregation.
+func (e *Endpoint) Scatter(mode vic.SendMode, words []vic.Word) {
+	e.V.HostSend(e.p, mode, words)
+}
+
+// FIFOPut pushes vals onto dst's surprise FIFO.
+func (e *Endpoint) FIFOPut(mode vic.SendMode, dst int, vals []uint64) {
+	words := make([]vic.Word, len(vals))
+	for i, v := range vals {
+		words[i] = vic.Word{Dst: dst, Op: vic.OpFIFO, GC: vic.NoGC, Val: v}
+	}
+	e.V.HostSend(e.p, mode, words)
+}
+
+// SetRemoteGC sets a group counter on dst via a control packet.
+func (e *Endpoint) SetRemoteGC(mode vic.SendMode, dst, gc int, val int64) {
+	e.V.HostSend(e.p, mode, []vic.Word{{Dst: dst, Op: vic.OpSetGC, GC: vic.NoGC, Addr: uint32(gc), Val: uint64(val)}})
+}
+
+// DecRemoteGC decrements a group counter on dst by val.
+func (e *Endpoint) DecRemoteGC(mode vic.SendMode, dst, gc int, val int64) {
+	e.V.HostSend(e.p, mode, []vic.Word{{Dst: dst, Op: vic.OpDecGC, GC: vic.NoGC, Addr: uint32(gc), Val: uint64(val)}})
+}
+
+// Query asks dst to send its DV Memory word at addr to replyTo's DV Memory
+// at replyAddr (counted by replyGC there, vic.NoGC to skip).
+func (e *Endpoint) Query(mode vic.SendMode, dst int, addr uint32, replyTo int, replyAddr uint32, replyGC int) {
+	ret := vic.EncodeHeader(replyTo, vic.OpWrite, replyGC, replyAddr)
+	e.V.HostSend(e.p, mode, []vic.Word{{Dst: dst, Op: vic.OpQuery, GC: vic.NoGC, Addr: addr, Val: ret}})
+}
+
+// ---------------------------------------------------------------------------
+// Completion, receive, and local memory
+
+// ArmGC sets a local group counter to the number of words expected. Per the
+// paper, the counter must be armed before the first packet arrives —
+// typically followed by a Barrier.
+func (e *Endpoint) ArmGC(gc int, count int64) { e.V.LocalSetGC(e.p, gc, count) }
+
+// AddGC adjusts a local group counter (re-arming between phases).
+func (e *Endpoint) AddGC(gc int, delta int64) { e.V.LocalAddGC(e.p, gc, delta) }
+
+// GCValue reads a local group counter's instantaneous value (one PIO
+// register read).
+func (e *Endpoint) GCValue(gc int) int64 { return e.V.GCValue(e.p, gc) }
+
+// WaitGC blocks until group counter gc reaches zero or timeout expires; it
+// reports whether zero was observed.
+func (e *Endpoint) WaitGC(gc int, timeout sim.Time) bool {
+	return e.V.WaitGCZero(e.p, gc, timeout)
+}
+
+// Read DMA-transfers n words of local DV Memory into host memory.
+func (e *Endpoint) Read(addr uint32, n int) []uint64 { return e.V.DMARead(e.p, addr, n) }
+
+// ReadFloat64s is Read for float64 payloads.
+func (e *Endpoint) ReadFloat64s(addr uint32, n int) []float64 {
+	raw := e.V.DMARead(e.p, addr, n)
+	out := make([]float64, n)
+	for i, w := range raw {
+		out[i] = math.Float64frombits(w)
+	}
+	return out
+}
+
+// WriteLocal stages words into local DV Memory via the DMA engine.
+func (e *Endpoint) WriteLocal(addr uint32, vals []uint64) { e.V.HostWriteMemDMA(e.p, addr, vals) }
+
+// WriteLocalFloat64s stages float64s into local DV Memory.
+func (e *Endpoint) WriteLocalFloat64s(addr uint32, vals []float64) {
+	raw := make([]uint64, len(vals))
+	for i, v := range vals {
+		raw[i] = math.Float64bits(v)
+	}
+	e.V.HostWriteMemDMA(e.p, addr, raw)
+}
+
+// TryPopFIFO returns the next surprise word visible to the host, if any.
+func (e *Endpoint) TryPopFIFO() (uint64, bool) { return e.V.TryPopSurprise() }
+
+// PopFIFO blocks for the next surprise word or the timeout.
+func (e *Endpoint) PopFIFO(timeout sim.Time) (uint64, bool) {
+	return e.V.PopSurprise(e.p, timeout)
+}
+
+// FIFOBacklog returns the number of surprise words waiting in the host ring.
+func (e *Endpoint) FIFOBacklog() int { return e.V.SurpriseBacklog() }
+
+// Barrier executes the intrinsic whole-system barrier.
+func (e *Endpoint) Barrier() { e.V.Barrier(e.p) }
+
+// NewProgram prepares a persistent DMA-table program for a fixed
+// communication pattern; see vic.DMAProgram.
+func (e *Endpoint) NewProgram(words []vic.Word) *vic.DMAProgram {
+	return e.V.NewDMAProgram(words)
+}
+
+// Trigger runs a prepared program from this endpoint's process.
+func (e *Endpoint) Trigger(pr *vic.DMAProgram) { pr.Trigger(e.p) }
+
+// NewReadProgram prepares a persistent DV-Memory read.
+func (e *Endpoint) NewReadProgram(addr uint32, n int) *vic.ReadProgram {
+	return e.V.NewReadProgram(addr, n)
+}
+
+// Pull executes a prepared read from this endpoint's process.
+func (e *Endpoint) Pull(rp *vic.ReadProgram) []uint64 { return rp.Pull(e.p) }

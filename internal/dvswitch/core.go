@@ -1,0 +1,392 @@
+// Package dvswitch implements the Data Vortex switch: a multilevel,
+// bufferless, self-routed deflection network (Hawkins et al. 2007; the
+// electronic FPGA implementation evaluated by Gioiosa et al. 2017).
+//
+// The switch is a set of C = log2(H)+1 nested cylinders, each with H rings
+// ("heights") of A switching nodes ("angles"). Packets are injected on the
+// outermost cylinder and ejected from the innermost. Every cycle every packet
+// advances one angle; it either descends one cylinder (when the height bit
+// that cylinder resolves already matches the destination and no deflection
+// signal blocks it) or traverses a deflection path within its cylinder that
+// toggles the bit under resolution. Contention is resolved without buffers:
+// same-cylinder traffic asserts a deflection signal that forces the would-be
+// descender to deflect, statistically costing two extra hops, exactly as the
+// paper describes.
+//
+// Two engines share one interface: Core (cycle-accurate, ground truth) and
+// FastModel (calibrated analytic model for long application runs).
+package dvswitch
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Packet is one Data Vortex network packet: a 64-bit header and a 64-bit
+// payload. Routing uses only Dst; Header carries the VIC-level command
+// (destination address, group counter, opcode) and is opaque to the switch.
+type Packet struct {
+	Src     int    // source port
+	Dst     int    // destination port
+	Header  uint64 // VIC-level header word (opaque here)
+	Payload uint64 // data word
+
+	// Telemetry, filled in by the switch.
+	InjectCycle int64 // cycle at which the packet entered the fabric
+	Hops        int   // switching nodes traversed
+	Deflections int   // deflection-path traversals (routing or contention)
+}
+
+// WireBytes is the size of a packet on the wire: 64-bit header + 64-bit
+// payload.
+const WireBytes = 16
+
+// Params describes a switch instance.
+type Params struct {
+	Heights int // H: rings per cylinder; must be a power of two
+	Angles  int // A: switching nodes per ring
+}
+
+// Validate checks structural constraints.
+func (p Params) Validate() error {
+	if p.Heights < 1 || p.Heights&(p.Heights-1) != 0 {
+		return fmt.Errorf("dvswitch: Heights must be a positive power of two, got %d", p.Heights)
+	}
+	if p.Angles < 1 {
+		return fmt.Errorf("dvswitch: Angles must be >= 1, got %d", p.Angles)
+	}
+	return nil
+}
+
+// Ports returns the number of input (and output) ports, Nt = A×H.
+func (p Params) Ports() int { return p.Heights * p.Angles }
+
+// Cylinders returns C = log2(H) + 1.
+func (p Params) Cylinders() int { return bits.Len(uint(p.Heights)) }
+
+// ForPorts returns the smallest square-ish switch geometry with at least n
+// ports, preferring more heights than angles (heights must be a power of 2).
+func ForPorts(n int) Params {
+	h := 1
+	for h*4 < n { // grow heights while angles would exceed 4
+		h *= 2
+	}
+	a := (n + h - 1) / h
+	if a < 1 {
+		a = 1
+	}
+	return Params{Heights: h, Angles: a}
+}
+
+// PortCoord maps a port index to its (height, angle) coordinates.
+func (p Params) PortCoord(port int) (h, a int) { return port / p.Angles, port % p.Angles }
+
+// PortIndex maps (height, angle) coordinates to a port index.
+func (p Params) PortIndex(h, a int) int { return h*p.Angles + a }
+
+// Stats aggregates fabric telemetry.
+type Stats struct {
+	Injected       int64
+	Delivered      int64
+	TotalHops      int64
+	TotalDeflected int64 // total deflection-path traversals
+	TotalLatency   int64 // cycles, inject→eject, including injection queueing
+	MaxLatency     int64
+	QueuedCycles   int64 // cycles packets spent waiting in injection queues
+	Dropped        int64 // packets lost to injected faults (fault studies)
+
+	// LatHist buckets delivered-packet latencies by log2(cycles):
+	// bucket i counts latencies in [2^i, 2^(i+1)).
+	LatHist [40]int64
+}
+
+func (s *Stats) recordLatency(lat int64) {
+	s.TotalLatency += lat
+	if lat > s.MaxLatency {
+		s.MaxLatency = lat
+	}
+	if lat < 1 {
+		lat = 1
+	}
+	b := bits.Len64(uint64(lat)) - 1
+	if b >= len(s.LatHist) {
+		b = len(s.LatHist) - 1
+	}
+	s.LatHist[b]++
+}
+
+// LatencyPercentile returns an upper bound (bucket boundary, in cycles) on
+// the p-th percentile latency, 0 < p <= 100.
+func (s Stats) LatencyPercentile(p float64) int64 {
+	target := int64(p / 100 * float64(s.Delivered))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, c := range s.LatHist {
+		seen += c
+		if seen >= target {
+			return 1 << uint(i+1)
+		}
+	}
+	return s.MaxLatency
+}
+
+// MeanLatency returns the mean inject→eject latency in cycles.
+func (s Stats) MeanLatency() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.TotalLatency) / float64(s.Delivered)
+}
+
+// MeanDeflections returns the mean deflection count per delivered packet.
+func (s Stats) MeanDeflections() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.TotalDeflected) / float64(s.Delivered)
+}
+
+// Core is the cycle-accurate switch simulator. It is driven by calling Step
+// once per switch cycle; it has no notion of wall time.
+type Core struct {
+	p       Params
+	levels  int       // L = log2(H); cylinder L is the output ring
+	cyl     []*Packet // node occupancy, flattened [c][h][a]
+	sameCyl []bool    // scratch: node receives same-cylinder traffic this step
+	next    []*Packet // scratch: next node occupancy
+	inq     [][]Packet
+	cycle   int64
+	flying  int
+	queued  int
+
+	// Deliver is invoked for every ejected packet with the delivery cycle.
+	// It must be set before the first Step.
+	Deliver func(pkt Packet, cycle int64)
+
+	// CheckInvariants enables per-cycle verification of the routing
+	// invariant: a packet in cylinder c always sits at a height whose
+	// already-resolved bit prefix matches its destination. Used by tests;
+	// costs one pass over the fabric per Step.
+	CheckInvariants bool
+
+	// faulty marks dead switching nodes (fault-injection studies in the
+	// spirit of the reliability analyses the paper cites, refs [12][13]).
+	// A packet whose only legal moves lead into dead nodes is dropped and
+	// counted, since a bufferless fabric cannot hold it.
+	faulty []bool
+
+	stats Stats
+}
+
+// NewCore builds a cycle-accurate switch. It panics on invalid Params
+// (construction is programmer-controlled; misuse is a bug, not input error).
+func NewCore(p Params) *Core {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	c := p.Cylinders()
+	n := c * p.Heights * p.Angles
+	return &Core{
+		p:       p,
+		levels:  c - 1,
+		cyl:     make([]*Packet, n),
+		sameCyl: make([]bool, n),
+		next:    make([]*Packet, n),
+		inq:     make([][]Packet, p.Ports()),
+	}
+}
+
+// Params returns the switch geometry.
+func (c *Core) Params() Params { return c.p }
+
+// Cycle returns the number of Step calls so far.
+func (c *Core) Cycle() int64 { return c.cycle }
+
+// Stats returns a copy of the aggregated statistics.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Busy reports whether any packet is in flight or queued for injection.
+func (c *Core) Busy() bool { return c.flying > 0 || c.queued > 0 }
+
+// QueueLen returns the injection queue depth of a port.
+func (c *Core) QueueLen(port int) int { return len(c.inq[port]) }
+
+// Inject enqueues a packet for injection at its source port. The packet
+// enters the fabric at the first cycle its injection node is free.
+func (c *Core) Inject(pkt Packet) {
+	if pkt.Src < 0 || pkt.Src >= c.p.Ports() || pkt.Dst < 0 || pkt.Dst >= c.p.Ports() {
+		panic(fmt.Sprintf("dvswitch: port out of range: src=%d dst=%d ports=%d", pkt.Src, pkt.Dst, c.p.Ports()))
+	}
+	pkt.InjectCycle = c.cycle
+	pkt.Hops = 0
+	pkt.Deflections = 0
+	c.inq[pkt.Src] = append(c.inq[pkt.Src], pkt)
+	c.queued++
+	c.stats.Injected++
+}
+
+func (c *Core) idx(cyl, h, a int) int {
+	return (cyl*c.p.Heights+h)*c.p.Angles + a
+}
+
+// Step advances the fabric by one switch cycle: every in-flight packet moves
+// one angle (descending, deflecting, circling, or ejecting), then injection
+// ports fill any free outermost node.
+func (c *Core) Step() {
+	p := c.p
+	A := p.Angles
+	L := c.levels
+	for i := range c.next {
+		c.next[i] = nil
+		c.sameCyl[i] = false
+	}
+	// Inner cylinders first: their same-cylinder movements assert the
+	// deflection signals that outer cylinders must observe.
+	for cl := L; cl >= 0; cl-- {
+		for h := 0; h < p.Heights; h++ {
+			for a := 0; a < A; a++ {
+				f := c.cyl[c.idx(cl, h, a)]
+				if f == nil {
+					continue
+				}
+				na := (a + 1) % A
+				dh, da := p.PortCoord(f.Dst)
+				if cl == L {
+					// Output ring: circle to the destination angle, then eject.
+					if a == da {
+						c.eject(*f)
+						continue
+					}
+					if c.isFaulty(cl, h, na) {
+						c.drop(f)
+						continue
+					}
+					f.Hops++
+					c.next[c.idx(cl, h, na)] = f
+					c.sameCyl[c.idx(cl, h, na)] = true
+					continue
+				}
+				bit := uint(L - 1 - cl) // height bit resolved by this cylinder
+				f.Hops++
+				if (h>>bit)&1 == (dh>>bit)&1 && !c.sameCyl[c.idx(cl+1, h, na)] &&
+					!c.isFaulty(cl+1, h, na) {
+					// Descend: bit matches and no deflection signal.
+					c.next[c.idx(cl+1, h, na)] = f
+					continue
+				}
+				// Deflect within the cylinder, toggling the bit under
+				// resolution (preserves the already-resolved prefix).
+				h2 := h ^ (1 << bit)
+				if c.isFaulty(cl, h2, na) {
+					// Both legal moves are dead: the bufferless fabric
+					// cannot hold the packet.
+					f.Hops--
+					c.drop(f)
+					continue
+				}
+				f.Deflections++
+				c.next[c.idx(cl, h2, na)] = f
+				c.sameCyl[c.idx(cl, h2, na)] = true
+			}
+		}
+	}
+	// Injection: a port's packet enters its outermost node when free.
+	for port := range c.inq {
+		if len(c.inq[port]) == 0 {
+			continue
+		}
+		h, a := p.PortCoord(port)
+		at := c.idx(0, h, a)
+		if c.next[at] != nil || c.isFaulty(0, h, a) {
+			continue // busy, or the port's entry node is down
+		}
+		q := c.inq[port]
+		pkt := q[0]
+		copy(q, q[1:])
+		c.inq[port] = q[:len(q)-1]
+		c.queued--
+		c.flying++
+		c.stats.QueuedCycles += c.cycle - pkt.InjectCycle
+		f := pkt
+		c.next[at] = &f
+	}
+	c.cyl, c.next = c.next, c.cyl
+	c.cycle++
+	if c.CheckInvariants {
+		c.verifyPrefixInvariant()
+	}
+}
+
+// verifyPrefixInvariant panics if any in-flight packet violates the
+// resolved-prefix property that makes the self-routing correct: at cylinder
+// cl, the top cl bits of the packet's height equal its destination's.
+func (c *Core) verifyPrefixInvariant() {
+	p := c.p
+	L := c.levels
+	for cl := 0; cl <= L; cl++ {
+		for h := 0; h < p.Heights; h++ {
+			for a := 0; a < p.Angles; a++ {
+				f := c.cyl[c.idx(cl, h, a)]
+				if f == nil {
+					continue
+				}
+				dh, _ := p.PortCoord(f.Dst)
+				if cl == 0 {
+					continue
+				}
+				shift := uint(L - cl)
+				if h>>shift != dh>>shift {
+					panic(fmt.Sprintf(
+						"dvswitch: prefix invariant violated at (c=%d h=%d a=%d): dst height %d",
+						cl, h, a, dh))
+				}
+			}
+		}
+	}
+}
+
+func (c *Core) eject(pkt Packet) {
+	c.flying--
+	lat := c.cycle + 1 - pkt.InjectCycle
+	c.stats.Delivered++
+	c.stats.TotalHops += int64(pkt.Hops)
+	c.stats.TotalDeflected += int64(pkt.Deflections)
+	c.stats.recordLatency(lat)
+	if c.Deliver != nil {
+		c.Deliver(pkt, c.cycle+1)
+	}
+}
+
+// SetFaulty marks a switching node dead (or repairs it). Packets route
+// around dead nodes by deflection where possible; a packet with no live
+// move is dropped and counted in Stats.Dropped.
+func (c *Core) SetFaulty(cyl, h, a int, dead bool) {
+	if c.faulty == nil {
+		c.faulty = make([]bool, len(c.cyl))
+	}
+	c.faulty[c.idx(cyl, h, a)] = dead
+}
+
+func (c *Core) isFaulty(cyl, h, a int) bool {
+	return c.faulty != nil && c.faulty[c.idx(cyl, h, a)]
+}
+
+// drop discards a packet lost to a fault.
+func (c *Core) drop(f *Packet) {
+	c.flying--
+	c.stats.Dropped++
+}
+
+// RunUntilIdle steps until no packets remain (or maxCycles elapse) and
+// returns the number of cycles stepped. It is a convenience for tests and
+// traffic studies.
+func (c *Core) RunUntilIdle(maxCycles int64) int64 {
+	var n int64
+	for c.Busy() && n < maxCycles {
+		c.Step()
+		n++
+	}
+	return n
+}

@@ -1,0 +1,114 @@
+// Package fftkernel provides the serial FFT building blocks used by the
+// distributed FFT benchmark and the pseudo-spectral vorticity solver:
+// an iterative radix-2 complex FFT, inverse transform, and reference DFT
+// for validation. Implemented from scratch on complex128.
+package fftkernel
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Forward computes the in-place forward FFT of x (length must be a power of
+// two), using the convention X[k] = Σ x[j]·exp(-2πi·jk/n).
+func Forward(x []complex128) { transform(x, -1) }
+
+// Inverse computes the in-place inverse FFT of x, including the 1/n scaling,
+// so Inverse(Forward(x)) == x up to rounding.
+func Inverse(x []complex128) {
+	transform(x, +1)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+// transform is the iterative Cooley–Tukey radix-2 FFT with bit-reversal
+// permutation; sign selects the exponent direction.
+func transform(x []complex128, sign float64) {
+	n := len(x)
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("fftkernel: length %d is not a power of two", n))
+	}
+	if n == 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		ang := sign * 2 * math.Pi / float64(size)
+		wStep := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// DFT computes the reference O(n²) discrete Fourier transform (validation
+// only).
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(j) * float64(k) / float64(n)
+			sum += x[j] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// Flops returns the standard operation count credited to an n-point complex
+// FFT (the HPCC convention: 5·n·log2(n)).
+func Flops(n int) float64 {
+	return 5 * float64(n) * math.Log2(float64(n))
+}
+
+// Twiddle returns exp(sign·2πi·a/b).
+func Twiddle(sign float64, a, b float64) complex128 {
+	ang := sign * 2 * math.Pi * a / b
+	return complex(math.Cos(ang), math.Sin(ang))
+}
+
+// MaxAbsDiff returns the largest elementwise magnitude difference between
+// two equal-length complex slices.
+func MaxAbsDiff(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		d := a[i] - b[i]
+		if v := math.Hypot(real(d), imag(d)); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Energy returns Σ|x|² (for Parseval checks).
+func Energy(x []complex128) float64 {
+	var s float64
+	for _, v := range x {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return s
+}

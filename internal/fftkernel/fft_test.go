@@ -1,0 +1,118 @@
+package fftkernel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func randSignal(n int, seed uint64) []complex128 {
+	rng := sim.NewRNG(seed)
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return x
+}
+
+func TestForwardMatchesDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		x := randSignal(n, uint64(n))
+		want := DFT(x)
+		got := append([]complex128(nil), x...)
+		Forward(got)
+		if d := MaxAbsDiff(got, want); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: max diff vs DFT = %g", n, d)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	check := func(seed uint64, sizePow uint8) bool {
+		n := 1 << (sizePow%10 + 1)
+		x := randSignal(n, seed)
+		y := append([]complex128(nil), x...)
+		Forward(y)
+		Inverse(y)
+		return MaxAbsDiff(x, y) < 1e-10*float64(n)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseval(t *testing.T) {
+	check := func(seed uint64) bool {
+		n := 512
+		x := randSignal(n, seed)
+		timeE := Energy(x)
+		Forward(x)
+		freqE := Energy(x) / float64(n)
+		return math.Abs(timeE-freqE) < 1e-8*timeE
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImpulseResponse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	n := 32
+	x := make([]complex128, n)
+	x[0] = 1
+	Forward(x)
+	for i, v := range x {
+		if math.Abs(real(v)-1) > 1e-12 || math.Abs(imag(v)) > 1e-12 {
+			t.Fatalf("impulse FFT[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestSingleToneBin(t *testing.T) {
+	// A pure complex exponential lands in exactly one bin.
+	n := 64
+	k0 := 5
+	x := make([]complex128, n)
+	for j := range x {
+		x[j] = Twiddle(+1, float64(j*k0), float64(n))
+	}
+	Forward(x)
+	for k, v := range x {
+		mag := math.Hypot(real(v), imag(v))
+		if k == k0 {
+			if math.Abs(mag-float64(n)) > 1e-9 {
+				t.Fatalf("bin %d magnitude %g, want %d", k, mag, n)
+			}
+		} else if mag > 1e-9 {
+			t.Fatalf("leakage in bin %d: %g", k, mag)
+		}
+	}
+}
+
+func TestNonPow2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Forward(make([]complex128, 3))
+}
+
+func TestFlopsConvention(t *testing.T) {
+	if Flops(1024) != 5*1024*10 {
+		t.Fatalf("Flops(1024) = %g", Flops(1024))
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, c := range []struct {
+		n  int
+		ok bool
+	}{{1, true}, {2, true}, {3, false}, {0, false}, {-4, false}, {1024, true}} {
+		if IsPow2(c.n) != c.ok {
+			t.Errorf("IsPow2(%d) = %v", c.n, !c.ok)
+		}
+	}
+}

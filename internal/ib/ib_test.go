@@ -1,0 +1,138 @@
+package ib
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTransferArrives(t *testing.T) {
+	k := sim.NewKernel()
+	f := New(k, 4, DefaultParams())
+	var arrived sim.Time
+	k.Spawn("s", func(p *sim.Proc) {
+		f.Transfer(0, 1, 1024, func() { arrived = k.Now() })
+	})
+	k.Run()
+	if arrived == 0 {
+		t.Fatal("no arrival")
+	}
+	st := f.FabricStats()
+	if st.Messages != 1 || st.Bytes != 1024 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestIntraVsInterLeafLatency(t *testing.T) {
+	lat := func(dst int) sim.Time {
+		k := sim.NewKernel()
+		f := New(k, 32, DefaultParams())
+		var arrived sim.Time
+		k.Spawn("s", func(p *sim.Proc) {
+			f.Transfer(0, dst, 8, func() { arrived = k.Now() })
+		})
+		k.Run()
+		return arrived
+	}
+	intra, inter := lat(1), lat(20)
+	if inter <= intra {
+		t.Fatalf("inter-leaf (%v) should cost more than intra-leaf (%v)", inter, intra)
+	}
+}
+
+func TestInterLeafCounted(t *testing.T) {
+	k := sim.NewKernel()
+	f := New(k, 32, DefaultParams())
+	k.Spawn("s", func(p *sim.Proc) {
+		f.Transfer(0, 1, 8, func() {})  // same leaf
+		f.Transfer(0, 31, 8, func() {}) // crosses spine
+	})
+	k.Run()
+	if got := f.FabricStats().InterLeaf; got != 1 {
+		t.Fatalf("InterLeaf = %d, want 1", got)
+	}
+}
+
+func TestUplinkCongestion(t *testing.T) {
+	// Many nodes of one leaf blasting another leaf share oversubscribed
+	// uplinks: per-message delivery must degrade versus a single sender.
+	arrivalSpan := func(senders int) sim.Time {
+		k := sim.NewKernel()
+		f := New(k, 32, DefaultParams())
+		var last sim.Time
+		const msgs = 200
+		for s := 0; s < senders; s++ {
+			s := s
+			k.Spawn("s", func(p *sim.Proc) {
+				for i := 0; i < msgs; i++ {
+					f.Transfer(s, 16+s, 64, func() { // 16+s: always inter-leaf
+						if k.Now() > last {
+							last = k.Now()
+						}
+					})
+					p.Wait(10 * sim.Nanosecond)
+				}
+			})
+		}
+		k.Run()
+		return last
+	}
+	one, eight := arrivalSpan(1), arrivalSpan(8)
+	if eight < 2*one {
+		t.Fatalf("uplink congestion absent: 1 sender %v, 8 senders %v", one, eight)
+	}
+}
+
+func TestLoopbackStaysLocal(t *testing.T) {
+	k := sim.NewKernel()
+	f := New(k, 8, DefaultParams())
+	var arrived sim.Time
+	k.Spawn("s", func(p *sim.Proc) {
+		f.Transfer(3, 3, 8, func() { arrived = k.Now() })
+	})
+	k.Run()
+	if arrived == 0 || arrived > sim.Microsecond {
+		t.Fatalf("loopback arrival %v", arrived)
+	}
+	if f.FabricStats().InterLeaf != 0 {
+		t.Fatal("loopback crossed leaves")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	k := sim.NewKernel()
+	f := New(k, 4, DefaultParams())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.Transfer(0, 9, 8, func() {})
+}
+
+func TestAdaptiveRoutingBalancesUplinks(t *testing.T) {
+	// One leaf blasting another: static routing serialises on one spine,
+	// adaptive spreads over both and finishes sooner.
+	finish := func(adaptive bool) sim.Time {
+		k := sim.NewKernel()
+		par := DefaultParams()
+		par.Adaptive = adaptive
+		f := New(k, 32, par)
+		var last sim.Time
+		k.Spawn("s", func(p *sim.Proc) {
+			for i := 0; i < 400; i++ {
+				f.Transfer(i%8, 16+i%8, 4096, func() {
+					if k.Now() > last {
+						last = k.Now()
+					}
+				})
+			}
+		})
+		k.Run()
+		return last
+	}
+	static, adaptive := finish(false), finish(true)
+	if adaptive >= static {
+		t.Fatalf("adaptive (%v) should beat static (%v) on a one-leaf blast", adaptive, static)
+	}
+}

@@ -1,0 +1,40 @@
+package mpi_test
+
+import (
+	"fmt"
+
+	"repro/internal/ib"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// A two-rank MPI program over the simulated InfiniBand fabric: blocking
+// send/receive plus a collective reduction, all in virtual time.
+func ExampleComm() {
+	k := sim.NewKernel()
+	w := mpi.NewWorld(k, ib.New(k, 2, ib.DefaultParams()), mpi.DefaultParams())
+	for rank := 0; rank < 2; rank++ {
+		rank := rank
+		k.Spawn(fmt.Sprintf("rank%d", rank), func(p *sim.Proc) {
+			c := w.Bind(rank, p)
+			if c.Rank() == 0 {
+				c.Send(1, 7, []byte("ping"))
+				data, _ := c.Recv(1, 8)
+				fmt.Printf("rank 0 got %q\n", data)
+			} else {
+				data, st := c.Recv(0, 7)
+				fmt.Printf("rank 1 got %q from rank %d\n", data, st.Source)
+				c.Send(0, 8, []byte("pong"))
+			}
+			sum := c.Allreduce([]float64{float64(c.Rank() + 1)}, mpi.Sum)
+			if c.Rank() == 0 {
+				fmt.Println("allreduce sum:", sum[0])
+			}
+		})
+	}
+	k.Run()
+	// Output:
+	// rank 1 got "ping" from rank 0
+	// rank 0 got "pong"
+	// allreduce sum: 3
+}

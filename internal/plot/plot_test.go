@@ -1,0 +1,160 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func lineChart() *Chart {
+	return &Chart{
+		Title: "test", XLabel: "nodes", YLabel: "rate",
+		Series: []Series{
+			{Name: "a", X: []float64{2, 4, 8}, Y: []float64{1, 2, 4}},
+			{Name: "b", X: []float64{2, 4, 8}, Y: []float64{1, 1.5, 2}},
+		},
+	}
+}
+
+func TestRenderSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lineChart().RenderSVG(&buf, 640, 400); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, out)
+		}
+	}
+	if c := strings.Count(out, "<polyline"); c != 2 {
+		t.Fatalf("expected 2 polylines, got %d", c)
+	}
+	for _, want := range []string{"nodes", "rate", "test", "<circle"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in SVG", want)
+		}
+	}
+}
+
+func TestRenderBars(t *testing.T) {
+	c := lineChart()
+	c.Bars = true
+	c.XTickLabels = []string{"x", "y", "z"}
+	var buf bytes.Buffer
+	if err := c.RenderSVG(&buf, 640, 400); err != nil {
+		t.Fatal(err)
+	}
+	// 2 series × 3 positions = 6 bars (plus the background rect and legend
+	// swatches: 1 + 2).
+	if got := strings.Count(buf.String(), "<rect"); got != 6+3 {
+		t.Fatalf("expected 9 rects, got %d", got)
+	}
+}
+
+func TestLogXMonotonic(t *testing.T) {
+	c := &Chart{
+		Title: "log", LogX: true,
+		Series: []Series{{Name: "s", X: []float64{1, 4, 16, 64}, Y: []float64{1, 2, 3, 4}}},
+	}
+	var buf bytes.Buffer
+	if err := c.RenderSVG(&buf, 640, 400); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyChartErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Chart{Title: "empty"}).RenderSVG(&buf, 100, 100); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100, 6)
+	if len(ticks) < 4 || ticks[0] != 0 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("non-monotonic ticks: %v", ticks)
+		}
+	}
+}
+
+func TestParseCell(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"415.1", 415.1, true},
+		{"1.21x", 1.21, true},
+		{"97.3%", 97.3, true},
+		{"2.128ms", 2128, true},
+		{"971.545us", 971.545, true},
+		{"33.50", 33.5, true},
+		{"PASS", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := parseCell(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("parseCell(%q) err = %v", c.in, err)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("parseCell(%q) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFromTableLineFigure(t *testing.T) {
+	tb := &bench.Table{ID: "fig6a", Title: "GUPS per PE",
+		Columns: []string{"nodes", "Data Vortex", "Infiniband"}}
+	tb.AddRow("4", "35.95", "31.16")
+	tb.AddRow("32", "33.50", "13.75")
+	c, ok := FromTable(tb)
+	if !ok {
+		t.Fatal("figure not plottable")
+	}
+	if len(c.Series) != 2 || c.Bars {
+		t.Fatalf("chart: %+v", c)
+	}
+	if c.Series[1].Y[1] != 13.75 {
+		t.Fatalf("series data: %+v", c.Series[1])
+	}
+}
+
+func TestFromTableCategoricalBars(t *testing.T) {
+	tb := &bench.Table{ID: "fig9", Title: "speedup",
+		Columns: []string{"application", "DV time", "IB time", "speedup"}}
+	tb.AddRow("SNAP", "791us", "957us", "1.21x")
+	tb.AddRow("Heat", "36.9us", "91.9us", "2.49x")
+	c, ok := FromTable(tb)
+	if !ok {
+		t.Fatal("not plottable")
+	}
+	if !c.Bars || c.XTickLabels[0] != "SNAP" {
+		t.Fatalf("chart: %+v", c)
+	}
+}
+
+func TestFromTableRejectsNonNumeric(t *testing.T) {
+	tb := &bench.Table{ID: "validate", Title: "checks",
+		Columns: []string{"workload", "check", "result"}}
+	tb.AddRow("GUPS", "tables equal", "PASS")
+	tb.AddRow("FFT", "spectrum", "PASS")
+	if _, ok := FromTable(tb); ok {
+		t.Fatal("validation table should not be plottable")
+	}
+}

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback. Events at equal times fire in scheduling
+// order (seq), which makes the simulation deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the discrete-event scheduler. It is not safe for concurrent use:
+// exactly one simulated process (or the kernel itself) runs at any moment.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	// yield is signalled by a process when it parks or exits, handing
+	// control back to the kernel loop.
+	yield chan struct{}
+
+	procs    []*Proc
+	nlive    int
+	draining bool
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// At schedules fn to run at absolute time t (>= now).
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past: %v < %v", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// abortSignal is panicked into parked processes during drain so their
+// goroutines unwind and exit.
+type abortSignal struct{}
+
+// Proc is a simulated process: a goroutine that the kernel resumes one at a
+// time. All blocking methods must be called from the process's own goroutine.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan bool // value: false => aborted
+	live   bool
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Spawn creates a process that will start executing fn at the current
+// virtual time (once Run is pumping events).
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan bool), live: true}
+	k.procs = append(k.procs, p)
+	k.nlive++
+	k.At(k.now, func() {
+		go func() {
+			defer func() {
+				p.live = false
+				k.nlive--
+				if r := recover(); r != nil {
+					if _, ok := r.(abortSignal); ok {
+						k.yield <- struct{}{}
+						return
+					}
+					panic(r)
+				}
+				k.yield <- struct{}{}
+			}()
+			if ok := <-p.resume; !ok {
+				panic(abortSignal{})
+			}
+			fn(p)
+		}()
+		p.transfer()
+	})
+	return p
+}
+
+// transfer hands control to p and waits until it parks or exits.
+// Must be called from the kernel goroutine (inside an event callback).
+func (k *Kernel) resumeProc(p *Proc, ok bool) {
+	p.resume <- ok
+	<-k.yield
+}
+
+// transfer is resumeProc(p, true) — used right after goroutine start.
+func (p *Proc) transfer() { p.k.resumeProc(p, true) }
+
+// park blocks the process until the kernel resumes it. Returns normally on
+// resume; panics with abortSignal when the kernel is draining.
+func (p *Proc) park() {
+	p.k.yield <- struct{}{}
+	if ok := <-p.resume; !ok {
+		panic(abortSignal{})
+	}
+}
+
+// Wait advances the process by d of virtual time.
+func (p *Proc) Wait(d Time) {
+	if d < 0 {
+		panic("sim: negative wait")
+	}
+	if d == 0 {
+		return
+	}
+	k := p.k
+	k.At(k.now+d, func() { k.resumeProc(p, true) })
+	p.park()
+}
+
+// WaitUntil blocks the process until absolute time t (no-op if in the past).
+func (p *Proc) WaitUntil(t Time) {
+	if t <= p.k.now {
+		return
+	}
+	p.Wait(t - p.k.now)
+}
+
+// Yield reschedules the process at the current time, letting every other
+// event already queued for this instant run first.
+func (p *Proc) Yield() {
+	k := p.k
+	k.At(k.now, func() { k.resumeProc(p, true) })
+	p.park()
+}
+
+// Run pumps events until none remain, then aborts any still-parked processes
+// so their goroutines exit. It returns the final virtual time.
+func (k *Kernel) Run() Time {
+	for k.events.Len() > 0 {
+		e := heap.Pop(&k.events).(*event)
+		k.now = e.at
+		e.fn()
+	}
+	k.drain()
+	return k.now
+}
+
+// RunUntil pumps events up to and including time limit, leaving later events
+// queued. Processes stay parked (no drain) so the run can continue.
+func (k *Kernel) RunUntil(limit Time) Time {
+	for k.events.Len() > 0 && k.events[0].at <= limit {
+		e := heap.Pop(&k.events).(*event)
+		k.now = e.at
+		e.fn()
+	}
+	return k.now
+}
+
+// drain force-aborts every parked live process.
+func (k *Kernel) drain() {
+	k.draining = true
+	for _, p := range k.procs {
+		if p.live {
+			k.resumeProc(p, false)
+		}
+	}
+	k.procs = nil
+}
+
+// LiveProcs returns the number of processes that have not finished.
+func (k *Kernel) LiveProcs() int { return k.nlive }

@@ -1,0 +1,455 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{1500 * Picosecond, "1.500ns"},
+		{2 * Microsecond, "2.000us"},
+		{3 * Millisecond, "3.000ms"},
+		{12 * Second, "12.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestBytesAt(t *testing.T) {
+	// 1 GB/s => 1 byte per nanosecond.
+	if got := BytesAt(1000, 1e9); got != Microsecond {
+		t.Fatalf("BytesAt(1000, 1e9) = %v, want 1us", got)
+	}
+	if got := BytesAt(0, 1e9); got != 0 {
+		t.Fatalf("BytesAt(0) = %v, want 0", got)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.At(20*Nanosecond, func() { order = append(order, 2) })
+	k.At(10*Nanosecond, func() { order = append(order, 1) })
+	k.At(20*Nanosecond, func() { order = append(order, 3) }) // same time, later seq
+	k.At(30*Nanosecond, func() { order = append(order, 4) })
+	end := k.Run()
+	if end != 30*Nanosecond {
+		t.Fatalf("end time = %v, want 30ns", end)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("order = %v, want [1 2 3 4]", order)
+		}
+	}
+}
+
+func TestProcWait(t *testing.T) {
+	k := NewKernel()
+	var stamps []Time
+	k.Spawn("a", func(p *Proc) {
+		p.Wait(5 * Nanosecond)
+		stamps = append(stamps, p.Now())
+		p.Wait(10 * Nanosecond)
+		stamps = append(stamps, p.Now())
+	})
+	k.Run()
+	if len(stamps) != 2 || stamps[0] != 5*Nanosecond || stamps[1] != 15*Nanosecond {
+		t.Fatalf("stamps = %v", stamps)
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		p.Wait(10)
+		order = append(order, "a10")
+		p.Wait(20)
+		order = append(order, "a30")
+	})
+	k.Spawn("b", func(p *Proc) {
+		p.Wait(20)
+		order = append(order, "b20")
+		p.Wait(20)
+		order = append(order, "b40")
+	})
+	k.Run()
+	want := []string{"a10", "b20", "a30", "b40"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestWaitUntilPastIsNoop(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("a", func(p *Proc) {
+		p.Wait(10)
+		p.WaitUntil(5) // in the past
+		if p.Now() != 10 {
+			t.Errorf("WaitUntil past moved time to %v", p.Now())
+		}
+	})
+	k.Run()
+}
+
+func TestGateSignalFIFO(t *testing.T) {
+	k := NewKernel()
+	var g Gate
+	var order []string
+	for _, name := range []string{"p1", "p2", "p3"} {
+		name := name
+		k.Spawn(name, func(p *Proc) {
+			g.Wait(p)
+			order = append(order, name)
+		})
+	}
+	k.Spawn("sig", func(p *Proc) {
+		p.Wait(100)
+		g.Signal(p.Kernel())
+		p.Wait(100)
+		g.Broadcast(p.Kernel())
+	})
+	k.Run()
+	if len(order) != 3 || order[0] != "p1" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestGateWaitTimeout(t *testing.T) {
+	k := NewKernel()
+	var g Gate
+	var gotSignal, gotTimeout bool
+	k.Spawn("w1", func(p *Proc) {
+		gotSignal = g.WaitTimeout(p, 50*Nanosecond)
+		if p.Now() != 10*Nanosecond {
+			t.Errorf("signalled waiter woke at %v", p.Now())
+		}
+	})
+	k.Spawn("w2", func(p *Proc) {
+		gotTimeout = g.WaitTimeout(p, 50*Nanosecond)
+		if p.Now() != 50*Nanosecond {
+			t.Errorf("timed-out waiter woke at %v", p.Now())
+		}
+	})
+	k.Spawn("sig", func(p *Proc) {
+		p.Wait(10 * Nanosecond)
+		g.Signal(p.Kernel()) // wakes w1 only
+	})
+	k.Run()
+	if !gotSignal {
+		t.Error("w1 should report signalled")
+	}
+	if gotTimeout {
+		t.Error("w2 should report timeout")
+	}
+	if g.Waiters() != 0 {
+		t.Errorf("gate still has %d waiters", g.Waiters())
+	}
+}
+
+func TestGateTimeoutForever(t *testing.T) {
+	k := NewKernel()
+	var g Gate
+	ok := false
+	k.Spawn("w", func(p *Proc) { ok = g.WaitTimeout(p, Forever) })
+	k.Spawn("s", func(p *Proc) { p.Wait(5); g.Signal(p.Kernel()) })
+	k.Run()
+	if !ok {
+		t.Fatal("Forever wait should be signalled")
+	}
+}
+
+func TestQueueBlockingPop(t *testing.T) {
+	k := NewKernel()
+	var q Queue[int]
+	var got []int
+	k.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Pop(p))
+		}
+	})
+	k.Spawn("producer", func(p *Proc) {
+		for i := 1; i <= 3; i++ {
+			p.Wait(10)
+			q.Push(p.Kernel(), i)
+		}
+	})
+	k.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestQueuePopTimeout(t *testing.T) {
+	k := NewKernel()
+	var q Queue[int]
+	k.Spawn("c", func(p *Proc) {
+		if _, ok := q.PopTimeout(p, 20); ok {
+			t.Error("expected timeout")
+		}
+		if p.Now() != 20 {
+			t.Errorf("timeout at %v, want 20", p.Now())
+		}
+		v, ok := q.PopTimeout(p, 100)
+		if !ok || v != 7 {
+			t.Errorf("got %d,%v want 7,true", v, ok)
+		}
+	})
+	k.Spawn("p", func(p *Proc) {
+		p.Wait(50)
+		q.Push(p.Kernel(), 7)
+	})
+	k.Run()
+}
+
+func TestPipeSerialises(t *testing.T) {
+	k := NewKernel()
+	var pipe Pipe
+	var done []Time
+	for i := 0; i < 3; i++ {
+		k.Spawn("u", func(p *Proc) {
+			pipe.Occupy(p, 10*Nanosecond)
+			done = append(done, p.Now())
+		})
+	}
+	k.Run()
+	want := []Time{10 * Nanosecond, 20 * Nanosecond, 30 * Nanosecond}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("done = %v, want %v", done, want)
+		}
+	}
+	if pipe.Busy != 30*Nanosecond {
+		t.Fatalf("pipe.Busy = %v", pipe.Busy)
+	}
+}
+
+func TestPipeIdleGap(t *testing.T) {
+	k := NewKernel()
+	var pipe Pipe
+	k.Spawn("a", func(p *Proc) {
+		pipe.Occupy(p, 10)
+		p.Wait(100) // idle gap
+		end := pipe.Occupy(p, 10)
+		if end != 120 {
+			t.Errorf("second occupy ended at %v, want 120", end)
+		}
+	})
+	k.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	k.At(10, func() { fired++ })
+	k.At(20, func() { fired++ })
+	k.At(30, func() { fired++ })
+	k.RunUntil(20)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	k.Run()
+	if fired != 3 {
+		t.Fatalf("fired = %d, want 3", fired)
+	}
+}
+
+func TestDrainAbandonedProcs(t *testing.T) {
+	k := NewKernel()
+	var g Gate
+	reached := false
+	k.Spawn("stuck", func(p *Proc) {
+		g.Wait(p) // never signalled
+		reached = true
+	})
+	k.Run()
+	if reached {
+		t.Fatal("stuck proc should not have continued")
+	}
+	if k.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d after drain", k.LiveProcs())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		k := NewKernel()
+		var q Queue[int]
+		var stamps []Time
+		rng := NewRNG(42)
+		for i := 0; i < 8; i++ {
+			k.Spawn("p", func(p *Proc) {
+				for j := 0; j < 10; j++ {
+					p.Wait(Time(rng.Intn(100) + 1))
+					q.Push(p.Kernel(), j)
+				}
+			})
+		}
+		k.Spawn("c", func(p *Proc) {
+			for i := 0; i < 80; i++ {
+				q.Pop(p)
+				stamps = append(stamps, p.Now())
+			}
+		})
+		k.Run()
+		return stamps
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) != 80 {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stamp %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRNGUniform(t *testing.T) {
+	r := NewRNG(1)
+	var buckets [10]int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(10)]++
+	}
+	for i, b := range buckets {
+		if b < n/10-n/100 || b > n/10+n/100 {
+			t.Errorf("bucket %d = %d, outside 10%%±1%%", i, b)
+		}
+	}
+}
+
+func TestRNGPermValid(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		m := int(n%32) + 1
+		p := NewRNG(seed).Perm(m)
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGUint64nBounds(t *testing.T) {
+	check := func(seed, n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		v := NewRNG(seed).Uint64n(n)
+		return v < n
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGDeterministicSplit(t *testing.T) {
+	a := NewRNG(7)
+	b := NewRNG(7)
+	ca, cb := a.Split(), b.Split()
+	for i := 0; i < 100; i++ {
+		if ca.Uint64() != cb.Uint64() {
+			t.Fatal("split children diverge")
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("parents diverge")
+		}
+	}
+}
+
+func TestMonotonicTimeProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		k := NewKernel()
+		rng := NewRNG(seed)
+		ok := true
+		var last Time
+		for i := 0; i < 5; i++ {
+			k.Spawn("p", func(p *Proc) {
+				for j := 0; j < 20; j++ {
+					p.Wait(Time(rng.Intn(50)))
+					if p.Now() < last {
+						ok = false
+					}
+					last = p.Now()
+				}
+			})
+		}
+		k.Run()
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestYieldLetsQueuedEventsRun(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		k.At(k.Now(), func() { order = append(order, "event") })
+		p.Yield()
+		order = append(order, "after-yield")
+	})
+	k.Run()
+	if len(order) != 2 || order[0] != "event" || order[1] != "after-yield" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestRunUntilThenResumeProcs(t *testing.T) {
+	k := NewKernel()
+	var reached []Time
+	k.Spawn("p", func(p *Proc) {
+		p.Wait(10)
+		reached = append(reached, p.Now())
+		p.Wait(10)
+		reached = append(reached, p.Now())
+	})
+	k.RunUntil(10)
+	if len(reached) != 1 {
+		t.Fatalf("after RunUntil(10): %v", reached)
+	}
+	k.Run()
+	if len(reached) != 2 || reached[1] != 20 {
+		t.Fatalf("after Run: %v", reached)
+	}
+}
+
+func TestSignalWithNoWaitersIsNoop(t *testing.T) {
+	k := NewKernel()
+	var g Gate
+	g.Signal(k)
+	g.Broadcast(k)
+	done := false
+	k.Spawn("p", func(p *Proc) {
+		// Past signals must not satisfy a future wait.
+		if g.WaitTimeout(p, 10) {
+			t.Error("stale signal consumed")
+		}
+		done = true
+	})
+	k.Run()
+	if !done {
+		t.Fatal("proc never ran")
+	}
+}

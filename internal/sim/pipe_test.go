@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPipeReserveAtProperty: reservations never overlap and never start
+// before their requested time, regardless of request order.
+func TestPipeReserveAtProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		k := NewKernel()
+		rng := NewRNG(seed)
+		var p Pipe
+		type span struct{ start, end Time }
+		var spans []span
+		for i := 0; i < 50; i++ {
+			at := Time(rng.Intn(1000))
+			d := Time(rng.Intn(50) + 1)
+			end := p.ReserveAt(at, d)
+			start := end - d
+			if start < at {
+				return false
+			}
+			spans = append(spans, span{start, end})
+		}
+		for i := 1; i < len(spans); i++ {
+			if spans[i].start < spans[i-1].end {
+				return false // overlap
+			}
+		}
+		_ = k
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPipeBusyAccounting(t *testing.T) {
+	k := NewKernel()
+	var p Pipe
+	p.Reserve(k, 10)
+	p.ReserveAt(100, 5)
+	if p.Busy != 15 {
+		t.Fatalf("Busy = %v", p.Busy)
+	}
+	if p.BusyUntil() != 105 {
+		t.Fatalf("BusyUntil = %v", p.BusyUntil())
+	}
+}

@@ -1,0 +1,64 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation kernel. Simulated entities (cluster nodes, NIC engines, switch
+// pipelines) run as coroutine-style processes written in straight-line Go;
+// the kernel interleaves them one at a time in virtual-time order, so every
+// run with the same seed is bit-reproducible regardless of host scheduling.
+package sim
+
+import "fmt"
+
+// Time is a point in virtual time, measured in integer picoseconds.
+// Picosecond resolution keeps sub-nanosecond switch cycles exact while an
+// int64 still spans ~106 simulated days.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Forever is a sentinel for "no timeout".
+const Forever Time = 1<<63 - 1
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns t expressed in microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Nanos returns t expressed in nanoseconds.
+func (t Time) Nanos() float64 { return float64(t) / float64(Nanosecond) }
+
+// String renders the time with an auto-selected unit.
+func (t Time) String() string {
+	switch {
+	case t < Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case t < Microsecond:
+		return fmt.Sprintf("%.3fns", t.Nanos())
+	case t < Millisecond:
+		return fmt.Sprintf("%.3fus", t.Micros())
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	}
+}
+
+// DurationOf converts a quantity of seconds into a Time, rounding to the
+// nearest picosecond. Useful when deriving durations from bandwidths.
+func DurationOf(seconds float64) Time {
+	return Time(seconds*float64(Second) + 0.5)
+}
+
+// BytesAt returns the time needed to move n bytes at rate bytesPerSecond.
+func BytesAt(n int, bytesPerSecond float64) Time {
+	if n <= 0 || bytesPerSecond <= 0 {
+		return 0
+	}
+	return DurationOf(float64(n) / bytesPerSecond)
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// RenderASCII draws the trace as a terminal Gantt chart, the poor man's
+// Paraver view of Figure 5: one lane per node (compute intervals filled),
+// plus a message-density lane showing where the wire was busy.
+//
+//	node 0 |####..##..####   |
+//	node 1 |..###..####..##  |
+//	msgs   |2313 1 42  1     |
+//
+// width is the number of time buckets (columns).
+func (r *Recorder) RenderASCII(w io.Writer, width int) error {
+	if width < 1 {
+		width = 80
+	}
+	_, _, span := r.Summary()
+	if span == 0 {
+		_, err := fmt.Fprintln(w, "(empty trace)")
+		return err
+	}
+	bucket := func(t sim.Time) int {
+		b := int(int64(t) * int64(width) / int64(span))
+		if b >= width {
+			b = width - 1
+		}
+		return b
+	}
+	maxNode := 0
+	for _, s := range r.States {
+		if s.Node > maxNode {
+			maxNode = s.Node
+		}
+	}
+	for _, m := range r.Messages {
+		if m.Src > maxNode {
+			maxNode = m.Src
+		}
+		if m.Dst > maxNode {
+			maxNode = m.Dst
+		}
+	}
+	// Node lanes: '#' where the node computes, '~' where it is in another
+	// recorded state, '.' otherwise.
+	lanes := make([][]byte, maxNode+1)
+	for i := range lanes {
+		lanes[i] = []byte(strings.Repeat(".", width))
+	}
+	for _, s := range r.States {
+		ch := byte('~')
+		if s.State == "compute" {
+			ch = '#'
+		}
+		for b := bucket(s.T0); b <= bucket(s.T1); b++ {
+			lanes[s.Node][b] = ch
+		}
+	}
+	// Message lane: digit = messages delivered in the bucket (9+ saturates).
+	msgCount := make([]int, width)
+	for _, m := range r.Messages {
+		msgCount[bucket(m.T1)]++
+	}
+	msgLane := make([]byte, width)
+	for i, c := range msgCount {
+		switch {
+		case c == 0:
+			msgLane[i] = ' '
+		case c > 9:
+			msgLane[i] = '+'
+		default:
+			msgLane[i] = byte('0' + c)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "trace span %v, %d columns of %v each ('#'=compute, '~'=other state)\n",
+		span, width, span/sim.Time(width)); err != nil {
+		return err
+	}
+	for i, lane := range lanes {
+		if _, err := fmt.Fprintf(w, "node %-2d |%s|\n", i, lane); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "msgs    |%s|\n", msgLane)
+	return err
+}

@@ -1,0 +1,109 @@
+// Package trace records execution traces of simulated runs: per-node state
+// intervals (compute, communication calls) and inter-node messages. It plays
+// the role the Extrae instrumentation plays in the paper (Figure 5's GUPS
+// trace): making visible whether a workload's communication pattern has
+// exploitable regularity.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// StateRec is one interval during which a node was in a named state.
+type StateRec struct {
+	Node  int
+	State string
+	T0    sim.Time
+	T1    sim.Time
+}
+
+// MsgRec is one message between two nodes.
+type MsgRec struct {
+	Src   int
+	Dst   int
+	T0    sim.Time // injection
+	T1    sim.Time // delivery
+	Bytes int
+}
+
+// Recorder accumulates trace records. It is used from kernel context only
+// (single-threaded), so it needs no locking.
+type Recorder struct {
+	States   []StateRec
+	Messages []MsgRec
+	enabled  bool
+}
+
+// New returns an enabled recorder.
+func New() *Recorder { return &Recorder{enabled: true} }
+
+// Enabled reports whether the recorder accepts records (nil-safe).
+func (r *Recorder) Enabled() bool { return r != nil && r.enabled }
+
+// State records a state interval (nil-safe no-op).
+func (r *Recorder) State(node int, state string, t0, t1 sim.Time) {
+	if !r.Enabled() {
+		return
+	}
+	r.States = append(r.States, StateRec{Node: node, State: state, T0: t0, T1: t1})
+}
+
+// Message records a message (nil-safe no-op).
+func (r *Recorder) Message(src, dst int, t0, t1 sim.Time, bytes int) {
+	if !r.Enabled() {
+		return
+	}
+	r.Messages = append(r.Messages, MsgRec{Src: src, Dst: dst, T0: t0, T1: t1, Bytes: bytes})
+}
+
+// WriteCSV emits the trace as two CSV sections: states, then messages, both
+// sorted by start time. Times are microseconds.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	states := append([]StateRec(nil), r.States...)
+	sort.Slice(states, func(i, j int) bool { return states[i].T0 < states[j].T0 })
+	if _, err := fmt.Fprintln(w, "# states"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "node,state,t0_us,t1_us"); err != nil {
+		return err
+	}
+	for _, s := range states {
+		if _, err := fmt.Fprintf(w, "%d,%s,%.3f,%.3f\n", s.Node, s.State, s.T0.Micros(), s.T1.Micros()); err != nil {
+			return err
+		}
+	}
+	msgs := append([]MsgRec(nil), r.Messages...)
+	sort.Slice(msgs, func(i, j int) bool { return msgs[i].T0 < msgs[j].T0 })
+	if _, err := fmt.Fprintln(w, "# messages"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "src,dst,t0_us,t1_us,bytes"); err != nil {
+		return err
+	}
+	for _, m := range msgs {
+		if _, err := fmt.Fprintf(w, "%d,%d,%.3f,%.3f,%d\n", m.Src, m.Dst, m.T0.Micros(), m.T1.Micros(), m.Bytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary returns counts and the span of the trace.
+func (r *Recorder) Summary() (states, msgs int, span sim.Time) {
+	var max sim.Time
+	for _, s := range r.States {
+		if s.T1 > max {
+			max = s.T1
+		}
+	}
+	for _, m := range r.Messages {
+		if m.T1 > max {
+			max = m.T1
+		}
+	}
+	return len(r.States), len(r.Messages), max
+}

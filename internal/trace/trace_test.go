@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder enabled")
+	}
+	r.State(0, "compute", 0, 1) // must not panic
+	r.Message(0, 1, 0, 1, 8)
+}
+
+func TestRecordAndSummary(t *testing.T) {
+	r := New()
+	r.State(0, "compute", 0, 10*sim.Microsecond)
+	r.State(1, "comm", 5*sim.Microsecond, 20*sim.Microsecond)
+	r.Message(0, 1, sim.Microsecond, 2*sim.Microsecond, 64)
+	states, msgs, span := r.Summary()
+	if states != 2 || msgs != 1 {
+		t.Fatalf("summary %d %d", states, msgs)
+	}
+	if span != 20*sim.Microsecond {
+		t.Fatalf("span %v", span)
+	}
+}
+
+func TestWriteCSVSortedSections(t *testing.T) {
+	r := New()
+	r.State(1, "late", 30*sim.Microsecond, 40*sim.Microsecond)
+	r.State(0, "early", sim.Microsecond, 2*sim.Microsecond)
+	r.Message(2, 3, 9*sim.Microsecond, 10*sim.Microsecond, 16)
+	r.Message(1, 0, 4*sim.Microsecond, 5*sim.Microsecond, 8)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# states") || !strings.Contains(out, "# messages") {
+		t.Fatalf("missing sections:\n%s", out)
+	}
+	// Sorted by start time within each section.
+	if strings.Index(out, "0,early") > strings.Index(out, "1,late") {
+		t.Fatal("states not sorted")
+	}
+	if strings.Index(out, "1,0,4.000") > strings.Index(out, "2,3,9.000") {
+		t.Fatal("messages not sorted")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	r := New()
+	r.State(0, "compute", 0, 40*sim.Microsecond)
+	r.State(1, "comm", 20*sim.Microsecond, 80*sim.Microsecond)
+	for i := 0; i < 5; i++ {
+		r.Message(0, 1, sim.Time(i)*10*sim.Microsecond, sim.Time(i+1)*10*sim.Microsecond, 8)
+	}
+	var buf bytes.Buffer
+	if err := r.RenderASCII(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "node 0") || !strings.Contains(out, "node 1") {
+		t.Fatalf("missing lanes:\n%s", out)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "~") {
+		t.Fatalf("missing state glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "msgs") {
+		t.Fatalf("missing message lane:\n%s", out)
+	}
+}
+
+func TestRenderASCIIEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().RenderASCII(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Fatal("empty trace not reported")
+	}
+}
+
+func TestWriteParaver(t *testing.T) {
+	r := New()
+	r.State(0, "compute", 0, 10*sim.Microsecond)
+	r.State(1, "mpi-wait", 2*sim.Microsecond, 6*sim.Microsecond)
+	r.Message(0, 1, sim.Microsecond, 3*sim.Microsecond, 64)
+	var prv, pcf, row bytes.Buffer
+	if err := r.WriteParaver(&prv, &pcf, &row, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := prv.String()
+	if !strings.HasPrefix(out, "#Paraver") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	// State record for node 0: task 1, 0..10000 ns, state 1 (compute).
+	if !strings.Contains(out, "1:1:1:1:1:0:10000:1") {
+		t.Fatalf("missing state record:\n%s", out)
+	}
+	// Comm record 0→1, 1000→3000 ns, 64 bytes.
+	if !strings.Contains(out, "3:1:1:1:1:1000:1000:2:1:2:1:3000:3000:64:0") {
+		t.Fatalf("missing comm record:\n%s", out)
+	}
+	if !strings.Contains(pcf.String(), "mpi-wait") {
+		t.Fatal("pcf missing custom state")
+	}
+	if !strings.Contains(row.String(), "THREAD 1.2.1") {
+		t.Fatal("row missing thread names")
+	}
+}
+
+func TestWriteParaverSorted(t *testing.T) {
+	r := New()
+	r.State(0, "compute", 5*sim.Microsecond, 6*sim.Microsecond)
+	r.State(0, "compute", sim.Microsecond, 2*sim.Microsecond)
+	var prv bytes.Buffer
+	if err := r.WriteParaver(&prv, nil, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.Index(prv.String(), ":1000:2000:")
+	second := strings.Index(prv.String(), ":5000:6000:")
+	if first < 0 || second < 0 || first > second {
+		t.Fatalf("records not time sorted:\n%s", prv.String())
+	}
+}

@@ -1,0 +1,500 @@
+package vic
+
+import (
+	"fmt"
+
+	"repro/internal/dvswitch"
+	"repro/internal/sim"
+)
+
+// SendMode selects the host→network path for a transfer, mirroring the three
+// configurations the paper's ping-pong study exercises (§V): direct writes
+// with and without pre-cached headers, and DMA with pre-cached headers.
+type SendMode int
+
+const (
+	// PIO writes header+payload (16 B/packet) across the PCIe lane.
+	PIO SendMode = iota
+	// PIOCached writes payloads only (8 B/packet); headers were pre-cached
+	// in DV Memory.
+	PIOCached
+	// DMA moves header+payload images (16 B/packet) with the DMA engine.
+	DMA
+	// DMACached moves payloads only (8 B/packet) with the DMA engine.
+	DMACached
+)
+
+// String names the mode as the paper's Figure 3 legends do.
+func (m SendMode) String() string {
+	switch m {
+	case PIO:
+		return "DWr/NoCached"
+	case PIOCached:
+		return "DWr/Cached"
+	case DMA:
+		return "DMA/NoCached"
+	case DMACached:
+		return "DMA/Cached"
+	}
+	return "unknown"
+}
+
+// wireBytes returns the PCIe bytes per packet for the mode.
+func (m SendMode) wireBytes() int {
+	if m == PIOCached || m == DMACached {
+		return 8
+	}
+	return 16
+}
+
+// Stats aggregates per-VIC telemetry.
+type Stats struct {
+	PktsSent     int64
+	PktsReceived int64
+	PCIeBytesOut int64 // host → VIC
+	PCIeBytesIn  int64 // VIC → host
+	FIFOPkts     int64
+	FIFODropped  int64 // surprise packets lost to a full FIFO
+	Barriers     int64
+}
+
+// VIC models one Vortex Interface Controller attached to a fabric port.
+// Host-side methods (HostSend, DMARead, WaitGCZero, ...) must be called from
+// the owning node's simulated process and advance virtual time; the receive
+// path runs inside fabric delivery events.
+type VIC struct {
+	ID     int
+	Port   int
+	par    Params
+	k      *sim.Kernel
+	inject func(pkt dvswitch.Packet)
+	portOf func(vicID int) int // VIC id → fabric port (identity when nil)
+
+	// mem is the DV Memory: globally addressable single-word slots where
+	// only the last-written value is visible (per the paper).
+	mem dvMem
+
+	gc       []int64
+	gcGate   []sim.Gate // broadcast on every counter change
+	gcZeroed []bool     // zero already pushed to host
+
+	fifo       []uint64          // surprise packets buffered on the VIC
+	hostFIFO   sim.Queue[uint64] // drained into the host ring buffer
+	drainArmed bool
+
+	pioWr, pioRd  sim.Pipe // programmed I/O (single PCIe lane each way)
+	dmaIn, dmaOut sim.Pipe // DMA engines (host→VIC, VIC→host)
+
+	barrierN int
+
+	st Stats
+}
+
+// New builds a VIC. inject delivers a packet into the fabric at the current
+// virtual time; the cluster layer wires it to the shared switch.
+func New(k *sim.Kernel, id, port int, par Params, inject func(pkt dvswitch.Packet)) *VIC {
+	v := &VIC{
+		ID:       id,
+		Port:     port,
+		par:      par,
+		k:        k,
+		inject:   inject,
+		mem:      newDVMem(par.MemWords),
+		gc:       make([]int64, par.GroupCounters),
+		gcGate:   make([]sim.Gate, par.GroupCounters),
+		gcZeroed: make([]bool, par.GroupCounters),
+	}
+	for i := range v.gcZeroed {
+		v.gcZeroed[i] = true // counters start at zero, already "notified"
+	}
+	return v
+}
+
+// Params returns the VIC's parameters.
+func (v *VIC) Params() Params { return v.par }
+
+// Stats returns a copy of the VIC's telemetry.
+func (v *VIC) Stats() Stats { return v.st }
+
+// ---------------------------------------------------------------------------
+// Host-side send paths
+
+// HostSend transfers a batch of packets from the host across PCIe and
+// injects them into the fabric, blocking the calling process until the host
+// buffers are reusable (PCIe transfer complete). Packets enter the network
+// pipelined with the PCIe transfer, chunk by chunk for DMA modes.
+func (v *VIC) HostSend(p *sim.Proc, mode SendMode, words []Word) {
+	if len(words) == 0 {
+		return
+	}
+	v.st.PktsSent += int64(len(words))
+	bytesPer := mode.wireBytes()
+	total := len(words) * bytesPer
+	v.st.PCIeBytesOut += int64(total)
+	switch mode {
+	case PIO, PIOCached:
+		// Doorbell, then each packet crosses the PCIe lane back to back.
+		p.Wait(v.par.PIOLatency)
+		for _, w := range words {
+			done := v.pioWr.Occupy(p, sim.BytesAt(bytesPer, v.par.PIOWriteBW))
+			v.injectAt(done, w)
+		}
+	case DMA, DMACached:
+		p.Wait(v.par.PIOLatency)
+		chunk := v.par.DMAChunkWords
+		if chunk <= 0 {
+			chunk = 1024
+		}
+		for base := 0; base < len(words); base += chunk {
+			if base%maxInt(v.par.DMATableEntries, 1) == 0 {
+				// Re-arming the 8192-entry DMA table costs a setup.
+				p.Wait(v.par.DMASetup)
+			}
+			end := base + chunk
+			if end > len(words) {
+				end = len(words)
+			}
+			n := end - base
+			done := v.dmaIn.Occupy(p, sim.BytesAt(n*bytesPer, v.par.DMABW))
+			for _, w := range words[base:end] {
+				v.injectAt(done, w)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("vic: unknown send mode %d", mode))
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// injectAt schedules the fabric injection of one word at time t (plus the
+// VIC's processing delay).
+func (v *VIC) injectAt(t sim.Time, w Word) {
+	pkt := dvswitch.Packet{Src: v.Port, Header: w.header(), Payload: w.Val}
+	v.k.At(t+v.par.ProcDelay, func() { v.injectNow(pkt, w.Dst) })
+}
+
+// injectNow pushes a fully-formed packet into the fabric immediately. The
+// dst VIC id is mapped to a fabric port by the cluster-installed resolver.
+func (v *VIC) injectNow(pkt dvswitch.Packet, dstVIC int) {
+	if v.portOf == nil {
+		pkt.Dst = dstVIC
+	} else {
+		pkt.Dst = v.portOf(dstVIC)
+	}
+	v.inject(pkt)
+}
+
+// SetPortResolver installs the VIC-id→fabric-port mapping, used when
+// endpoints are spread across a switch with more ports than nodes.
+func (v *VIC) SetPortResolver(fn func(vicID int) int) { v.portOf = fn }
+
+// DMARead pulls n words starting at addr from DV Memory into host memory,
+// blocking until the DMA completes. It returns a copy of the words.
+func (v *VIC) DMARead(p *sim.Proc, addr uint32, n int) []uint64 {
+	p.Wait(v.par.PIOLatency + v.par.DMASetup)
+	v.dmaOut.Occupy(p, sim.BytesAt(n*8, v.par.DMABW))
+	v.st.PCIeBytesIn += int64(n * 8)
+	return v.mem.readRange(addr, n)
+}
+
+// PIORead reads n words via programmed I/O (slow path; small reads).
+func (v *VIC) PIORead(p *sim.Proc, addr uint32, n int) []uint64 {
+	p.Wait(v.par.PIOLatency)
+	v.pioRd.Occupy(p, sim.BytesAt(n*8, v.par.PIOReadBW))
+	v.st.PCIeBytesIn += int64(n * 8)
+	return v.mem.readRange(addr, n)
+}
+
+// HostWriteMem writes words into the local DV Memory across PCIe (PIO), e.g.
+// to pre-cache headers or payloads.
+func (v *VIC) HostWriteMem(p *sim.Proc, addr uint32, vals []uint64) {
+	p.Wait(v.par.PIOLatency)
+	v.pioWr.Occupy(p, sim.BytesAt(len(vals)*8, v.par.PIOWriteBW))
+	v.st.PCIeBytesOut += int64(len(vals) * 8)
+	v.mem.writeRange(addr, vals)
+}
+
+// HostWriteMemDMA stages words into the local DV Memory with the DMA engine
+// (the fast path for pre-caching payloads before a network scatter).
+func (v *VIC) HostWriteMemDMA(p *sim.Proc, addr uint32, vals []uint64) {
+	p.Wait(v.par.PIOLatency + v.par.DMASetup)
+	v.dmaIn.Occupy(p, sim.BytesAt(len(vals)*8, v.par.DMABW))
+	v.st.PCIeBytesOut += int64(len(vals) * 8)
+	v.mem.writeRange(addr, vals)
+}
+
+// Peek reads a DV Memory word without modelling any cost (test/diagnostic
+// backdoor; simulated code must use PIORead/DMARead).
+func (v *VIC) Peek(addr uint32) uint64 { return v.mem.read(addr) }
+
+// Poke writes a DV Memory word without modelling any cost (test/diagnostic
+// backdoor; simulated code must use HostWriteMem or network writes).
+func (v *VIC) Poke(addr uint32, val uint64) { v.mem.write(addr, val) }
+
+// ---------------------------------------------------------------------------
+// Group counters
+
+// LocalSetGC sets a local group counter from the host (one PIO transaction).
+func (v *VIC) LocalSetGC(p *sim.Proc, gc int, val int64) {
+	p.Wait(v.par.PIOLatency)
+	v.setGC(gc, val)
+}
+
+// LocalAddGC adjusts a local group counter from the host.
+func (v *VIC) LocalAddGC(p *sim.Proc, gc int, delta int64) {
+	p.Wait(v.par.PIOLatency)
+	v.setGC(gc, v.gc[gc]+delta)
+}
+
+// GCValue returns the instantaneous value of a counter (host register read).
+func (v *VIC) GCValue(p *sim.Proc, gc int) int64 {
+	p.Wait(v.par.PIOLatency)
+	return v.gc[gc]
+}
+
+func (v *VIC) setGC(gc int, val int64) {
+	v.gc[gc] = val
+	v.gcZeroed[gc] = false
+	if val == 0 {
+		v.notifyZero(gc)
+	}
+	v.gcGate[gc].Broadcast(v.k)
+}
+
+func (v *VIC) decGC(gc int, by int64) {
+	v.gc[gc] -= by
+	if v.gc[gc] == 0 {
+		v.notifyZero(gc)
+	}
+	v.gcGate[gc].Broadcast(v.k)
+}
+
+// notifyZero models the VIC pushing its zero-counter list into host memory
+// via reverse bus-master DMA during idle PCIe cycles.
+func (v *VIC) notifyZero(gc int) {
+	v.k.After(v.par.GCNotify, func() {
+		if v.gc[gc] == 0 {
+			v.gcZeroed[gc] = true
+			v.gcGate[gc].Broadcast(v.k)
+		}
+	})
+}
+
+// WaitGCZero blocks until the host observes group counter gc at zero, or
+// until the timeout expires; it reports whether zero was observed. The host
+// sees zero only after the VIC's pushed notification (GCNotify latency), as
+// in the real API where polling host memory avoids explicit PCIe reads.
+func (v *VIC) WaitGCZero(p *sim.Proc, gc int, timeout sim.Time) bool {
+	deadline := p.Now() + timeout
+	for !v.gcZeroed[gc] {
+		remain := timeout
+		if timeout != sim.Forever {
+			remain = deadline - p.Now()
+			if remain <= 0 {
+				return false
+			}
+		}
+		if !v.gcGate[gc].WaitTimeout(p, remain) {
+			return false
+		}
+	}
+	return true
+}
+
+// waitGCAtMost blocks (VIC-internal, no host notification cost) until the
+// counter value is <= target. Used by the intrinsic barrier.
+func (v *VIC) waitGCAtMost(p *sim.Proc, gc int, target int64) {
+	for v.gc[gc] > target {
+		v.gcGate[gc].Wait(p)
+	}
+}
+
+// WaitGCAtMost blocks until counter gc's value is <= target, without the
+// host-notification latency of WaitGCZero. It models VIC-side waiting and
+// backs the subset-barrier support.
+func (v *VIC) WaitGCAtMost(p *sim.Proc, gc int, target int64) {
+	v.waitGCAtMost(p, gc, target)
+}
+
+// ---------------------------------------------------------------------------
+// Surprise FIFO
+
+// TryPopSurprise returns the next surprise word from the host ring buffer
+// without blocking. Reading the host ring is a plain memory load; any
+// per-message processing cost is the application's to model.
+func (v *VIC) TryPopSurprise() (uint64, bool) { return v.hostFIFO.TryPop() }
+
+// PopSurprise blocks until a surprise word reaches the host ring, or the
+// timeout expires.
+func (v *VIC) PopSurprise(p *sim.Proc, timeout sim.Time) (uint64, bool) {
+	return v.hostFIFO.PopTimeout(p, timeout)
+}
+
+// SurpriseBacklog returns the number of words already visible to the host.
+func (v *VIC) SurpriseBacklog() int { return v.hostFIFO.Len() }
+
+func (v *VIC) pushSurprise(val uint64) {
+	cap := v.par.FIFOCapacity
+	if cap <= 0 {
+		cap = 1 << 20
+	}
+	if len(v.fifo) >= cap {
+		// The bufferless paper hardware has finite SRAM for the surprise
+		// queue; overflow loses the packet (the developer is responsible
+		// for draining fast enough).
+		v.st.FIFODropped++
+		return
+	}
+	v.st.FIFOPkts++
+	v.fifo = append(v.fifo, val)
+	if !v.drainArmed {
+		v.drainArmed = true
+		v.k.After(v.par.FIFODrainDelay, v.drainFIFO)
+	}
+}
+
+// drainFIFO is the background DMA process moving surprise packets into the
+// host-side circular buffer.
+func (v *VIC) drainFIFO() {
+	batch := v.fifo
+	v.fifo = nil
+	if len(batch) == 0 {
+		v.drainArmed = false
+		return
+	}
+	done := v.dmaOut.Reserve(v.k, sim.BytesAt(len(batch)*8, v.par.DMABW))
+	v.st.PCIeBytesIn += int64(len(batch) * 8)
+	v.k.At(done, func() {
+		for _, w := range batch {
+			v.hostFIFO.Push(v.k, w)
+		}
+		if len(v.fifo) > 0 {
+			v.k.After(v.par.FIFODrainDelay, v.drainFIFO)
+		} else {
+			v.drainArmed = false
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+
+// Receive executes an arriving packet. It is called by the cluster layer
+// from within the fabric's delivery event and must not block.
+func (v *VIC) Receive(pkt dvswitch.Packet) {
+	v.st.PktsReceived++
+	v.k.After(v.par.ProcDelay, func() { v.execute(pkt) })
+}
+
+func (v *VIC) execute(pkt dvswitch.Packet) {
+	_, op, gc, addr := DecodeHeader(pkt.Header)
+	switch op {
+	case OpWrite:
+		v.mem.write(addr, pkt.Payload)
+		if gc != NoGC {
+			v.decGC(gc, 1)
+		}
+	case OpFIFO:
+		v.pushSurprise(pkt.Payload)
+		if gc != NoGC {
+			v.decGC(gc, 1)
+		}
+	case OpSetGC:
+		v.setGC(int(addr), int64(pkt.Payload))
+	case OpDecGC:
+		v.decGC(int(addr), int64(pkt.Payload))
+	case OpQuery:
+		// The payload is the return header; the requested word becomes the
+		// reply payload. The reply VIC need not be the querying VIC.
+		reply := dvswitch.Packet{Src: v.Port, Header: pkt.Payload, Payload: v.mem.read(addr)}
+		dstVIC, _, _, _ := DecodeHeader(pkt.Payload)
+		v.k.After(v.par.ProcDelay, func() { v.injectNow(reply, dstVIC) })
+	default:
+		panic(fmt.Sprintf("vic %d: unknown opcode %d", v.ID, op))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Intrinsic barrier
+
+// BarrierInit pre-arms the two reserved barrier counters for a group of n
+// VICs. Every VIC in the group must call it before the first Barrier.
+//
+// The intrinsic barrier is a binomial gather/release tree run by the VICs
+// over the two reserved counters: BarrierGCA counts the node's children
+// checking in, BarrierGCB counts the single release packet from the parent.
+// The host is involved only to kick the barrier off and to observe
+// completion, matching the paper's description of a fast, whole-system,
+// hardware-supported barrier (§III, Figure 4).
+func (v *VIC) BarrierInit(n int) {
+	v.barrierN = n
+	v.gc[v.par.BarrierGCA] = int64(len(barrierChildren(v.ID, n)))
+	v.gc[v.par.BarrierGCB] = 1
+	v.gcZeroed[v.par.BarrierGCA] = false
+	v.gcZeroed[v.par.BarrierGCB] = false
+}
+
+// barrierChildren returns the children of id in a binary reduction tree
+// over [0, n).
+func barrierChildren(id, n int) []int {
+	var kids []int
+	for _, c := range [2]int{2*id + 1, 2*id + 2} {
+		if c < n {
+			kids = append(kids, c)
+		}
+	}
+	return kids
+}
+
+// Barrier performs the API's intrinsic whole-system barrier. Latency grows
+// only logarithmically (with a very small constant) in the node count, which
+// is why the paper's Figure 4 shows it staying flat from 2 to 32 nodes.
+func (v *VIC) Barrier(p *sim.Proc) {
+	v.st.Barriers++
+	n := v.barrierN
+	p.Wait(v.par.PIOLatency) // host kicks the VIC
+	if n <= 1 {
+		p.Wait(v.par.GCNotify)
+		return
+	}
+	gcA, gcB := v.par.BarrierGCA, v.par.BarrierGCB
+	kids := barrierChildren(v.ID, n)
+	// Gather: wait for all children to check in.
+	v.waitGCAtMost(p, gcA, 0)
+	if v.ID != 0 {
+		// Check in with the parent, then wait for the release.
+		v.sendBarrierPkt(p, (v.ID-1)/2, gcA)
+		v.waitGCAtMost(p, gcB, 0)
+	}
+	// Re-arm before releasing the children: their next check-in can only be
+	// sent after the release we are about to forward.
+	v.gc[gcA] = int64(len(kids))
+	v.gc[gcB] = 1
+	for _, c := range kids {
+		v.sendBarrierPkt(p, c, gcB)
+	}
+	p.Wait(v.par.GCNotify) // host observes completion
+}
+
+// sendBarrierPkt injects a counter-decrement packet directly from the VIC
+// (no PCIe round trip: the barrier runs in VIC hardware).
+func (v *VIC) sendBarrierPkt(p *sim.Proc, dst, gcID int) {
+	w := Word{Dst: dst, Op: OpDecGC, GC: NoGC, Addr: uint32(gcID), Val: 1}
+	pkt := dvswitch.Packet{Src: v.Port, Header: w.header(), Payload: w.Val}
+	p.Wait(v.par.ProcDelay)
+	v.injectNow(pkt, dst)
+}
+
+// InjectDecGC fires a single VIC-side counter-decrement packet (no PCIe per
+// packet). It backs the hardware-supported subset barriers: the host kicks
+// the operation once; the VICs exchange the synchronisation packets.
+func (v *VIC) InjectDecGC(p *sim.Proc, dst, gcID int) {
+	v.st.PktsSent++
+	v.sendBarrierPkt(p, dst, gcID)
+}
