@@ -26,6 +26,7 @@ import (
 	"repro/internal/apps/vorticity"
 	"repro/internal/bench"
 	"repro/internal/dvswitch"
+	"repro/internal/faultplan"
 	"repro/internal/sim"
 )
 
@@ -172,6 +173,64 @@ func BenchmarkFig9Apps(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			r = heat.Run(heat.IB, heat.Params{Nodes: 32, N: 16, Steps: 10})
 		}
+		b.ReportMetric(r.Elapsed.Micros(), "us")
+	})
+}
+
+// BenchmarkExtN runs the fault-injection sweep of extension N: each workload
+// under packet loss, on the unprotected API and on the reliable-delivery
+// layer. The reliable runs validate bit-correct; the reported metrics are the
+// retransmit count and the slowdown relative to a clean run.
+func BenchmarkExtN(b *testing.B) {
+	plan := func() *faultplan.Plan {
+		return &faultplan.Plan{Seed: 7, DropProb: 1e-3, CorruptProb: 2.5e-4,
+			Window: faultplan.Window{Start: 5 * sim.Microsecond}}
+	}
+	b.Run("GUPS/reliable", func(b *testing.B) {
+		par := gups.Params{Nodes: 8, TableWordsNode: 1 << 10, UpdatesPerNode: 1 << 11,
+			Seed: 1, KeepTables: true, Faults: plan(), Reliable: true}
+		var r gups.Result
+		for i := 0; i < b.N; i++ {
+			r = gups.Run(gups.DV, par)
+		}
+		if bad := gups.Verify(par, r); bad != 0 {
+			b.Fatalf("reliable GUPS under faults: %d wrong words", bad)
+		}
+		b.ReportMetric(float64(r.Report.Reliability.Retransmits), "retransmits")
+		b.ReportMetric(r.Elapsed.Micros(), "us")
+	})
+	b.Run("heat/reliable", func(b *testing.B) {
+		par := heat.Params{Nodes: 8, N: 16, Steps: 10, KeepField: true,
+			Faults: plan(), Reliable: true}
+		var r heat.Result
+		for i := 0; i < b.N; i++ {
+			r = heat.Run(heat.DV, par)
+		}
+		if err := heat.MaxErr(par, r.Field); err > 1e-9 {
+			b.Fatalf("reliable heat under faults: max error %g", err)
+		}
+		b.ReportMetric(float64(r.Report.Reliability.Retransmits), "retransmits")
+		b.ReportMetric(r.Elapsed.Micros(), "us")
+	})
+	b.Run("barrier/reliable", func(b *testing.B) {
+		var r barrier.Result
+		for i := 0; i < b.N; i++ {
+			r = barrier.RunOpts(barrier.DVReliable, 8, 30, barrier.Opts{Faults: plan()})
+		}
+		if r.Completed != r.Iters || r.Errors != 0 {
+			b.Fatalf("reliable barrier under faults: %d/%d, %d errors", r.Completed, r.Iters, r.Errors)
+		}
+		b.ReportMetric(float64(r.Report.Reliability.Retransmits), "retransmits")
+		b.ReportMetric(r.Latency.Micros(), "us/barrier")
+	})
+	b.Run("GUPS/unprotected", func(b *testing.B) {
+		par := gups.Params{Nodes: 8, TableWordsNode: 1 << 10, UpdatesPerNode: 1 << 11,
+			Seed: 1, KeepTables: true, Faults: plan(), WaitTimeout: 2 * sim.Millisecond}
+		var r gups.Result
+		for i := 0; i < b.N; i++ {
+			r = gups.Run(gups.DV, par)
+		}
+		b.ReportMetric(float64(r.Lost), "lost")
 		b.ReportMetric(r.Elapsed.Micros(), "us")
 	})
 }

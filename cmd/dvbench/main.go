@@ -34,7 +34,7 @@ func main() {
 		fmt.Println("extensions:  extA(switch) extB(scale) extC(ablation) extD(scaleapps)")
 		fmt.Println("             extE(routing) extF(multirail) extG(pagerank) extH(faults)")
 		fmt.Println("             extI(spmv) extJ(subset) extK(sort) extL(provisioning)")
-		fmt.Println("             extM(appscaling) validate")
+		fmt.Println("             extM(appscaling) extN(reliability) validate")
 		return
 	}
 	opt := bench.Options{Small: *small}
@@ -96,6 +96,8 @@ func main() {
 		tables = append(tables, bench.ExtProvisioning(opt))
 	case "extm", "appscaling":
 		tables = append(tables, bench.ExtAppScaling(opt))
+	case "extn", "reliability":
+		tables = append(tables, bench.ExtReliability(opt))
 	case "validate":
 		tables = append(tables, bench.Validate(opt))
 	default:

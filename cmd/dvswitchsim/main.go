@@ -7,16 +7,41 @@
 //
 //	dvswitchsim [-heights 8] [-angles 4] [-pattern uniform|hotspot|tornado|bursty]
 //	            [-load 0.5] [-cycles 20000]
+//	            [-droprate 1e-4] [-corruptrate 1e-5] [-faultwindow 1000:5000]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/dvswitch"
+	"repro/internal/faultplan"
 	"repro/internal/sim"
 )
+
+// parseWindow parses a "start:end" cycle window; end may be omitted or 0 for
+// "until the end of the run".
+func parseWindow(s string) (start, end int64, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	lo, hi, _ := strings.Cut(s, ":")
+	if start, err = strconv.ParseInt(lo, 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("bad window start %q", lo)
+	}
+	if hi != "" {
+		if end, err = strconv.ParseInt(hi, 10, 64); err != nil {
+			return 0, 0, fmt.Errorf("bad window end %q", hi)
+		}
+	}
+	if start < 0 || end < 0 || (end > 0 && end <= start) {
+		return 0, 0, fmt.Errorf("invalid window %q", s)
+	}
+	return start, end, nil
+}
 
 func main() {
 	heights := flag.Int("heights", 8, "cylinder heights H (power of two)")
@@ -26,6 +51,9 @@ func main() {
 	cycles := flag.Int("cycles", 20000, "injection cycles")
 	seed := flag.Uint64("seed", 1, "RNG seed")
 	faults := flag.Int("faults", 0, "number of random dead mid-fabric switching nodes")
+	droprate := flag.Float64("droprate", 0, "per-link-traversal drop probability")
+	corruptrate := flag.Float64("corruptrate", 0, "per-link-traversal payload-corruption probability")
+	faultwindow := flag.String("faultwindow", "", "cycle window start:end for link faults (default: whole run)")
 	flag.Parse()
 
 	p := dvswitch.Params{Heights: *heights, Angles: *angles}
@@ -39,6 +67,18 @@ func main() {
 	for k := 0; k < *faults; k++ {
 		cl := 1 + rng.Intn(p.Cylinders()-1)
 		c.SetFaulty(cl, rng.Intn(p.Heights), rng.Intn(p.Angles), true)
+	}
+	if *droprate > 0 || *corruptrate > 0 {
+		wStart, wEnd, err := parseWindow(*faultwindow)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvswitchsim: %v\n", err)
+			os.Exit(2)
+		}
+		plan := faultplan.Plan{Seed: *seed}
+		c.SetFaultProbs(dvswitch.FaultProbs{
+			Drop: *droprate, Corrupt: *corruptrate,
+			StartCycle: wStart, EndCycle: wEnd,
+		}, plan.EntityRNG("dvswitch-core", 0))
 	}
 	ports := p.Ports()
 	burstLeft := make([]int, ports)
@@ -92,7 +132,11 @@ func main() {
 		st.MeanLatency(), st.LatencyPercentile(50), st.LatencyPercentile(99), st.MaxLatency)
 	fmt.Printf("  mean deflects  %.2f per packet\n", st.MeanDeflections())
 	fmt.Printf("  queued cycles  %d total\n", st.QueuedCycles)
-	if *faults > 0 {
-		fmt.Printf("  dropped        %d (lost to %d dead nodes)\n", st.Dropped, *faults)
+	if *faults > 0 || *droprate > 0 {
+		fmt.Printf("  dropped        %d (%d dead nodes, %.2g/link drop rate)\n",
+			st.Dropped, *faults, *droprate)
+	}
+	if *corruptrate > 0 {
+		fmt.Printf("  corrupted      %d (%.2g/link corrupt rate)\n", st.Corrupted, *corruptrate)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/faultplan"
 	"repro/internal/sim"
 	"repro/internal/vic"
 )
@@ -27,6 +28,10 @@ const (
 	DVFastBarrier
 	// MPIBarrier is MPI over InfiniBand.
 	MPIBarrier
+	// DVReliable is the software dissemination barrier over the reliable-
+	// delivery layer: every notification is retransmitted until acknowledged,
+	// so the barrier completes even when the fabric drops packets.
+	DVReliable
 )
 
 // String names the implementation as Figure 4 labels it.
@@ -38,8 +43,22 @@ func (i Impl) String() string {
 		return "Fast Barrier"
 	case MPIBarrier:
 		return "Infiniband"
+	case DVReliable:
+		return "DV Reliable"
 	}
 	return "unknown"
+}
+
+// Opts configures fault injection for a run.
+type Opts struct {
+	// Faults injects a fault plan into the run's fabric (Ext N).
+	Faults *faultplan.Plan
+	// WaitTimeout, when > 0, bounds the Fast Barrier's counter waits so a
+	// lossy run terminates (with Completed < Iters) instead of hanging. The
+	// intrinsic barrier has no bounded wait: under loss its nodes park
+	// forever and the run ends when the event queue drains, which Completed
+	// likewise exposes.
+	WaitTimeout sim.Time
 }
 
 // Result is one measurement.
@@ -48,10 +67,23 @@ type Result struct {
 	Nodes   int
 	Iters   int
 	Latency sim.Time // mean time per barrier
+
+	// Completed is the minimum number of barrier iterations any node got
+	// through — Iters on a healthy run, less when loss wedged the barrier.
+	Completed int
+	// Errors counts reliable-barrier calls that exhausted the retry budget.
+	Errors int
+	// Report is the cluster run report (fault and reliability telemetry).
+	Report *cluster.Report
 }
 
 // Run measures mean barrier latency over iters synchronised barriers.
 func Run(impl Impl, nodes, iters int) Result {
+	return RunOpts(impl, nodes, iters, Opts{})
+}
+
+// RunOpts is Run with fault-injection options.
+func RunOpts(impl Impl, nodes, iters int, opts Opts) Result {
 	if iters <= 0 {
 		iters = 100
 	}
@@ -61,42 +93,76 @@ func Run(impl Impl, nodes, iters int) Result {
 	} else {
 		cfg.Stacks = cluster.StackDV
 	}
+	cfg.Faults = opts.Faults
+	completed := make([]int, nodes)
+	errs := 0
 	var total sim.Time
-	cluster.Run(cfg, func(n *cluster.Node) {
-		var bar func()
+	rep := cluster.Run(cfg, func(n *cluster.Node) {
+		// Each bar() reports whether the barrier completed; a node whose
+		// barrier gave up stops iterating, leaving its progress visible in
+		// completed (progress is recorded before any wait can wedge).
+		var bar func() bool
 		switch impl {
 		case DVIntrinsic:
-			bar = n.DV.Barrier
+			bar = func() bool { n.DV.Barrier(); return true }
 		case DVFastBarrier:
-			bar = newFastBarrier(n)
+			bar = newFastBarrier(n, opts.WaitTimeout)
 		case MPIBarrier:
-			bar = n.MPI.Barrier
+			bar = func() bool { n.MPI.Barrier(); return true }
+		case DVReliable:
+			bar = func() bool {
+				if err := n.DV.ReliableBarrier(); err != nil {
+					errs++
+					return false
+				}
+				return true
+			}
 		}
-		bar() // synchronise entry
+		if !bar() { // synchronise entry
+			return
+		}
 		t0 := n.P.Now()
 		for i := 0; i < iters; i++ {
-			bar()
+			if !bar() {
+				return
+			}
+			completed[n.ID] = i + 1
 		}
-		if d := n.P.Now() - t0; n.ID == 0 {
-			total = d
+		if n.ID == 0 {
+			total = n.P.Now() - t0
 		}
 	})
-	return Result{Impl: impl, Nodes: nodes, Iters: iters, Latency: total / sim.Time(iters)}
+	res := Result{Impl: impl, Nodes: nodes, Iters: iters, Errors: errs, Report: rep}
+	res.Completed = iters
+	for _, c := range completed {
+		if c < res.Completed {
+			res.Completed = c
+		}
+	}
+	if total > 0 {
+		res.Latency = total / sim.Time(iters)
+	}
+	return res
 }
 
 // newFastBarrier builds the all-to-all barrier closure for one node. Two
 // counters alternate between consecutive barriers so that a fast neighbour's
-// next-epoch decrements never race this node's re-arm.
-func newFastBarrier(n *cluster.Node) func() {
+// next-epoch decrements never race this node's re-arm. A timeout of 0 means
+// wait forever; otherwise the closure reports false when a wait expires.
+func newFastBarrier(n *cluster.Node, timeout sim.Time) func() bool {
 	e := n.DV
 	gcs := [2]int{e.AllocGC(), e.AllocGC()}
 	peers := int64(e.Size() - 1)
 	e.ArmGC(gcs[0], peers)
 	e.ArmGC(gcs[1], peers)
 	e.Barrier() // everyone armed before first use
+	wait := sim.Forever
+	if timeout > 0 {
+		wait = timeout
+	}
 	epoch := 0
 	words := make([]vic.Word, 0, peers)
-	return func() {
+	return func() bool {
 		gc := gcs[epoch&1]
 		epoch++
 		words = words[:0]
@@ -106,8 +172,11 @@ func newFastBarrier(n *cluster.Node) func() {
 			}
 		}
 		e.Scatter(vic.PIOCached, words)
-		e.WaitGC(gc, sim.Forever)
+		if !e.WaitGC(gc, wait) {
+			return false // a notification was lost; abort this node
+		}
 		e.AddGC(gc, peers) // re-arm for two epochs later
+		return true
 	}
 }
 

@@ -58,7 +58,7 @@ func TestFastBarrierActuallySynchronises(t *testing.T) {
 	phase := make([]int, n)
 	violated := false
 	cluster.Run(cfg, func(nd *cluster.Node) {
-		bar := newFastBarrier(nd)
+		bar := newFastBarrier(nd, 0)
 		for it := 0; it < iters; it++ {
 			nd.Compute(sim.Time(nd.RNG.Intn(3000)) * sim.Nanosecond)
 			phase[nd.ID]++

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/faultplan"
 	"repro/internal/mpi"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -56,6 +57,17 @@ type Params struct {
 	Trace *trace.Recorder
 	// IBAdaptive enables adaptive fat-tree routing for the MPI variant.
 	IBAdaptive bool
+
+	// Faults injects a fault plan into the run's fabrics (Ext N).
+	Faults *faultplan.Plan
+	// Reliable routes the DV variant through the reliable-delivery layer
+	// (mailbox writes via ReliableScatter, ReliableBarrier between rounds),
+	// producing validated-correct tables even under packet loss.
+	Reliable bool
+	// WaitTimeout, when > 0, bounds the unprotected DV variant's completion
+	// waits so a run under packet loss terminates and reports lost updates
+	// instead of hanging on a counter that will never reach zero.
+	WaitTimeout sim.Time
 }
 
 func (p *Params) defaults() {
@@ -81,6 +93,15 @@ type Result struct {
 	Elapsed sim.Time
 	// Tables holds each node's final fragment when KeepTables was set.
 	Tables [][]uint64
+
+	// Lost counts updates that were sent to a remote owner but never applied
+	// (unprotected DV path under faults; always 0 on the reliable path).
+	Lost int64
+	// Errors counts reliable-path operations that exhausted the retry budget.
+	Errors int
+	// Report is the cluster run report (drop, corruption, and reliability
+	// telemetry).
+	Report *cluster.Report
 }
 
 // MUPSPerNode returns millions of updates per second per processing element
@@ -114,6 +135,31 @@ func owner(a uint64, nodes, wordsPerNode int) (int, int) {
 	return int(idx) / wordsPerNode, int(idx) % wordsPerNode
 }
 
+// Verify replays the update streams serially on the host and counts the words
+// of the gathered tables that differ from the correct answer — zero for a
+// valid run. The run must have set KeepTables.
+func Verify(par Params, r Result) int {
+	par.defaults()
+	want := make([]uint64, par.Nodes*par.TableWordsNode)
+	for nd := 0; nd < par.Nodes; nd++ {
+		rng := updateStream(par.Seed, nd)
+		for i := 0; i < par.UpdatesPerNode; i++ {
+			a := rng.Uint64()
+			o, li := owner(a, par.Nodes, par.TableWordsNode)
+			want[o*par.TableWordsNode+li] ^= a
+		}
+	}
+	bad := 0
+	for nd, tab := range r.Tables {
+		for i, v := range tab {
+			if v != want[nd*par.TableWordsNode+i] {
+				bad++
+			}
+		}
+	}
+	return bad
+}
+
 // Run executes the benchmark and returns the measurement.
 func Run(net Net, par Params) Result {
 	par.defaults()
@@ -122,6 +168,7 @@ func Run(net Net, par Params) Result {
 	cfg.CycleAccurate = par.CycleAccurate
 	cfg.Trace = par.Trace
 	cfg.IB.Adaptive = par.IBAdaptive
+	cfg.Faults = par.Faults
 	if net == DV {
 		cfg.Stacks = cluster.StackDV
 	} else {
@@ -132,13 +179,22 @@ func Run(net Net, par Params) Result {
 		res.Tables = make([][]uint64, par.Nodes)
 	}
 	var span sim.Time
-	cluster.Run(cfg, func(n *cluster.Node) {
+	var sentRemote, drained int64
+	res.Report = cluster.Run(cfg, func(n *cluster.Node) {
 		table := make([]uint64, par.TableWordsNode)
 		var d sim.Time
-		if net == DV {
-			d = runDV(n, par, table)
-		} else {
+		switch {
+		case net != DV:
 			d = runMPI(n, par, table)
+		case par.Reliable:
+			var errs int
+			d, errs = runDVReliable(n, par, table)
+			res.Errors += errs
+		default:
+			var sent, got int64
+			d, sent, got = runDV(n, par, table)
+			sentRemote += sent
+			drained += got
 		}
 		if d > span {
 			span = d
@@ -148,6 +204,7 @@ func Run(net Net, par Params) Result {
 		}
 	})
 	res.Elapsed = span
+	res.Lost = sentRemote - drained
 	return res
 }
 
@@ -206,9 +263,16 @@ func runMPI(n *cluster.Node, par Params, table []uint64) sim.Time {
 // runDV aggregates at the source: every batch crosses PCIe as one DMA of
 // FIFO-addressed packets, the receiver drains its surprise FIFO between
 // batches, and a counted final exchange established how many updates each
-// node must still drain.
-func runDV(n *cluster.Node, par Params, table []uint64) sim.Time {
+// node must still drain. It returns the elapsed time plus the node's remote
+// send and drain tallies; under par.WaitTimeout the completion waits are
+// bounded, so a lossy fabric shows up as sent > drained (lost updates)
+// instead of a hang.
+func runDV(n *cluster.Node, par Params, table []uint64) (sim.Time, int64, int64) {
 	e := n.DV
+	wait := sim.Forever
+	if par.WaitTimeout > 0 {
+		wait = par.WaitTimeout
+	}
 	countBase := e.Alloc(par.Nodes) // per-source sent counters
 	countGC := e.AllocGC()
 	e.ArmGC(countGC, int64(par.Nodes-1))
@@ -216,18 +280,18 @@ func runDV(n *cluster.Node, par Params, table []uint64) sim.Time {
 	e.Barrier()
 	t0 := n.P.Now()
 
-	drained := 0
-	drain := func(block bool) {
+	drained := int64(0)
+	drain := func(block bool) bool {
 		for {
 			var a uint64
 			var ok bool
 			if block {
-				a, ok = e.PopFIFO(sim.Forever)
+				a, ok = e.PopFIFO(wait)
 			} else {
 				a, ok = e.TryPopFIFO()
 			}
 			if !ok {
-				return
+				return false
 			}
 			_, li := owner(a, par.Nodes, par.TableWordsNode)
 			table[li] ^= a
@@ -235,7 +299,7 @@ func runDV(n *cluster.Node, par Params, table []uint64) sim.Time {
 			n.Ops(1)    // decode
 			n.MemOps(1) // apply
 			if block {
-				return
+				return true
 			}
 		}
 	}
@@ -277,18 +341,106 @@ func runDV(n *cluster.Node, par Params, table []uint64) sim.Time {
 		}
 	}
 	e.Scatter(vic.DMACached, counts)
-	e.WaitGC(countGC, sim.Forever)
-	expected := 0
+	e.WaitGC(countGC, wait)
+	expected := int64(0)
 	for src, w := range e.Read(countBase, par.Nodes) {
 		if src != e.Rank() {
-			expected += int(w)
+			expected += int64(w)
 		}
 	}
 	for drained < expected {
-		drain(true)
+		if !drain(true) {
+			break // timed out with updates still missing: they are lost
+		}
 	}
-	e.Barrier()
-	return n.P.Now() - t0
+	sent := int64(0)
+	for _, c := range sentTo {
+		sent += c
+	}
+	if par.WaitTimeout == 0 {
+		// The intrinsic barrier hangs forever if one of its notification
+		// packets is lost, so the bounded (faulty) mode skips it.
+		e.Barrier()
+	}
+	return n.P.Now() - t0, sent, drained
+}
+
+// runDVReliable is the loss-tolerant DV variant: a bulk-synchronous mailbox
+// exchange over the reliable-delivery layer. Each round every node writes its
+// remote updates into per-source mailbox slots on the owners (unique
+// addresses, so retransmits are idempotent) plus a per-source count word,
+// all through ReliableScatter; a ReliableBarrier makes the round's writes
+// visible; owners then read their mailboxes and apply. Counts are written
+// every round — including zeros — so a stale count can never be mistaken for
+// fresh data.
+func runDVReliable(n *cluster.Node, par Params, table []uint64) (sim.Time, int) {
+	e := n.DV
+	b := par.BatchWords
+	mbox := e.Alloc(par.Nodes * b) // mailbox slot [src*b+j]
+	cnts := e.Alloc(par.Nodes)     // cnts[src] = words src sent me this round
+	rng := updateStream(par.Seed, n.ID)
+	errs := 0
+	fail := func(err error) {
+		if err != nil {
+			errs++
+		}
+	}
+	fail(e.ReliableBarrier())
+	t0 := n.P.Now()
+	rounds := (par.UpdatesPerNode + b - 1) / b
+	left := par.UpdatesPerNode
+	perDst := make([]int, par.Nodes)
+	words := make([]vic.Word, 0, 2*b)
+	for r := 0; r < rounds; r++ {
+		bb := b
+		if bb > left {
+			bb = left
+		}
+		left -= bb
+		for i := range perDst {
+			perDst[i] = 0
+		}
+		words = words[:0]
+		localApplied := 0
+		for i := 0; i < bb; i++ {
+			a := rng.Uint64()
+			dst, li := owner(a, par.Nodes, par.TableWordsNode)
+			if dst == e.Rank() {
+				table[li] ^= a
+				localApplied++
+			} else {
+				words = append(words, vic.Word{Dst: dst, Op: vic.OpWrite, GC: vic.NoGC,
+					Addr: mbox + uint32(e.Rank()*b+perDst[dst]), Val: a})
+				perDst[dst]++
+			}
+		}
+		for d := 0; d < par.Nodes; d++ {
+			if d != e.Rank() {
+				words = append(words, vic.Word{Dst: d, Op: vic.OpWrite, GC: vic.NoGC,
+					Addr: cnts + uint32(e.Rank()), Val: uint64(perDst[d])})
+			}
+		}
+		n.Ops(int64(2 * bb))
+		n.MemOps(int64(localApplied))
+		fail(e.ReliableScatter(words))
+		fail(e.ReliableBarrier()) // every mailbox write is now visible
+		counts := e.Read(cnts, par.Nodes)
+		applied := 0
+		for src := 0; src < par.Nodes; src++ {
+			if src == e.Rank() || counts[src] == 0 {
+				continue
+			}
+			for _, a := range e.Read(mbox+uint32(src*b), int(counts[src])) {
+				_, li := owner(a, par.Nodes, par.TableWordsNode)
+				table[li] ^= a
+				applied++
+			}
+		}
+		n.Ops(int64(applied))
+		n.MemOps(int64(applied))
+		fail(e.ReliableBarrier()) // reads done: slots may be overwritten
+	}
+	return n.P.Now() - t0, errs
 }
 
 // String renders a result row.

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"repro/internal/cluster"
+	"repro/internal/faultplan"
 	"repro/internal/mpi"
 	"repro/internal/sim"
 	"repro/internal/vic"
@@ -51,6 +52,16 @@ type Params struct {
 	KeepField bool
 	// CycleAccurate routes packets through the cycle-level switch.
 	CycleAccurate bool
+
+	// Faults injects a fault plan into the run's fabrics (Ext N).
+	Faults *faultplan.Plan
+	// Reliable routes the DV halo exchange through the reliable-delivery
+	// layer, keeping the answer exact under packet loss.
+	Reliable bool
+	// WaitTimeout, when > 0, bounds the unprotected DV variant's group-
+	// counter waits so a lossy run terminates (with a wrong answer that
+	// MaxErr exposes) instead of hanging.
+	WaitTimeout sim.Time
 }
 
 func (p *Params) defaults() {
@@ -81,6 +92,13 @@ type Result struct {
 	// Field is the gathered final field (x-major, N³ values) when
 	// KeepField was set.
 	Field []float64
+
+	// Timeouts counts halo waits that gave up (unprotected path under loss).
+	Timeouts int64
+	// Errors counts reliable-path operations that exhausted the retry budget.
+	Errors int
+	// Report is the cluster run report (fault and reliability telemetry).
+	Report *cluster.Report
 }
 
 // Decompose factors nodes into a 3-D grid (px ≥ py ≥ pz, as balanced as
@@ -126,6 +144,7 @@ func Run(net Net, par Params) Result {
 	cfg := cluster.DefaultConfig(par.Nodes)
 	cfg.Seed = par.Seed
 	cfg.CycleAccurate = par.CycleAccurate
+	cfg.Faults = par.Faults
 	if net == DV {
 		cfg.Stacks = cluster.StackDV
 	} else {
@@ -136,12 +155,14 @@ func Run(net Net, par Params) Result {
 		res.Field = make([]float64, par.N*par.N*par.N)
 	}
 	var span sim.Time
-	cluster.Run(cfg, func(n *cluster.Node) {
+	res.Report = cluster.Run(cfg, func(n *cluster.Node) {
 		s := newSolver(n, par, px, py, pz)
 		d := s.run(net)
 		if d > span {
 			span = d
 		}
+		res.Timeouts += s.timeouts
+		res.Errors += s.errs
 		if par.KeepField {
 			s.gatherInto(res.Field)
 		}
@@ -172,6 +193,16 @@ type solver struct {
 	expected    int64
 	prog        [2]*vic.DMAProgram
 	rdprog      [2]*vic.ReadProgram
+
+	timeouts int64 // bounded halo waits that gave up
+	errs     int   // reliable-path delivery errors
+}
+
+// fail tallies a reliable-path error.
+func (s *solver) fail(err error) {
+	if err != nil {
+		s.errs++
+	}
 }
 
 // Face order: -x, +x, -y, +y, -z, +z.
@@ -369,25 +400,36 @@ func opp(f int) int { return f ^ 1 }
 // run executes the timestep loop and returns the measured span.
 func (s *solver) run(net Net) sim.Time {
 	n := s.n
-	if net == DV {
-		n.DV.Barrier()
-	} else {
+	switch {
+	case net != DV:
 		n.MPI.Barrier()
+	case s.par.Reliable:
+		s.fail(n.DV.ReliableBarrier())
+	default:
+		n.DV.Barrier()
 	}
 	t0 := n.P.Now()
 	buf := make([]float64, s.lx*s.ly+s.ly*s.lz+s.lx*s.lz) // scratch max face
 	for step := 0; step < s.par.Steps; step++ {
-		if net == DV {
-			s.exchangeDV(step, buf)
-		} else {
+		switch {
+		case net != DV:
 			s.exchangeMPI(buf)
+		case s.par.Reliable:
+			s.exchangeDVReliable(step, buf)
+		default:
+			s.exchangeDV(step, buf)
 		}
 		s.update()
 	}
-	if net == DV {
-		n.DV.Barrier()
-	} else {
+	switch {
+	case net != DV:
 		n.MPI.Barrier()
+	case s.par.Reliable:
+		s.fail(n.DV.ReliableBarrier())
+	case s.par.WaitTimeout == 0:
+		n.DV.Barrier()
+		// (bounded mode skips the intrinsic barrier: it hangs forever if one
+		// of its notification packets is lost)
 	}
 	return n.P.Now() - t0
 }
@@ -443,7 +485,13 @@ func (s *solver) exchangeDV(step int, buf []float64) {
 	}
 	s.n.Compute(sim.BytesAt(w*8, 8e9)) // pack pass
 	e.Trigger(s.prog[par])
-	e.WaitGC(s.gc[par], sim.Forever)
+	wait := sim.Forever
+	if s.par.WaitTimeout > 0 {
+		wait = s.par.WaitTimeout
+	}
+	if !e.WaitGC(s.gc[par], wait) {
+		s.timeouts++ // halo incomplete: the step proceeds on stale ghosts
+	}
 	// One DMA read covers every incoming face (the region layout is the
 	// same on every node, so senders can address slots symmetrically).
 	if s.expected > 0 {
@@ -461,6 +509,47 @@ func (s *solver) exchangeDV(step int, buf []float64) {
 		}
 	}
 	e.AddGC(s.gc[par], s.expected) // re-arm for step+2
+}
+
+// exchangeDVReliable is the halo exchange over the reliable-delivery layer:
+// the six faces go out as one ReliableScatter of plain writes into the
+// neighbours' halo regions (unique addresses, so retransmits are idempotent),
+// a ReliableBarrier stands in for the group-counter wait, and the incoming
+// halo is pulled with the same prepared DMA read as the unprotected path.
+func (s *solver) exchangeDVReliable(step int, buf []float64) {
+	e := s.n.DV
+	par := step & 1
+	var words []vic.Word
+	for f := 0; f < 6; f++ {
+		nb := s.neighbor(f)
+		if nb < 0 {
+			continue
+		}
+		face := buf[:s.faceWords[f]]
+		s.packFace(f, face)
+		base := s.region[par] + uint32(s.inOff[opp(f)])
+		for w, v := range face {
+			words = append(words, vic.Word{Dst: nb, Op: vic.OpWrite, GC: vic.NoGC,
+				Addr: base + uint32(w), Val: math.Float64bits(v)})
+		}
+	}
+	s.n.Compute(sim.BytesAt(len(words)*8, 8e9)) // pack pass
+	s.fail(e.ReliableScatter(words))
+	s.fail(e.ReliableBarrier())
+	if s.expected > 0 {
+		raw := e.Pull(s.rdprog[par])
+		var vals []float64
+		for f := 0; f < 6; f++ {
+			if s.neighbor(f) < 0 {
+				continue
+			}
+			vals = vals[:0]
+			for _, b := range raw[s.inOff[f] : s.inOff[f]+s.faceWords[f]] {
+				vals = append(vals, math.Float64frombits(b))
+			}
+			s.unpackFace(f, vals)
+		}
+	}
 }
 
 // gatherInto copies this node's interior into the global field (host-side

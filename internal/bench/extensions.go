@@ -325,7 +325,7 @@ func ExtFaults(opt Options) *Table {
 	t := &Table{
 		ID:      "extH",
 		Title:   "Fault injection: dead switching nodes vs delivery and latency",
-		Columns: []string{"dead nodes", "delivered", "dropped", "mean lat (cyc)"},
+		Columns: []string{"dead nodes", "delivered", "dropped", "mean lat (cyc)", "p99 lat (cyc)"},
 		Notes: []string{
 			"refs [12][13] analyse Data Vortex terminal reliability; deflection paths provide the redundancy",
 		},
@@ -359,7 +359,8 @@ func ExtFaults(opt Options) *Table {
 		t.AddRow(fmt.Sprintf("%d", dead),
 			fmt.Sprintf("%.2f%%", 100*float64(st.Delivered)/float64(st.Injected)),
 			fmt.Sprintf("%d", st.Dropped),
-			fmt.Sprintf("%.1f", st.MeanLatency()))
+			fmt.Sprintf("%.1f", st.MeanLatency()),
+			fmt.Sprintf("%d", st.LatencyPercentile(99)))
 	}
 	return t
 }
@@ -569,6 +570,6 @@ func All(opt Options, traceOut io.Writer) []*Table {
 		ExtSwitchTraffic(opt), ExtScale(opt), ExtAblation(opt), ExtScaleApps(opt),
 		ExtRouting(opt), ExtMultiRail(opt), ExtPageRank(opt), ExtFaults(opt),
 		ExtSpMV(opt), ExtSubsetBarrier(opt), ExtSort(opt), ExtProvisioning(opt),
-		ExtAppScaling(opt),
+		ExtAppScaling(opt), ExtReliability(opt),
 	}
 }

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestExtReliability pins the extension-N acceptance claims: every reliable
+// row validates, every nonzero-rate reliable row retransmits, and at least
+// one unprotected row fails visibly.
+func TestExtReliability(t *testing.T) {
+	tb := ExtReliability(small)
+	checkTable(t, tb, 12)
+	var unprotectedFailures int
+	for _, r := range tb.Rows {
+		workload, rate, path, valid := r[0], r[1], r[2], r[3]
+		retrans, _ := strconv.ParseInt(r[7], 10, 64)
+		switch path {
+		case "reliable":
+			if valid != "yes" {
+				t.Errorf("%s@%s reliable row not valid: %v", workload, rate, r)
+			}
+			if rate != "0" && workload != "barrier" && retrans == 0 {
+				t.Errorf("%s@%s reliable row without retransmits: %v", workload, rate, r)
+			}
+		case "unprotected":
+			if valid == "NO" {
+				unprotectedFailures++
+			}
+			if retrans != 0 {
+				t.Errorf("%s@%s unprotected row retransmitted: %v", workload, rate, r)
+			}
+		default:
+			t.Errorf("unknown path %q in %v", path, r)
+		}
+	}
+	if unprotectedFailures == 0 {
+		t.Error("no unprotected run failed under injected loss")
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/dv"
 	"repro/internal/dvswitch"
+	"repro/internal/faultplan"
 	"repro/internal/ib"
 	"repro/internal/mpi"
 	"repro/internal/sim"
@@ -78,6 +79,13 @@ type Config struct {
 	IB  ib.Params
 	MPI mpi.Params
 	CPU CPUModel
+
+	// Faults, when non-nil, injects the plan's failures into every enabled
+	// stack: link drop/corrupt probabilities and dead nodes into the Data
+	// Vortex fabric, DMA stalls and FIFO capacity squeezes into the VICs,
+	// and link flaps into the InfiniBand fabric. Runs remain bit-reproducible
+	// for a fixed (Seed, Faults) pair.
+	Faults *faultplan.Plan
 
 	// Trace, when non-nil, records states and MPI messages.
 	Trace *trace.Recorder
@@ -154,6 +162,15 @@ type Report struct {
 	DVFabric dvswitch.Stats
 	VICs     []vic.Stats
 	IBFabric ib.Stats
+
+	// Dropped is the total packets lost this run across loss mechanisms:
+	// fabric drops, CRC-discarded corruptions, and surprise-FIFO overflow.
+	Dropped int64
+	// Corrupted is the number of in-flight payload corruptions injected.
+	Corrupted int64
+	// Reliability aggregates the dv reliable-delivery counters (retransmits,
+	// retry rounds, recovery time) over every endpoint of the run.
+	Reliability dv.ReliableStats
 }
 
 // Run executes body SPMD-style on every node and returns the report.
@@ -185,16 +202,24 @@ func Run(cfg Config, body func(n *Node)) *Report {
 			ct = dvswitch.DefaultCycleTime
 		}
 		if cfg.CycleAccurate {
-			fabric = dvswitch.NewEngine(k, geom, ct)
+			eng := dvswitch.NewEngine(k, geom, ct)
+			eng.ApplyPlan(cfg.Faults)
+			fabric = eng
 		} else {
-			fabric = dvswitch.NewFastModel(k, geom, ct, rng.Split())
+			fm := dvswitch.NewFastModel(k, geom, ct, rng.Split())
+			fm.ApplyPlan(cfg.Faults)
+			fabric = fm
+		}
+		vicPar := cfg.VIC
+		if cfg.Faults != nil && cfg.Faults.FIFOCapacity > 0 {
+			vicPar.FIFOCapacity = cfg.Faults.FIFOCapacity
 		}
 		stride = fabric.Ports() / total
 		vics = make([]*vic.VIC, total)
 		for r := 0; r < rails; r++ {
 			for i := 0; i < cfg.Nodes; i++ {
 				g := r*cfg.Nodes + i
-				v := vic.New(k, i, g*stride, cfg.VIC, fabric.Inject)
+				v := vic.New(k, i, g*stride, vicPar, fabric.Inject)
 				base := r * cfg.Nodes
 				v.SetPortResolver(func(id int) int { return (base + id) * stride })
 				v.BarrierInit(cfg.Nodes)
@@ -212,12 +237,25 @@ func Run(cfg Config, body func(n *Node)) *Report {
 			}
 		}
 		fabric.OnDeliver(deliver)
+		if cfg.Faults != nil {
+			for _, s := range cfg.Faults.DMAStalls {
+				if s.VIC >= 0 && s.VIC < len(vics) {
+					vics[s.VIC].StallDMA(s.At, s.Stall)
+				}
+			}
+		}
 	}
 
 	// InfiniBand/MPI stack.
 	var world *mpi.World
 	if cfg.Stacks&StackIB != 0 {
-		world = mpi.NewWorld(k, ib.New(k, cfg.Nodes, cfg.IB), cfg.MPI)
+		ibf := ib.New(k, cfg.Nodes, cfg.IB)
+		if cfg.Faults != nil {
+			for _, fl := range cfg.Faults.IBFlaps {
+				ibf.ScheduleFlap(fl.Leaf, fl.Spine, fl.Start, fl.Down)
+			}
+		}
+		world = mpi.NewWorld(k, ibf, cfg.MPI)
 		if cfg.Trace.Enabled() {
 			world.OnMessage(func(src, dst int, t0, t1 sim.Time, bytes int) {
 				cfg.Trace.Message(src, dst, t0, t1, bytes)
@@ -226,6 +264,7 @@ func Run(cfg Config, body func(n *Node)) *Report {
 	}
 
 	rep := &Report{NodeTimes: make([]sim.Time, cfg.Nodes)}
+	endpoints := make([][]*dv.Endpoint, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		i := i
 		nodeRNG := rng.Split()
@@ -238,6 +277,7 @@ func Run(cfg Config, body func(n *Node)) *Report {
 					n.Rails = append(n.Rails, e)
 				}
 				n.DV = n.Rails[0]
+				endpoints[i] = n.Rails
 			}
 			if world != nil {
 				n.MPI = world.Bind(i, p)
@@ -253,8 +293,16 @@ func Run(cfg Config, body func(n *Node)) *Report {
 	if fabric != nil {
 		rep.DVFabric = fabric.FabricStats()
 		rep.VICs = make([]vic.Stats, len(vics))
+		rep.Dropped = rep.DVFabric.Dropped
+		rep.Corrupted = rep.DVFabric.Corrupted
 		for i, v := range vics {
 			rep.VICs[i] = v.Stats()
+			rep.Dropped += rep.VICs[i].CorruptDropped + rep.VICs[i].FIFODropped
+		}
+		for _, rails := range endpoints {
+			for _, e := range rails {
+				rep.Reliability.Merge(e.ReliableTelemetry())
+			}
 		}
 	}
 	if world != nil {

@@ -32,6 +32,9 @@ type Endpoint struct {
 
 	heapNext uint32
 	gcNext   int
+
+	rel     *reliableState // lazily-initialised reliable-delivery layer
+	relOpts *ReliableOpts  // options staged before first reliable use
 }
 
 // NewEndpoint wraps a VIC as rank's endpoint in a size-node program.
@@ -56,8 +59,12 @@ func (e *Endpoint) Proc() *sim.Proc { return e.p }
 // addresses agree cluster-wide — the coordination discipline the paper
 // describes for DV Memory slot reuse.
 func (e *Endpoint) Alloc(words int) uint32 {
-	if int(e.heapNext)+words > e.V.Params().MemWords {
-		panic(fmt.Sprintf("dv: symmetric heap exhausted (%d + %d words)", e.heapNext, words))
+	limit := e.V.Params().MemWords
+	if e.rel != nil {
+		limit = int(e.rel.limit) // reliable scratch occupies the top of memory
+	}
+	if int(e.heapNext)+words > limit {
+		panic(fmt.Sprintf("dv: symmetric heap exhausted (%d + %d words, limit %d)", e.heapNext, words, limit))
 	}
 	base := e.heapNext
 	e.heapNext += uint32(words)
@@ -65,10 +72,11 @@ func (e *Endpoint) Alloc(words int) uint32 {
 }
 
 // AllocGC reserves a group counter from the symmetric pool (skipping the
-// scratch counter and the two barrier-reserved counters).
+// scratch counter, the two barrier-reserved counters, and the counter the
+// reliable-delivery layer uses as its ack path).
 func (e *Endpoint) AllocGC() int {
 	gc := e.gcNext
-	if gc >= e.V.Params().BarrierGCA {
+	if gc >= e.ackGC() {
 		panic("dv: out of group counters")
 	}
 	e.gcNext++

@@ -20,6 +20,8 @@ package dvswitch
 import (
 	"fmt"
 	"math/bits"
+
+	"repro/internal/sim"
 )
 
 // Packet is one Data Vortex network packet: a 64-bit header and a 64-bit
@@ -35,6 +37,10 @@ type Packet struct {
 	InjectCycle int64 // cycle at which the packet entered the fabric
 	Hops        int   // switching nodes traversed
 	Deflections int   // deflection-path traversals (routing or contention)
+
+	// Corrupt marks a payload damaged by an injected link fault. The switch
+	// still delivers the packet; the receiving VIC's CRC model discards it.
+	Corrupt bool
 }
 
 // WireBytes is the size of a packet on the wire: 64-bit header + 64-bit
@@ -94,6 +100,7 @@ type Stats struct {
 	MaxLatency     int64
 	QueuedCycles   int64 // cycles packets spent waiting in injection queues
 	Dropped        int64 // packets lost to injected faults (fault studies)
+	Corrupted      int64 // payload corruptions injected by link faults
 
 	// LatHist buckets delivered-packet latencies by log2(cycles):
 	// bucket i counts latencies in [2^i, 2^(i+1)).
@@ -176,6 +183,14 @@ type Core struct {
 	// A packet whose only legal moves lead into dead nodes is dropped and
 	// counted, since a bufferless fabric cannot hold it.
 	faulty []bool
+
+	// fp/frng configure probabilistic per-link faults (SetFaultProbs).
+	fp   FaultProbs
+	frng *sim.RNG
+
+	// DropHook, when set, observes every packet lost to an injected fault
+	// (dead node or probabilistic drop). Used by invariant tests.
+	DropHook func(pkt Packet)
 
 	stats Stats
 }
@@ -263,12 +278,18 @@ func (c *Core) Step() {
 						c.drop(f)
 						continue
 					}
+					if c.linkFault(f) {
+						continue
+					}
 					f.Hops++
 					c.next[c.idx(cl, h, na)] = f
 					c.sameCyl[c.idx(cl, h, na)] = true
 					continue
 				}
 				bit := uint(L - 1 - cl) // height bit resolved by this cylinder
+				if c.linkFault(f) {
+					continue
+				}
 				f.Hops++
 				if (h>>bit)&1 == (dh>>bit)&1 && !c.sameCyl[c.idx(cl+1, h, na)] &&
 					!c.isFaulty(cl+1, h, na) {
@@ -377,6 +398,9 @@ func (c *Core) isFaulty(cyl, h, a int) bool {
 func (c *Core) drop(f *Packet) {
 	c.flying--
 	c.stats.Dropped++
+	if c.DropHook != nil {
+		c.DropHook(*f)
+	}
 }
 
 // RunUntilIdle steps until no packets remain (or maxCycles elapse) and

@@ -3,6 +3,7 @@ package dvswitch
 import (
 	"fmt"
 
+	"repro/internal/faultplan"
 	"repro/internal/sim"
 )
 
@@ -109,6 +110,11 @@ type FastModel struct {
 	rng *sim.RNG
 	fn  func(pkt Packet)
 	st  Stats
+
+	// fpl/frng configure probabilistic per-packet faults (ApplyPlan):
+	// the plan plus one independent RNG stream per source port.
+	fpl  *faultplan.Plan
+	frng []*sim.RNG
 }
 
 // NewFastModel builds the analytic fabric model.
@@ -185,6 +191,18 @@ func (m *FastModel) Inject(pkt Packet) {
 		defl++
 	}
 	flight := UnloadedFlightCycles(m.p, pkt.Src, pkt.Dst) + int64(2*defl)
+	if m.fpl != nil && m.fpl.Window.Contains(now) {
+		r := m.frng[pkt.Src]
+		if m.fpl.DropProb > 0 && r.Float64() < compound(m.fpl.DropProb, flight) {
+			m.st.Dropped++
+			return
+		}
+		if m.fpl.CorruptProb > 0 && r.Float64() < compound(m.fpl.CorruptProb, flight) {
+			pkt.Payload ^= 1 << (r.Uint64() & 63)
+			pkt.Corrupt = true
+			m.st.Corrupted++
+		}
+	}
 	arrive := entered + sim.Time(flight)*m.ct
 	// Ejection port: one packet per cycle.
 	done := m.out[pkt.Dst].ReserveAt(arrive-m.ct, m.ct)

@@ -1,0 +1,138 @@
+package dvswitch
+
+import (
+	"math"
+
+	"repro/internal/faultplan"
+	"repro/internal/sim"
+)
+
+// FaultProbs configures probabilistic per-link-traversal faults for the
+// cycle-accurate Core. Probabilities apply independently to every link a
+// packet traverses (one draw per hop), inside the cycle window
+// [StartCycle, EndCycle); EndCycle == 0 means "until the end of the run".
+type FaultProbs struct {
+	// Drop is the per-link-traversal probability of losing the packet.
+	Drop float64
+	// Corrupt is the per-link-traversal probability of flipping one payload
+	// bit. Corrupt packets are still delivered; the receiving VIC's CRC model
+	// discards them.
+	Corrupt float64
+	// StartCycle and EndCycle bound the window in switch cycles.
+	StartCycle, EndCycle int64
+}
+
+// SetFaultProbs installs probabilistic link faults on the core, drawing every
+// fate from rng. Passing a zero FaultProbs (or nil rng) disables them. The
+// core consumes the stream in its deterministic fabric-iteration order, so
+// fault outcomes are bit-reproducible for a fixed traffic pattern.
+func (c *Core) SetFaultProbs(fp FaultProbs, rng *sim.RNG) {
+	c.fp = fp
+	if fp.Drop <= 0 && fp.Corrupt <= 0 {
+		c.frng = nil
+		return
+	}
+	c.frng = rng
+}
+
+// faultsOn reports whether probabilistic link faults apply this cycle.
+func (c *Core) faultsOn() bool {
+	if c.frng == nil || c.cycle < c.fp.StartCycle {
+		return false
+	}
+	return c.fp.EndCycle == 0 || c.cycle < c.fp.EndCycle
+}
+
+// linkFault applies the per-link-traversal fault draws to a packet about to
+// traverse one link, reporting true when the packet was dropped. A corrupted
+// packet keeps flying with one payload bit flipped and Corrupt set.
+func (c *Core) linkFault(f *Packet) bool {
+	if !c.faultsOn() {
+		return false
+	}
+	if c.fp.Drop > 0 && c.frng.Float64() < c.fp.Drop {
+		c.drop(f)
+		return true
+	}
+	if c.fp.Corrupt > 0 && c.frng.Float64() < c.fp.Corrupt {
+		f.Payload ^= 1 << (c.frng.Uint64() & 63)
+		f.Corrupt = true
+		c.stats.Corrupted++
+	}
+	return false
+}
+
+// ApplyPlan wires a fault plan into the cycle-accurate engine: probabilistic
+// link faults go to the core (window converted from virtual time to cycles),
+// and every dead-node kill/revive is scheduled on the kernel. Dead nodes
+// outside this switch's geometry are ignored so one plan can serve several
+// fabric sizes. Times already in the past fire immediately.
+func (e *Engine) ApplyPlan(p *faultplan.Plan) {
+	if !p.Active() {
+		return
+	}
+	if p.DropProb > 0 || p.CorruptProb > 0 {
+		fp := FaultProbs{
+			Drop:       p.DropProb,
+			Corrupt:    p.CorruptProb,
+			StartCycle: int64(p.Window.Start / e.ct),
+		}
+		if p.Window.End > 0 {
+			fp.EndCycle = int64(p.Window.End / e.ct)
+			if fp.EndCycle <= fp.StartCycle {
+				fp.EndCycle = fp.StartCycle + 1
+			}
+		}
+		e.core.SetFaultProbs(fp, p.EntityRNG("dvswitch-core", 0))
+	}
+	par := e.core.p
+	for _, d := range p.DeadNodes {
+		if d.Cyl >= par.Cylinders() || d.Height >= par.Heights || d.Angle >= par.Angles {
+			continue
+		}
+		d := d
+		e.k.At(clampNow(e.k, d.Kill), func() {
+			e.core.SetFaulty(d.Cyl, d.Height, d.Angle, true)
+		})
+		if d.Revive > 0 {
+			e.k.At(clampNow(e.k, d.Revive), func() {
+				e.core.SetFaulty(d.Cyl, d.Height, d.Angle, false)
+			})
+		}
+	}
+}
+
+// Core exposes the engine's underlying cycle-accurate core (telemetry and
+// direct fault control for tests and the dvswitchsim CLI).
+func (e *Engine) Core() *Core { return e.core }
+
+// ApplyPlan wires a fault plan into the fast model. The model has no
+// individual links or switching nodes, so per-link probabilities are
+// compounded over each packet's flight-hop count into a single per-packet
+// fate, drawn from an independent per-source-port RNG stream; dead-node
+// entries are ignored. The window is evaluated at injection time.
+func (m *FastModel) ApplyPlan(p *faultplan.Plan) {
+	if !p.Active() || (p.DropProb <= 0 && p.CorruptProb <= 0) {
+		return
+	}
+	m.fpl = p
+	m.frng = make([]*sim.RNG, m.p.Ports())
+	for i := range m.frng {
+		m.frng[i] = p.EntityRNG("dvport", i)
+	}
+}
+
+// compound converts a per-link probability into a per-packet probability over
+// n link traversals: 1 - (1-p)^n.
+func compound(p float64, n int64) float64 {
+	return 1 - math.Pow(1-p, float64(n))
+}
+
+// clampNow returns at, but never earlier than the kernel's current time
+// (sim.Kernel.At panics on past times).
+func clampNow(k *sim.Kernel, at sim.Time) sim.Time {
+	if now := k.Now(); at < now {
+		return now
+	}
+	return at
+}

@@ -1,0 +1,151 @@
+package faultplan
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// String renders the plan in its canonical textual form: one directive per
+// line, scalars first, then one line per scheduled event. Times are integer
+// picoseconds; probabilities use the shortest exact decimal representation,
+// so Parse(p.String()) reproduces the plan bit for bit.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d\n", p.Seed)
+	fmt.Fprintf(&b, "drop %s\n", formatProb(p.DropProb))
+	fmt.Fprintf(&b, "corrupt %s\n", formatProb(p.CorruptProb))
+	fmt.Fprintf(&b, "window %d %d\n", int64(p.Window.Start), int64(p.Window.End))
+	fmt.Fprintf(&b, "fifocap %d\n", p.FIFOCapacity)
+	for _, d := range p.DeadNodes {
+		fmt.Fprintf(&b, "dead %d %d %d %d %d\n", d.Cyl, d.Height, d.Angle, int64(d.Kill), int64(d.Revive))
+	}
+	for _, s := range p.DMAStalls {
+		fmt.Fprintf(&b, "stall %d %d %d\n", s.VIC, int64(s.At), int64(s.Stall))
+	}
+	for _, f := range p.IBFlaps {
+		fmt.Fprintf(&b, "flap %d %d %d %d\n", f.Leaf, f.Spine, int64(f.Start), int64(f.Down))
+	}
+	return b.String()
+}
+
+// formatProb renders a probability with the shortest decimal that parses
+// back to the same float64.
+func formatProb(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Parse decodes the textual plan form accepted and produced by String.
+// Directives may appear in any order; blank lines and #-comments are
+// ignored; repeated event directives append. The decoded plan is validated,
+// so Parse never returns a plan String cannot round-trip.
+func Parse(text string) (*Plan, error) {
+	p := &Plan{}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		key, args := fields[0], fields[1:]
+		bad := func(err error) (*Plan, error) {
+			return nil, fmt.Errorf("faultplan: line %d (%q): %v", ln+1, line, err)
+		}
+		switch key {
+		case "seed":
+			if len(args) != 1 {
+				return bad(fmt.Errorf("want 1 arg"))
+			}
+			v, err := strconv.ParseUint(args[0], 10, 64)
+			if err != nil {
+				return bad(err)
+			}
+			p.Seed = v
+		case "drop", "corrupt":
+			if len(args) != 1 {
+				return bad(fmt.Errorf("want 1 arg"))
+			}
+			v, err := strconv.ParseFloat(args[0], 64)
+			if err != nil {
+				return bad(err)
+			}
+			if key == "drop" {
+				p.DropProb = v
+			} else {
+				p.CorruptProb = v
+			}
+		case "window":
+			ts, err := parseTimes(args, 2)
+			if err != nil {
+				return bad(err)
+			}
+			p.Window = Window{Start: ts[0], End: ts[1]}
+		case "fifocap":
+			if len(args) != 1 {
+				return bad(fmt.Errorf("want 1 arg"))
+			}
+			v, err := strconv.Atoi(args[0])
+			if err != nil {
+				return bad(err)
+			}
+			p.FIFOCapacity = v
+		case "dead":
+			ns, err := parseInts(args, 5)
+			if err != nil {
+				return bad(err)
+			}
+			p.DeadNodes = append(p.DeadNodes, DeadNode{
+				Cyl: int(ns[0]), Height: int(ns[1]), Angle: int(ns[2]),
+				Kill: sim.Time(ns[3]), Revive: sim.Time(ns[4])})
+		case "stall":
+			ns, err := parseInts(args, 3)
+			if err != nil {
+				return bad(err)
+			}
+			p.DMAStalls = append(p.DMAStalls, DMAStall{
+				VIC: int(ns[0]), At: sim.Time(ns[1]), Stall: sim.Time(ns[2])})
+		case "flap":
+			ns, err := parseInts(args, 4)
+			if err != nil {
+				return bad(err)
+			}
+			p.IBFlaps = append(p.IBFlaps, LinkFlap{
+				Leaf: int(ns[0]), Spine: int(ns[1]), Start: sim.Time(ns[2]), Down: sim.Time(ns[3])})
+		default:
+			return bad(fmt.Errorf("unknown directive"))
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// parseInts decodes exactly n decimal int64 arguments.
+func parseInts(args []string, n int) ([]int64, error) {
+	if len(args) != n {
+		return nil, fmt.Errorf("want %d args, got %d", n, len(args))
+	}
+	out := make([]int64, n)
+	for i, a := range args {
+		v, err := strconv.ParseInt(a, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// parseTimes decodes exactly n picosecond arguments.
+func parseTimes(args []string, n int) ([]sim.Time, error) {
+	ns, err := parseInts(args, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sim.Time, n)
+	for i, v := range ns {
+		out[i] = sim.Time(v)
+	}
+	return out, nil
+}

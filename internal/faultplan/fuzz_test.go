@@ -1,0 +1,34 @@
+package faultplan
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzPlanRoundTrip drives Parse with arbitrary text. Whatever Parse
+// accepts, its canonical String form must re-parse to an identical plan —
+// the config round-trip invariant the reliable-delivery experiments rely on
+// when replaying stored fault scenarios.
+func FuzzPlanRoundTrip(f *testing.F) {
+	f.Add(samplePlan().String())
+	f.Add((&Plan{}).String())
+	f.Add("seed 7\ndrop 0.5\n# comment\n\nwindow 100 200\n")
+	f.Add("dead 1 0 0 0 0\nstall 0 0 1\nflap 0 0 0 1\nfifocap 9\n")
+	f.Add("drop 1e-300\ncorrupt 0.9999999999999999\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := Parse(text)
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("Parse returned invalid plan %+v: %v", p, verr)
+		}
+		q, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, p.String())
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v\ntext: %q", p, q, text)
+		}
+	})
+}

@@ -58,6 +58,9 @@ type Stats struct {
 	Messages  int64
 	Bytes     int64
 	InterLeaf int64 // messages that crossed the spine level
+
+	Flaps        int64    // scheduled uplink outages applied (fault plans)
+	FlapDowntime sim.Time // total scheduled outage duration
 }
 
 // Fabric is the event-level InfiniBand model. Transfers are reserved on the
@@ -101,6 +104,26 @@ func (f *Fabric) Params() Params { return f.par }
 func (f *Fabric) FabricStats() Stats { return f.st }
 
 func (f *Fabric) leaf(node int) int { return node / f.par.LeafSize }
+
+// ScheduleFlap takes the leaf↔spine uplink (both directions) down for d
+// starting at time start, modelling a link flap from a fault plan. IB is
+// lossless link-level: traffic queued behind a down link waits it out, so a
+// flap shows up as added latency, not loss. Out-of-range links are ignored
+// (plans may target a larger topology); past start times fire immediately.
+func (f *Fabric) ScheduleFlap(leaf, spine int, start, d sim.Time) {
+	if d <= 0 || spine >= f.par.Spines || leaf >= len(f.up)/f.par.Spines {
+		return
+	}
+	if now := f.k.Now(); start < now {
+		start = now
+	}
+	f.k.At(start, func() {
+		f.st.Flaps++
+		f.st.FlapDowntime += d
+		f.up[leaf*f.par.Spines+spine].ReserveAt(start, d)
+		f.down[leaf*f.par.Spines+spine].ReserveAt(start, d)
+	})
+}
 
 // occupancy returns the time a resource is held by a message of the given
 // size at the given bandwidth, floored by the per-message gap.

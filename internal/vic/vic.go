@@ -56,6 +56,9 @@ type Stats struct {
 	FIFOPkts     int64
 	FIFODropped  int64 // surprise packets lost to a full FIFO
 	Barriers     int64
+
+	CorruptDropped int64 // packets discarded by the CRC check (injected faults)
+	DMAStalls      int64 // scheduled DMA-engine stalls applied (fault plans)
 }
 
 // VIC models one Vortex Interface Controller attached to a fabric port.
@@ -386,10 +389,34 @@ func (v *VIC) drainFIFO() {
 // Receive path
 
 // Receive executes an arriving packet. It is called by the cluster layer
-// from within the fabric's delivery event and must not block.
+// from within the fabric's delivery event and must not block. Packets whose
+// payload was corrupted in flight fail the link CRC and are discarded here;
+// to the sending application a corruption is indistinguishable from a drop.
 func (v *VIC) Receive(pkt dvswitch.Packet) {
 	v.st.PktsReceived++
+	if pkt.Corrupt {
+		v.st.CorruptDropped++
+		return
+	}
 	v.k.After(v.par.ProcDelay, func() { v.execute(pkt) })
+}
+
+// StallDMA wedges both DMA engines for d starting at time at (clamped to the
+// present), modelling a firmware hiccup or host IOMMU stall from a fault
+// plan. Transfers already in progress finish late; new ones queue behind the
+// stall.
+func (v *VIC) StallDMA(at, d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	if now := v.k.Now(); at < now {
+		at = now
+	}
+	v.k.At(at, func() {
+		v.st.DMAStalls++
+		v.dmaIn.ReserveAt(at, d)
+		v.dmaOut.ReserveAt(at, d)
+	})
 }
 
 func (v *VIC) execute(pkt dvswitch.Packet) {
