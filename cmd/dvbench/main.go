@@ -8,7 +8,9 @@
 //	dvbench -small          # fast smoke sizes
 //	dvbench -exp fig6a      # one experiment (fig3a fig3b fig4 fig5 fig6a
 //	                        # fig6b fig7 fig8 fig9 extA extB extC)
+//	dvbench -jobs 4         # fan independent sweep points over 4 workers
 //	dvbench -trace out.csv  # where fig5 writes its trace
+//	dvbench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -16,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/bench"
@@ -25,9 +29,43 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	small := flag.Bool("small", false, "use reduced problem sizes")
 	exp := flag.String("exp", "all", "experiment id or 'all'")
+	jobs := flag.Int("jobs", runtime.NumCPU(),
+		"worker count for independent sweep points (results identical at any value)")
 	tracePath := flag.String("trace", "gups_trace.csv", "output file for the fig5 trace CSV")
 	jsonPath := flag.String("json", "", "also write results as JSON to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dvbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dvbench: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dvbench: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *list {
 		fmt.Println("experiments: fig3a fig3b fig4 fig5 fig6a fig6b fig7 fig8 fig9")
@@ -37,7 +75,7 @@ func main() {
 		fmt.Println("             extM(appscaling) extN(reliability) validate")
 		return
 	}
-	opt := bench.Options{Small: *small}
+	opt := bench.Options{Small: *small, Jobs: *jobs}
 	var traceOut io.Writer
 	openTrace := func() io.Writer {
 		f, err := os.Create(*tracePath)

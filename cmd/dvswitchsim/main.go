@@ -6,7 +6,7 @@
 // Usage:
 //
 //	dvswitchsim [-heights 8] [-angles 4] [-pattern uniform|hotspot|tornado|bursty]
-//	            [-load 0.5] [-cycles 20000]
+//	            [-load 0.5] [-cycles 20000] [-dense]
 //	            [-droprate 1e-4] [-corruptrate 1e-5] [-faultwindow 1000:5000]
 package main
 
@@ -16,6 +16,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/dvswitch"
 	"repro/internal/faultplan"
@@ -54,6 +55,7 @@ func main() {
 	droprate := flag.Float64("droprate", 0, "per-link-traversal drop probability")
 	corruptrate := flag.Float64("corruptrate", 0, "per-link-traversal payload-corruption probability")
 	faultwindow := flag.String("faultwindow", "", "cycle window start:end for link faults (default: whole run)")
+	dense := flag.Bool("dense", false, "step with the dense full-fabric scan instead of the sparse active list (bit-identical; for perf comparison)")
 	flag.Parse()
 
 	p := dvswitch.Params{Heights: *heights, Angles: *angles}
@@ -62,6 +64,7 @@ func main() {
 		os.Exit(2)
 	}
 	c := dvswitch.NewCore(p)
+	c.Dense = *dense
 	c.Deliver = func(dvswitch.Packet, int64) {}
 	rng := sim.NewRNG(*seed)
 	for k := 0; k < *faults; k++ {
@@ -83,6 +86,7 @@ func main() {
 	ports := p.Ports()
 	burstLeft := make([]int, ports)
 	hot := ports / 3
+	wall := time.Now()
 	for cy := 0; cy < *cycles; cy++ {
 		for src := 0; src < ports; src++ {
 			inject := rng.Float64() < *load
@@ -121,9 +125,14 @@ func main() {
 		c.Step()
 	}
 	drain := c.RunUntilIdle(1 << 24)
+	elapsed := time.Since(wall)
 	st := c.Stats()
-	fmt.Printf("switch %dx%d (%d ports, %d cylinders), pattern=%s load=%.2f\n",
-		*heights, *angles, ports, p.Cylinders(), *pattern, *load)
+	stepper := "sparse"
+	if *dense {
+		stepper = "dense"
+	}
+	fmt.Printf("switch %dx%d (%d ports, %d cylinders), pattern=%s load=%.2f stepper=%s\n",
+		*heights, *angles, ports, p.Cylinders(), *pattern, *load, stepper)
 	fmt.Printf("  injected       %d\n", st.Injected)
 	fmt.Printf("  delivered      %d (drain took %d extra cycles)\n", st.Delivered, drain)
 	fmt.Printf("  throughput     %.3f packets/port/cycle\n",
@@ -132,6 +141,9 @@ func main() {
 		st.MeanLatency(), st.LatencyPercentile(50), st.LatencyPercentile(99), st.MaxLatency)
 	fmt.Printf("  mean deflects  %.2f per packet\n", st.MeanDeflections())
 	fmt.Printf("  queued cycles  %d total\n", st.QueuedCycles)
+	simCycles := int64(*cycles) + drain
+	fmt.Printf("  sim rate       %.2f Mcycles/s wall (%d cycles in %v)\n",
+		float64(simCycles)/elapsed.Seconds()/1e6, simCycles, elapsed.Round(time.Millisecond))
 	if *faults > 0 || *droprate > 0 {
 		fmt.Printf("  dropped        %d (%d dead nodes, %.2g/link drop rate)\n",
 			st.Dropped, *faults, *droprate)

@@ -38,15 +38,26 @@ func ExtSwitchTraffic(opt Options) *Table {
 	if opt.Small {
 		cycles = 4000
 	}
+	type point struct {
+		pattern string
+		load    float64
+	}
+	var pts []point
 	for _, pattern := range []string{"uniform", "hotspot", "tornado", "bursty"} {
 		for _, load := range []float64{0.2, 0.5, 0.9} {
-			st := runTraffic(pattern, load, cycles)
-			thr := float64(st.Delivered) / float64(cycles) / 32
-			t.AddRow(pattern, fmt.Sprintf("%.1f", load), fmt.Sprintf("%.3f", thr),
-				fmt.Sprintf("%.1f", st.MeanLatency()),
-				fmt.Sprintf("%d", st.LatencyPercentile(99)),
-				fmt.Sprintf("%.2f", st.MeanDeflections()))
+			pts = append(pts, point{pattern, load})
 		}
+	}
+	for _, row := range Sweep(opt.Jobs, len(pts), func(i int) []string {
+		pt := pts[i]
+		st := runTraffic(pt.pattern, pt.load, cycles)
+		thr := float64(st.Delivered) / float64(cycles) / 32
+		return []string{pt.pattern, fmt.Sprintf("%.1f", pt.load), fmt.Sprintf("%.3f", thr),
+			fmt.Sprintf("%.1f", st.MeanLatency()),
+			fmt.Sprintf("%d", st.LatencyPercentile(99)),
+			fmt.Sprintf("%.2f", st.MeanDeflections())}
+	}) {
+		t.AddRow(row...)
 	}
 	return t
 }
@@ -119,7 +130,8 @@ func ExtScale(opt Options) *Table {
 	if opt.Small {
 		cycles = 2000
 	}
-	for _, h := range heights {
+	for _, row := range Sweep(opt.Jobs, len(heights), func(i int) []string {
+		h := heights[i]
 		p := dvswitch.Params{Heights: h, Angles: 4}
 		c := dvswitch.NewCore(p)
 		c.Deliver = func(dvswitch.Packet, int64) {}
@@ -135,9 +147,11 @@ func ExtScale(opt Options) *Table {
 		}
 		c.RunUntilIdle(1 << 22)
 		st := c.Stats()
-		t.AddRow(fmt.Sprintf("%d", ports), fmt.Sprintf("%d", p.Cylinders()),
+		return []string{fmt.Sprintf("%d", ports), fmt.Sprintf("%d", p.Cylinders()),
 			fmt.Sprintf("%.1f", st.MeanLatency()),
-			fmt.Sprintf("%.3f", float64(st.Delivered)/float64(cycles)/float64(ports)))
+			fmt.Sprintf("%.3f", float64(st.Delivered)/float64(cycles)/float64(ports))}
+	}) {
+		t.AddRow(row...)
 	}
 	return t
 }
@@ -195,22 +209,25 @@ func ExtScaleApps(opt Options) *Table {
 	if opt.Small {
 		counts = []int{8, 16}
 	}
-	for _, n := range counts {
-		par := gups.Params{Nodes: n, TableWordsNode: 1 << 14, UpdatesPerNode: 1 << 12}
-		dv := gups.Run(gups.DV, par)
-		ib := gups.Run(gups.IB, par)
-		t.AddRow("GUPS (MUPS)", fmt.Sprintf("%d", n),
-			fmt.Sprintf("%.1f", dv.MUPS()), fmt.Sprintf("%.1f", ib.MUPS()),
-			fmt.Sprintf("%.2fx", dv.MUPS()/ib.MUPS()))
-	}
-	for _, n := range counts {
+	for _, row := range Sweep(opt.Jobs, 2*len(counts), func(i int) []string {
+		n := counts[i%len(counts)]
+		if i < len(counts) {
+			par := gups.Params{Nodes: n, TableWordsNode: 1 << 14, UpdatesPerNode: 1 << 12}
+			dv := gups.Run(gups.DV, par)
+			ib := gups.Run(gups.IB, par)
+			return []string{"GUPS (MUPS)", fmt.Sprintf("%d", n),
+				fmt.Sprintf("%.1f", dv.MUPS()), fmt.Sprintf("%.1f", ib.MUPS()),
+				fmt.Sprintf("%.2fx", dv.MUPS()/ib.MUPS())}
+		}
 		par := bfs.Params{Nodes: n, Scale: 14, EdgeFactor: 8, NRoots: 2}
 		dv := bfs.Run(bfs.DV, par)
 		ib := bfs.Run(bfs.IB, par)
-		t.AddRow("BFS (MTEPS)", fmt.Sprintf("%d", n),
+		return []string{"BFS (MTEPS)", fmt.Sprintf("%d", n),
 			fmt.Sprintf("%.1f", dv.HarmonicMeanTEPS()/1e6),
 			fmt.Sprintf("%.1f", ib.HarmonicMeanTEPS()/1e6),
-			fmt.Sprintf("%.2fx", dv.HarmonicMeanTEPS()/ib.HarmonicMeanTEPS()))
+			fmt.Sprintf("%.2fx", dv.HarmonicMeanTEPS()/ib.HarmonicMeanTEPS())}
+	}) {
+		t.AddRow(row...)
 	}
 	return t
 }
@@ -334,7 +351,9 @@ func ExtFaults(opt Options) *Table {
 	if opt.Small {
 		cycles = 1500
 	}
-	for _, dead := range []int{0, 1, 2, 4, 8} {
+	deads := []int{0, 1, 2, 4, 8}
+	for _, row := range Sweep(opt.Jobs, len(deads), func(i int) []string {
+		dead := deads[i]
 		p := dvswitch.Params{Heights: 8, Angles: 4}
 		c := dvswitch.NewCore(p)
 		c.Deliver = func(dvswitch.Packet, int64) {}
@@ -356,11 +375,13 @@ func ExtFaults(opt Options) *Table {
 		}
 		c.RunUntilIdle(1 << 22)
 		st := c.Stats()
-		t.AddRow(fmt.Sprintf("%d", dead),
+		return []string{fmt.Sprintf("%d", dead),
 			fmt.Sprintf("%.2f%%", 100*float64(st.Delivered)/float64(st.Injected)),
 			fmt.Sprintf("%d", st.Dropped),
 			fmt.Sprintf("%.1f", st.MeanLatency()),
-			fmt.Sprintf("%d", st.LatencyPercentile(99)))
+			fmt.Sprintf("%d", st.LatencyPercentile(99))}
+	}) {
+		t.AddRow(row...)
 	}
 	return t
 }
@@ -502,8 +523,9 @@ func ExtProvisioning(opt Options) *Table {
 	if opt.Small {
 		cycles = 2000
 	}
-	for _, heights := range []int{8, 16, 32} {
-		p := dvswitch.Params{Heights: heights, Angles: 4}
+	hs := []int{8, 16, 32}
+	for _, row := range Sweep(opt.Jobs, len(hs), func(i int) []string {
+		p := dvswitch.Params{Heights: hs[i], Angles: 4}
 		c := dvswitch.NewCore(p)
 		c.Deliver = func(dvswitch.Packet, int64) {}
 		rng := sim.NewRNG(31)
@@ -520,10 +542,12 @@ func ExtProvisioning(opt Options) *Table {
 		}
 		c.RunUntilIdle(1 << 22)
 		st := c.Stats()
-		t.AddRow(fmt.Sprintf("%d", p.Ports()),
+		return []string{fmt.Sprintf("%d", p.Ports()),
 			fmt.Sprintf("%.3f", float64(st.Delivered)/float64(cycles)/endpoints),
 			fmt.Sprintf("%.1f", st.MeanLatency()),
-			fmt.Sprintf("%d", st.LatencyPercentile(99)))
+			fmt.Sprintf("%d", st.LatencyPercentile(99))}
+	}) {
+		t.AddRow(row...)
 	}
 	return t
 }

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Sweep evaluates fn(0) … fn(n-1) — one independent sweep point each — on a
+// bounded worker pool and returns the results in index order.
+//
+// jobs is clamped to [1, runtime.NumCPU()]; jobs <= 1 runs inline with no
+// goroutines, so a serial sweep stays bit-for-bit the seed code path.
+// Results are deterministic regardless of jobs because every experiment's
+// sweep point derives its RNG stream from the point's own fixed seed (never
+// from a generator shared across points) and builds its own kernel/core;
+// the pool only changes wall-clock order, which nothing observes.
+func Sweep[T any](jobs, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if jobs > runtime.NumCPU() {
+		jobs = runtime.NumCPU()
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				out[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestSweepOrderAndCoverage checks that results land at their point's index
+// for every jobs setting, including clamping and degenerate sizes.
+func TestSweepOrderAndCoverage(t *testing.T) {
+	for _, jobs := range []int{0, 1, 2, 4, runtime.NumCPU() + 7} {
+		const n = 53
+		out := Sweep(jobs, n, func(i int) int { return i * i })
+		if len(out) != n {
+			t.Fatalf("jobs=%d: got %d results, want %d", jobs, len(out), n)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Errorf("jobs=%d: out[%d] = %d, want %d", jobs, i, v, i*i)
+			}
+		}
+	}
+	if got := Sweep(4, 0, func(i int) int { return i }); len(got) != 0 {
+		t.Errorf("n=0 sweep returned %d results", len(got))
+	}
+}
+
+// TestSweepDeterministic runs a real experiment serially and in parallel and
+// requires identical tables — the property the -jobs flag advertises.
+func TestSweepDeterministic(t *testing.T) {
+	run := func(jobs int) *Table {
+		return ExtFaults(Options{Small: true, Jobs: jobs})
+	}
+	serial, par := run(1), run(4)
+	if len(serial.Rows) != len(par.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial.Rows), len(par.Rows))
+	}
+	for i := range serial.Rows {
+		for j := range serial.Rows[i] {
+			if serial.Rows[i][j] != par.Rows[i][j] {
+				t.Errorf("row %d col %d: serial %q, parallel %q",
+					i, j, serial.Rows[i][j], par.Rows[i][j])
+			}
+		}
+	}
+}
+
+// BenchmarkSweepParallel measures the sweep runner on a representative
+// switch-traffic workload at 1 vs 4 workers; near-linear scaling to 4 is the
+// acceptance bar.
+func BenchmarkSweepParallel(b *testing.B) {
+	work := func(i int) int64 {
+		st := runTraffic("uniform", 0.5, 2000)
+		return st.Delivered + int64(i)
+	}
+	for _, jobs := range []int{1, 4} {
+		b.Run(map[int]string{1: "jobs1", 4: "jobs4"}[jobs], func(b *testing.B) {
+			b.ReportAllocs()
+			for n := 0; n < b.N; n++ {
+				Sweep(jobs, 8, work)
+			}
+		})
+	}
+}

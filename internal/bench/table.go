@@ -100,6 +100,10 @@ func WriteAllJSON(w io.Writer, tables []*Table) error {
 type Options struct {
 	// Small shrinks problem sizes and node sweeps for fast smoke runs.
 	Small bool
+	// Jobs bounds the worker pool that independent sweep points fan out
+	// over (see Sweep). 0 or 1 means serial; values above runtime.NumCPU()
+	// are clamped. Results are identical at any setting.
+	Jobs int
 }
 
 // nodeSweep returns the node counts of the paper's scaling figures.

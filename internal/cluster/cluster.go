@@ -69,6 +69,12 @@ type Config struct {
 	// CycleAccurate selects the cycle-level switch engine instead of the
 	// calibrated fast model for the Data Vortex fabric.
 	CycleAccurate bool
+	// DenseSwitch runs the cycle-accurate core on the dense full-fabric
+	// scan instead of the sparse active-list stepper. The two are
+	// bit-identical (enforced by differential tests); this knob exists for
+	// end-to-end cross-checks and perf comparisons. Only meaningful with
+	// CycleAccurate.
+	DenseSwitch bool
 	// SwitchGeom overrides the switch geometry (default: smallest geometry
 	// with one port per node, as on the paper's fully-subscribed testbed).
 	SwitchGeom dvswitch.Params
@@ -203,6 +209,9 @@ func Run(cfg Config, body func(n *Node)) *Report {
 		}
 		if cfg.CycleAccurate {
 			eng := dvswitch.NewEngine(k, geom, ct)
+			if cfg.DenseSwitch {
+				eng.Core().Dense = true
+			}
 			eng.ApplyPlan(cfg.Faults)
 			fabric = eng
 		} else {

@@ -20,6 +20,7 @@ package dvswitch
 import (
 	"fmt"
 	"math/bits"
+	"slices"
 
 	"repro/internal/sim"
 )
@@ -155,18 +156,65 @@ func (s Stats) MeanDeflections() float64 {
 	return float64(s.TotalDeflected) / float64(s.Delivered)
 }
 
+// ring is a growable FIFO of packet references with power-of-two capacity.
+// Dequeue is O(1); the capacity is retained across runs, so a port queue
+// that reached steady state never allocates again.
+type ring struct {
+	buf  []int32
+	head int
+	n    int
+}
+
+func (r *ring) push(v int32) {
+	if r.n == len(r.buf) {
+		nb := make([]int32, max(8, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+		}
+		r.buf, r.head = nb, 0
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+func (r *ring) pop() int32 {
+	v := r.buf[r.head]
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
 // Core is the cycle-accurate switch simulator. It is driven by calling Step
 // once per switch cycle; it has no notion of wall time.
+//
+// Packets live in an index-addressed pool; the occupancy grids hold pool
+// references (pool index + 1, 0 = empty) instead of pointers, so injection
+// never heap-allocates and a long run creates no garbage. Step iterates only
+// the occupied nodes (the active list) and clears only the scratch cells it
+// wrote, so a cycle costs O(in-flight packets), not O(fabric size) — the
+// regime that matters for the paper's sparse irregular traffic (GUPS, BFS).
 type Core struct {
-	p       Params
-	levels  int       // L = log2(H); cylinder L is the output ring
-	cyl     []*Packet // node occupancy, flattened [c][h][a]
-	sameCyl []bool    // scratch: node receives same-cylinder traffic this step
-	next    []*Packet // scratch: next node occupancy
-	inq     [][]Packet
-	cycle   int64
-	flying  int
-	queued  int
+	p      Params
+	levels int // L = log2(H); cylinder L is the output ring
+
+	pool []Packet // index-addressed packet pool (in-flight and queued)
+	free []int32  // reusable pool references
+
+	grid    []int32 // node occupancy, flattened [c][h][a]; pool ref or 0
+	next    []int32 // scratch: next node occupancy
+	sameCyl []bool  // scratch: node receives same-cylinder traffic this step
+
+	active     []int32   // occupied node indexes of grid (unsorted)
+	nextActive []int32   // dirty list: cells of next written this step
+	sigDirty   []int32   // dirty list: sameCyl flags set this step
+	byCyl      [][]int32 // per-cylinder scratch for sorting the active list
+
+	inq    []ring  // per-port injection queues (pool refs)
+	qports []int32 // ports with non-empty injection queues
+
+	cycle  int64
+	flying int
+	queued int
 
 	// Deliver is invoked for every ejected packet with the delivery cycle.
 	// It must be set before the first Step.
@@ -177,6 +225,13 @@ type Core struct {
 	// already-resolved bit prefix matches its destination. Used by tests;
 	// costs one pass over the fabric per Step.
 	CheckInvariants bool
+
+	// Dense routes Step through denseStep, the seed implementation's
+	// full-fabric scan. The two paths are bit-identical (same Stats, same
+	// delivery order, same fault-RNG consumption — enforced by the golden
+	// differential tests); Dense exists as the reference half of that
+	// comparison and as a build-time escape hatch (-tags dvswitch_dense).
+	Dense bool
 
 	// faulty marks dead switching nodes (fault-injection studies in the
 	// spirit of the reliability analyses the paper cites, refs [12][13]).
@@ -206,10 +261,13 @@ func NewCore(p Params) *Core {
 	return &Core{
 		p:       p,
 		levels:  c - 1,
-		cyl:     make([]*Packet, n),
+		pool:    make([]Packet, 0, p.Ports()),
+		grid:    make([]int32, n),
+		next:    make([]int32, n),
 		sameCyl: make([]bool, n),
-		next:    make([]*Packet, n),
-		inq:     make([][]Packet, p.Ports()),
+		byCyl:   make([][]int32, c),
+		inq:     make([]ring, p.Ports()),
+		Dense:   denseByDefault,
 	}
 }
 
@@ -226,7 +284,25 @@ func (c *Core) Stats() Stats { return c.stats }
 func (c *Core) Busy() bool { return c.flying > 0 || c.queued > 0 }
 
 // QueueLen returns the injection queue depth of a port.
-func (c *Core) QueueLen(port int) int { return len(c.inq[port]) }
+func (c *Core) QueueLen(port int) int { return c.inq[port].n }
+
+// alloc stores pkt in the pool and returns its reference (index+1),
+// reusing a freed slot when one exists.
+func (c *Core) alloc(pkt Packet) int32 {
+	if n := len(c.free); n > 0 {
+		ref := c.free[n-1]
+		c.free = c.free[:n-1]
+		c.pool[ref-1] = pkt
+		return ref
+	}
+	c.pool = append(c.pool, pkt)
+	return int32(len(c.pool))
+}
+
+// release returns a pool slot to the free list. The caller must have copied
+// the packet out first: a Deliver/DropHook callback may Inject and reuse the
+// slot (and grow the pool, invalidating pointers into it) immediately.
+func (c *Core) release(ref int32) { c.free = append(c.free, ref) }
 
 // Inject enqueues a packet for injection at its source port. The packet
 // enters the fabric at the first cycle its injection node is free.
@@ -237,7 +313,10 @@ func (c *Core) Inject(pkt Packet) {
 	pkt.InjectCycle = c.cycle
 	pkt.Hops = 0
 	pkt.Deflections = 0
-	c.inq[pkt.Src] = append(c.inq[pkt.Src], pkt)
+	if c.inq[pkt.Src].n == 0 {
+		c.qports = append(c.qports, int32(pkt.Src))
+	}
+	c.inq[pkt.Src].push(c.alloc(pkt))
 	c.queued++
 	c.stats.Injected++
 }
@@ -246,98 +325,191 @@ func (c *Core) idx(cyl, h, a int) int {
 	return (cyl*c.p.Heights+h)*c.p.Angles + a
 }
 
+// place writes a pool reference into the next-occupancy scratch, recording
+// the cell on the dirty list (which doubles as the next cycle's active list).
+func (c *Core) place(idx int, ref int32) {
+	if c.next[idx] == 0 {
+		c.nextActive = append(c.nextActive, int32(idx))
+	}
+	c.next[idx] = ref
+}
+
+// signal asserts the same-cylinder deflection signal on a cell, recording it
+// for end-of-step clearing.
+func (c *Core) signal(idx int) {
+	if !c.sameCyl[idx] {
+		c.sameCyl[idx] = true
+		c.sigDirty = append(c.sigDirty, int32(idx))
+	}
+}
+
 // Step advances the fabric by one switch cycle: every in-flight packet moves
 // one angle (descending, deflecting, circling, or ejecting), then injection
 // ports fill any free outermost node.
+//
+// Only occupied nodes are visited: the active list is bucketed by cylinder
+// and each bucket sorted ascending, which reproduces the dense scan order
+// (inner cylinders first, then height-major within a cylinder) exactly —
+// delivery order and fault-RNG draws are bit-identical to denseStep.
 func (c *Core) Step() {
-	p := c.p
-	A := p.Angles
-	L := c.levels
-	for i := range c.next {
-		c.next[i] = nil
-		c.sameCyl[i] = false
+	if c.Dense {
+		c.denseStep()
+		return
+	}
+	// Crossover: above ~half occupancy the bucket-and-sort bookkeeping costs
+	// more than just scanning every node (moveOne on an empty cell is a load
+	// and a branch). The dense scan visits nodes in exactly the order the
+	// sorted buckets produce, so switching keeps the step bit-identical.
+	if len(c.active)*2 >= len(c.grid) {
+		c.denseStep()
+		return
+	}
+	cylN := c.p.Heights * c.p.Angles
+	for i := range c.byCyl {
+		c.byCyl[i] = c.byCyl[i][:0]
+	}
+	for _, idx := range c.active {
+		cl := int(idx) / cylN
+		c.byCyl[cl] = append(c.byCyl[cl], idx)
 	}
 	// Inner cylinders first: their same-cylinder movements assert the
 	// deflection signals that outer cylinders must observe.
-	for cl := L; cl >= 0; cl-- {
-		for h := 0; h < p.Heights; h++ {
-			for a := 0; a < A; a++ {
-				f := c.cyl[c.idx(cl, h, a)]
-				if f == nil {
-					continue
-				}
-				na := (a + 1) % A
-				dh, da := p.PortCoord(f.Dst)
-				if cl == L {
-					// Output ring: circle to the destination angle, then eject.
-					if a == da {
-						c.eject(*f)
-						continue
-					}
-					if c.isFaulty(cl, h, na) {
-						c.drop(f)
-						continue
-					}
-					if c.linkFault(f) {
-						continue
-					}
-					f.Hops++
-					c.next[c.idx(cl, h, na)] = f
-					c.sameCyl[c.idx(cl, h, na)] = true
-					continue
-				}
-				bit := uint(L - 1 - cl) // height bit resolved by this cylinder
-				if c.linkFault(f) {
-					continue
-				}
-				f.Hops++
-				if (h>>bit)&1 == (dh>>bit)&1 && !c.sameCyl[c.idx(cl+1, h, na)] &&
-					!c.isFaulty(cl+1, h, na) {
-					// Descend: bit matches and no deflection signal.
-					c.next[c.idx(cl+1, h, na)] = f
-					continue
-				}
-				// Deflect within the cylinder, toggling the bit under
-				// resolution (preserves the already-resolved prefix).
-				h2 := h ^ (1 << bit)
-				if c.isFaulty(cl, h2, na) {
-					// Both legal moves are dead: the bufferless fabric
-					// cannot hold the packet.
-					f.Hops--
-					c.drop(f)
-					continue
-				}
-				f.Deflections++
-				c.next[c.idx(cl, h2, na)] = f
-				c.sameCyl[c.idx(cl, h2, na)] = true
-			}
+	for cl := c.levels; cl >= 0; cl-- {
+		nodes := c.byCyl[cl]
+		slices.Sort(nodes)
+		for _, idx := range nodes {
+			c.moveOne(cl, int(idx))
 		}
 	}
-	// Injection: a port's packet enters its outermost node when free.
-	for port := range c.inq {
-		if len(c.inq[port]) == 0 {
-			continue
+	c.injectPhase()
+	c.finishStep()
+}
+
+// moveOne advances the packet occupying node idx of cylinder cl by one
+// angle. It is the per-node routing logic shared by the sparse Step and the
+// dense reference scan; an empty node is a no-op.
+func (c *Core) moveOne(cl, idx int) {
+	ref := c.grid[idx]
+	if ref == 0 {
+		return
+	}
+	f := &c.pool[ref-1]
+	p := c.p
+	A := p.Angles
+	L := c.levels
+	h := (idx / A) % p.Heights
+	a := idx % A
+	na := (a + 1) % A
+	dh, da := p.PortCoord(f.Dst)
+	if cl == L {
+		// Output ring: circle to the destination angle, then eject.
+		if a == da {
+			c.eject(ref)
+			return
 		}
-		h, a := p.PortCoord(port)
+		if c.isFaulty(cl, h, na) {
+			c.drop(ref)
+			return
+		}
+		if c.linkFault(ref) {
+			return
+		}
+		f.Hops++
+		ni := c.idx(cl, h, na)
+		c.place(ni, ref)
+		c.signal(ni)
+		return
+	}
+	bit := uint(L - 1 - cl) // height bit resolved by this cylinder
+	if c.linkFault(ref) {
+		return
+	}
+	f.Hops++
+	if (h>>bit)&1 == (dh>>bit)&1 && !c.sameCyl[c.idx(cl+1, h, na)] &&
+		!c.isFaulty(cl+1, h, na) {
+		// Descend: bit matches and no deflection signal.
+		c.place(c.idx(cl+1, h, na), ref)
+		return
+	}
+	// Deflect within the cylinder, toggling the bit under
+	// resolution (preserves the already-resolved prefix).
+	h2 := h ^ (1 << bit)
+	if c.isFaulty(cl, h2, na) {
+		// Both legal moves are dead: the bufferless fabric
+		// cannot hold the packet.
+		f.Hops--
+		c.drop(ref)
+		return
+	}
+	f.Deflections++
+	ni := c.idx(cl, h2, na)
+	c.place(ni, ref)
+	c.signal(ni)
+}
+
+// injectPhase fills free entry nodes from the waiting ports, visited in
+// ascending port order (the dense scan order over cylinder 0).
+func (c *Core) injectPhase() {
+	if len(c.qports) == 0 {
+		return
+	}
+	slices.Sort(c.qports)
+	kept := c.qports[:0]
+	for _, port := range c.qports {
+		q := &c.inq[port]
+		h, a := c.p.PortCoord(int(port))
 		at := c.idx(0, h, a)
-		if c.next[at] != nil || c.isFaulty(0, h, a) {
-			continue // busy, or the port's entry node is down
+		if q.n > 0 && c.next[at] == 0 && !c.isFaulty(0, h, a) {
+			ref := q.pop()
+			c.queued--
+			c.flying++
+			c.stats.QueuedCycles += c.cycle - c.pool[ref-1].InjectCycle
+			c.place(at, ref)
 		}
-		q := c.inq[port]
-		pkt := q[0]
-		copy(q, q[1:])
-		c.inq[port] = q[:len(q)-1]
-		c.queued--
-		c.flying++
-		c.stats.QueuedCycles += c.cycle - pkt.InjectCycle
-		f := pkt
-		c.next[at] = &f
+		if q.n > 0 {
+			kept = append(kept, port) // busy, or the port's entry node is down
+		}
 	}
-	c.cyl, c.next = c.next, c.cyl
+	c.qports = kept
+}
+
+// finishStep publishes the next occupancy and resets the scratch state by
+// clearing exactly the cells this step touched (no full-array wipes).
+func (c *Core) finishStep() {
+	c.grid, c.next = c.next, c.grid
+	// c.next now holds the pre-step occupancy; its stale cells are exactly
+	// the active list we just walked.
+	for _, idx := range c.active {
+		c.next[idx] = 0
+	}
+	for _, idx := range c.sigDirty {
+		c.sameCyl[idx] = false
+	}
+	c.sigDirty = c.sigDirty[:0]
+	c.active, c.nextActive = c.nextActive, c.active[:0]
 	c.cycle++
 	if c.CheckInvariants {
 		c.verifyPrefixInvariant()
 	}
+}
+
+// denseStep is the seed implementation's full-fabric scan: every node of
+// every cylinder is visited each cycle, occupied or not. It shares moveOne,
+// injectPhase, and finishStep with the sparse Step — the only difference is
+// the iteration source — and is kept as the reference half of the golden
+// differential tests (see diff_test.go) and as the dvswitch_dense build-tag
+// default.
+func (c *Core) denseStep() {
+	p := c.p
+	for cl := c.levels; cl >= 0; cl-- {
+		for h := 0; h < p.Heights; h++ {
+			for a := 0; a < p.Angles; a++ {
+				c.moveOne(cl, c.idx(cl, h, a))
+			}
+		}
+	}
+	c.injectPhase()
+	c.finishStep()
 }
 
 // verifyPrefixInvariant panics if any in-flight packet violates the
@@ -349,11 +521,11 @@ func (c *Core) verifyPrefixInvariant() {
 	for cl := 0; cl <= L; cl++ {
 		for h := 0; h < p.Heights; h++ {
 			for a := 0; a < p.Angles; a++ {
-				f := c.cyl[c.idx(cl, h, a)]
-				if f == nil {
+				ref := c.grid[c.idx(cl, h, a)]
+				if ref == 0 {
 					continue
 				}
-				dh, _ := p.PortCoord(f.Dst)
+				dh, _ := p.PortCoord(c.pool[ref-1].Dst)
 				if cl == 0 {
 					continue
 				}
@@ -368,7 +540,9 @@ func (c *Core) verifyPrefixInvariant() {
 	}
 }
 
-func (c *Core) eject(pkt Packet) {
+func (c *Core) eject(ref int32) {
+	pkt := c.pool[ref-1]
+	c.release(ref)
 	c.flying--
 	lat := c.cycle + 1 - pkt.InjectCycle
 	c.stats.Delivered++
@@ -385,7 +559,7 @@ func (c *Core) eject(pkt Packet) {
 // move is dropped and counted in Stats.Dropped.
 func (c *Core) SetFaulty(cyl, h, a int, dead bool) {
 	if c.faulty == nil {
-		c.faulty = make([]bool, len(c.cyl))
+		c.faulty = make([]bool, len(c.grid))
 	}
 	c.faulty[c.idx(cyl, h, a)] = dead
 }
@@ -395,11 +569,13 @@ func (c *Core) isFaulty(cyl, h, a int) bool {
 }
 
 // drop discards a packet lost to a fault.
-func (c *Core) drop(f *Packet) {
+func (c *Core) drop(ref int32) {
+	pkt := c.pool[ref-1]
+	c.release(ref)
 	c.flying--
 	c.stats.Dropped++
 	if c.DropHook != nil {
-		c.DropHook(*f)
+		c.DropHook(pkt)
 	}
 }
 

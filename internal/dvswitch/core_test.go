@@ -346,7 +346,7 @@ func TestNodeCountFormula(t *testing.T) {
 	for _, p := range []Params{{4, 2}, {8, 4}, {16, 4}, {32, 8}} {
 		want := p.Angles * p.Heights * p.Cylinders()
 		c := NewCore(p)
-		if got := len(c.cyl); got != want {
+		if got := len(c.grid); got != want {
 			t.Errorf("H=%d A=%d: %d switching nodes, want %d", p.Heights, p.Angles, got, want)
 		}
 	}
@@ -470,5 +470,117 @@ func TestLatencyPercentileMonotone(t *testing.T) {
 	}
 	if p99 > 4*st.MaxLatency {
 		t.Fatalf("p99 bound %d vs max %d", p99, st.MaxLatency)
+	}
+}
+
+// TestForPortsEdgeGeometries pins the corner geometries of ForPorts: n=1,
+// n=3, and assorted non-power-of-two port counts must yield valid,
+// sufficiently large, square-ish switches — and actually route traffic.
+func TestForPortsEdgeGeometries(t *testing.T) {
+	cases := []struct {
+		n            int
+		wantH, wantA int
+	}{
+		{1, 1, 1},
+		{2, 1, 2},
+		{3, 1, 3},
+		{4, 1, 4},
+		{5, 2, 3},
+		{6, 2, 3},
+		{7, 2, 4},
+		{9, 4, 3},
+		{33, 16, 3},
+		{100, 32, 4},
+	}
+	for _, cse := range cases {
+		p := ForPorts(cse.n)
+		if p.Heights != cse.wantH || p.Angles != cse.wantA {
+			t.Errorf("ForPorts(%d) = %+v, want {%d %d}", cse.n, p, cse.wantH, cse.wantA)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("ForPorts(%d) invalid: %v", cse.n, err)
+		}
+		if p.Ports() < cse.n {
+			t.Errorf("ForPorts(%d) has only %d ports", cse.n, p.Ports())
+		}
+		// Every edge geometry must actually deliver all-to-all traffic.
+		c := NewCore(p)
+		delivered := 0
+		c.Deliver = func(pkt Packet, _ int64) {
+			if int(pkt.Payload) != pkt.Dst {
+				t.Errorf("ForPorts(%d): misrouted %+v", cse.n, pkt)
+			}
+			delivered++
+		}
+		for src := 0; src < p.Ports(); src++ {
+			for dst := 0; dst < p.Ports(); dst++ {
+				c.Inject(Packet{Src: src, Dst: dst, Payload: uint64(dst)})
+			}
+		}
+		c.RunUntilIdle(1 << 20)
+		if want := p.Ports() * p.Ports(); delivered != want {
+			t.Errorf("ForPorts(%d): delivered %d of %d", cse.n, delivered, want)
+		}
+	}
+}
+
+// TestLatencyHistogramBuckets pins recordLatency's log2 bucketing at the
+// boundaries: bucket i counts latencies in [2^i, 2^(i+1)).
+func TestLatencyHistogramBuckets(t *testing.T) {
+	var s Stats
+	for _, lat := range []int64{1, 2, 3, 4, 7, 8, 1 << 20} {
+		s.recordLatency(lat)
+	}
+	want := map[int]int64{0: 1, 1: 2, 2: 2, 3: 1, 20: 1}
+	for i, cnt := range s.LatHist {
+		if cnt != want[i] {
+			t.Errorf("LatHist[%d] = %d, want %d", i, cnt, want[i])
+		}
+	}
+	// Sub-cycle latencies clamp into bucket 0; absurd ones into the last.
+	var s2 Stats
+	s2.recordLatency(0)
+	s2.recordLatency(1 << 62)
+	if s2.LatHist[0] != 1 || s2.LatHist[len(s2.LatHist)-1] != 1 {
+		t.Errorf("clamping failed: %v", s2.LatHist)
+	}
+	if s2.MaxLatency != 1<<62 {
+		t.Errorf("MaxLatency = %d", s2.MaxLatency)
+	}
+}
+
+// TestLatencyPercentileBucketBoundaries pins LatencyPercentile's bucket
+// arithmetic: the returned value is the upper boundary 2^(i+1) of the first
+// bucket that covers the target rank.
+func TestLatencyPercentileBucketBoundaries(t *testing.T) {
+	var s Stats
+	// 90 packets at latency 1 (bucket 0), 10 at latency 8 (bucket 3).
+	for i := 0; i < 90; i++ {
+		s.recordLatency(1)
+	}
+	for i := 0; i < 10; i++ {
+		s.recordLatency(8)
+	}
+	s.Delivered = 100
+	s.MaxLatency = 8
+	cases := []struct {
+		p    float64
+		want int64
+	}{
+		{1, 2},    // rank 1 is in bucket 0 -> boundary 2
+		{90, 2},   // rank 90 still bucket 0
+		{91, 16},  // rank 91 falls into bucket 3 -> boundary 16
+		{100, 16}, // rank 100 likewise
+		{0.1, 2},  // tiny p clamps the target rank to 1
+	}
+	for _, cse := range cases {
+		if got := s.LatencyPercentile(cse.p); got != cse.want {
+			t.Errorf("LatencyPercentile(%v) = %d, want %d", cse.p, got, cse.want)
+		}
+	}
+	// No deliveries: falls through to MaxLatency (zero value).
+	var empty Stats
+	if got := empty.LatencyPercentile(99); got != 0 {
+		t.Errorf("empty LatencyPercentile = %d, want 0", got)
 	}
 }

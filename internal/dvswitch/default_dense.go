@@ -1,0 +1,7 @@
+//go:build dvswitch_dense
+
+package dvswitch
+
+// denseByDefault: this build runs every Core on the dense full-fabric scan
+// (the seed implementation). See default_sparse.go.
+const denseByDefault = true

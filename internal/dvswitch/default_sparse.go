@@ -1,0 +1,9 @@
+//go:build !dvswitch_dense
+
+package dvswitch
+
+// denseByDefault selects the Step implementation new Cores start with. The
+// default build uses the sparse active-list core; building with
+// -tags dvswitch_dense flips every Core back to the seed's full-fabric scan
+// (bit-identical results, O(fabric) per cycle) as a rollback switch.
+const denseByDefault = false

@@ -115,6 +115,32 @@ type FastModel struct {
 	// the plan plus one independent RNG stream per source port.
 	fpl  *faultplan.Plan
 	frng []*sim.RNG
+
+	// evFree pools delivery events so the Inject fast path schedules
+	// without allocating a closure (and packet copy) per packet.
+	evFree []*deliveryEvent
+}
+
+// deliveryEvent is the pooled payload of one scheduled packet delivery.
+type deliveryEvent struct {
+	m         *FastModel
+	pkt       Packet
+	done, now sim.Time
+}
+
+// fireDelivery completes one FastModel delivery and recycles its event.
+// It is a package-level function (not a closure) so scheduling it via
+// Kernel.AtArg carries only the pooled payload pointer.
+func fireDelivery(a any) {
+	ev := a.(*deliveryEvent)
+	m := ev.m
+	m.st.Delivered++
+	m.st.recordLatency(int64((ev.done - ev.now) / m.ct))
+	if m.fn != nil {
+		m.fn(ev.pkt)
+	}
+	ev.pkt = Packet{}
+	m.evFree = append(m.evFree, ev)
 }
 
 // NewFastModel builds the analytic fabric model.
@@ -210,12 +236,13 @@ func (m *FastModel) Inject(pkt Packet) {
 	pkt.Deflections = defl
 	m.st.TotalHops += flight
 	m.st.TotalDeflected += int64(defl)
-	p := pkt
-	m.k.At(done, func() {
-		m.st.Delivered++
-		m.st.recordLatency(int64((done - now) / m.ct))
-		if m.fn != nil {
-			m.fn(p)
-		}
-	})
+	var ev *deliveryEvent
+	if n := len(m.evFree); n > 0 {
+		ev = m.evFree[n-1]
+		m.evFree = m.evFree[:n-1]
+	} else {
+		ev = &deliveryEvent{m: m}
+	}
+	ev.pkt, ev.done, ev.now = pkt, done, now
+	m.k.AtArg(done, fireDelivery, ev)
 }

@@ -43,18 +43,19 @@ func (c *Core) faultsOn() bool {
 	return c.fp.EndCycle == 0 || c.cycle < c.fp.EndCycle
 }
 
-// linkFault applies the per-link-traversal fault draws to a packet about to
-// traverse one link, reporting true when the packet was dropped. A corrupted
-// packet keeps flying with one payload bit flipped and Corrupt set.
-func (c *Core) linkFault(f *Packet) bool {
+// linkFault applies the per-link-traversal fault draws to the pooled packet
+// about to traverse one link, reporting true when the packet was dropped. A
+// corrupted packet keeps flying with one payload bit flipped and Corrupt set.
+func (c *Core) linkFault(ref int32) bool {
 	if !c.faultsOn() {
 		return false
 	}
 	if c.fp.Drop > 0 && c.frng.Float64() < c.fp.Drop {
-		c.drop(f)
+		c.drop(ref)
 		return true
 	}
 	if c.fp.Corrupt > 0 && c.frng.Float64() < c.fp.Corrupt {
+		f := &c.pool[ref-1]
 		f.Payload ^= 1 << (c.frng.Uint64() & 63)
 		f.Corrupt = true
 		c.stats.Corrupted++

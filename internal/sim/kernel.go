@@ -6,11 +6,15 @@ import (
 )
 
 // event is a scheduled callback. Events at equal times fire in scheduling
-// order (seq), which makes the simulation deterministic.
+// order (seq), which makes the simulation deterministic. Exactly one of fn
+// and fnArg is set; fnArg carries a caller-pooled payload so hot paths can
+// schedule without allocating a capturing closure (see Kernel.AtArg).
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at    Time
+	seq   uint64
+	fn    func()
+	fnArg func(any)
+	arg   any
 }
 
 type eventHeap []*event
@@ -39,6 +43,7 @@ type Kernel struct {
 	now    Time
 	seq    uint64
 	events eventHeap
+	freeEv []*event // fired events, reused by the next At/AtArg
 
 	// yield is signalled by a process when it parks or exits, handing
 	// control back to the kernel loop.
@@ -57,17 +62,59 @@ func NewKernel() *Kernel {
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
-// At schedules fn to run at absolute time t (>= now).
-func (k *Kernel) At(t Time, fn func()) {
+// newEvent returns a pooled (or fresh) event stamped with time t and the
+// next sequence number.
+func (k *Kernel) newEvent(t Time) *event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event in the past: %v < %v", t, k.now))
 	}
 	k.seq++
-	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+	var e *event
+	if n := len(k.freeEv); n > 0 {
+		e = k.freeEv[n-1]
+		k.freeEv = k.freeEv[:n-1]
+	} else {
+		e = &event{}
+	}
+	e.at, e.seq = t, k.seq
+	return e
+}
+
+// fire runs one popped event, returning it to the pool first so the callback
+// may immediately schedule again without growing the heap's backing store.
+func (k *Kernel) fire(e *event) {
+	fn, fnArg, arg := e.fn, e.fnArg, e.arg
+	e.fn, e.fnArg, e.arg = nil, nil, nil
+	k.freeEv = append(k.freeEv, e)
+	if fn != nil {
+		fn()
+		return
+	}
+	fnArg(arg)
+}
+
+// At schedules fn to run at absolute time t (>= now).
+func (k *Kernel) At(t Time, fn func()) {
+	e := k.newEvent(t)
+	e.fn = fn
+	heap.Push(&k.events, e)
+}
+
+// AtArg schedules fn(arg) at absolute time t (>= now). Unlike At, the
+// callback and its state travel separately, so a caller that pools its
+// payloads (e.g. dvswitch.FastModel's delivery events) schedules without
+// allocating a closure per event.
+func (k *Kernel) AtArg(t Time, fn func(any), arg any) {
+	e := k.newEvent(t)
+	e.fnArg, e.arg = fn, arg
+	heap.Push(&k.events, e)
 }
 
 // After schedules fn to run d from now.
 func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// AfterArg schedules fn(arg) to run d from now (see AtArg).
+func (k *Kernel) AfterArg(d Time, fn func(any), arg any) { k.AtArg(k.now+d, fn, arg) }
 
 // abortSignal is panicked into parked processes during drain so their
 // goroutines unwind and exit.
@@ -175,7 +222,7 @@ func (k *Kernel) Run() Time {
 	for k.events.Len() > 0 {
 		e := heap.Pop(&k.events).(*event)
 		k.now = e.at
-		e.fn()
+		k.fire(e)
 	}
 	k.drain()
 	return k.now
@@ -187,7 +234,7 @@ func (k *Kernel) RunUntil(limit Time) Time {
 	for k.events.Len() > 0 && k.events[0].at <= limit {
 		e := heap.Pop(&k.events).(*event)
 		k.now = e.at
-		e.fn()
+		k.fire(e)
 	}
 	return k.now
 }

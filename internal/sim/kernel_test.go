@@ -453,3 +453,66 @@ func TestSignalWithNoWaitersIsNoop(t *testing.T) {
 		t.Fatal("proc never ran")
 	}
 }
+
+// TestAtArgInterleavesWithAt checks that closure and pooled-payload events
+// share one deterministic ordering (time, then scheduling sequence).
+func TestAtArgInterleavesWithAt(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	add := func(v int) func(any) {
+		return func(a any) { order = append(order, v+a.(int)) }
+	}
+	k.At(10*Nanosecond, func() { order = append(order, 1) })
+	k.AtArg(10*Nanosecond, add(0), 2)
+	k.AtArg(5*Nanosecond, add(0), 0)
+	k.AfterArg(10*Nanosecond, add(0), 3)
+	k.Run()
+	want := []int{0, 1, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestAtArgPastPanics: AtArg enforces the same no-past rule as At.
+func TestAtArgPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(10*Nanosecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AtArg in the past should panic")
+			}
+		}()
+		k.AtArg(5*Nanosecond, func(any) {}, nil)
+	})
+	k.Run()
+}
+
+// TestEventPoolReuse drives many sequential events and checks the event pool
+// keeps the payloads flowing correctly (a recycled event must not leak its
+// previous callback or argument).
+func TestEventPoolReuse(t *testing.T) {
+	k := NewKernel()
+	const n = 1000
+	sum := 0
+	var schedule func(i int)
+	schedule = func(i int) {
+		if i == n {
+			return
+		}
+		if i%2 == 0 {
+			k.AfterArg(Nanosecond, func(a any) { sum += a.(int); schedule(i + 1) }, i)
+		} else {
+			k.After(Nanosecond, func() { sum += i; schedule(i + 1) })
+		}
+	}
+	schedule(0)
+	k.Run()
+	if want := n * (n - 1) / 2; sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
