@@ -10,6 +10,7 @@
 //	                        # fig6b fig7 fig8 fig9 extA extB extC)
 //	dvbench -jobs 4         # fan independent sweep points over 4 workers
 //	dvbench -trace out.csv  # where fig5 writes its trace
+//	dvbench -metrics m      # observability reference run -> m.jsonl m.prom m.trace.json
 //	dvbench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -32,6 +33,8 @@ func main() {
 	jobs := flag.Int("jobs", runtime.NumCPU(),
 		"worker count for independent sweep points (results identical at any value)")
 	tracePath := flag.String("trace", "gups_trace.csv", "output file for the fig5 trace CSV")
+	metricsBase := flag.String("metrics", "",
+		"run the observability reference run and write <base>.jsonl, <base>.prom and <base>.trace.json")
 	jsonPath := flag.String("json", "", "also write results as JSON to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -76,6 +79,13 @@ func main() {
 		return
 	}
 	opt := bench.Options{Small: *small, Jobs: *jobs}
+	if *metricsBase != "" {
+		if err := runMetrics(opt, *metricsBase); err != nil {
+			fmt.Fprintf(os.Stderr, "dvbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var traceOut io.Writer
 	openTrace := func() io.Writer {
 		f, err := os.Create(*tracePath)
@@ -162,4 +172,27 @@ func main() {
 		c.Close()
 		fmt.Printf("fig5 trace written to %s\n", *tracePath)
 	}
+}
+
+// runMetrics executes the observability reference run and writes its three
+// exports next to each other: <base>.jsonl (time series), <base>.prom
+// (Prometheus text dump), <base>.trace.json (Chrome/Perfetto trace).
+func runMetrics(opt bench.Options, base string) error {
+	paths := []string{base + ".jsonl", base + ".prom", base + ".trace.json"}
+	files := make([]*os.File, len(paths))
+	for i, p := range paths {
+		f, err := os.Create(p)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		files[i] = f
+	}
+	tab, err := bench.Metrics(opt, files[0], files[1], files[2])
+	if err != nil {
+		return err
+	}
+	tab.Fprint(os.Stdout)
+	fmt.Printf("metrics written to %s, %s, %s\n", paths[0], paths[1], paths[2])
+	return nil
 }

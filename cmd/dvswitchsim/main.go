@@ -8,6 +8,7 @@
 //	dvswitchsim [-heights 8] [-angles 4] [-pattern uniform|hotspot|tornado|bursty]
 //	            [-load 0.5] [-cycles 20000] [-dense]
 //	            [-droprate 1e-4] [-corruptrate 1e-5] [-faultwindow 1000:5000]
+//	            [-metrics out.prom]
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/dvswitch"
 	"repro/internal/faultplan"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -56,6 +58,7 @@ func main() {
 	corruptrate := flag.Float64("corruptrate", 0, "per-link-traversal payload-corruption probability")
 	faultwindow := flag.String("faultwindow", "", "cycle window start:end for link faults (default: whole run)")
 	dense := flag.Bool("dense", false, "step with the dense full-fabric scan instead of the sparse active list (bit-identical; for perf comparison)")
+	metricsPath := flag.String("metrics", "", "write a Prometheus text dump of the run's instruments to this file ('-' for stdout)")
 	flag.Parse()
 
 	p := dvswitch.Params{Heights: *heights, Angles: *angles}
@@ -66,6 +69,11 @@ func main() {
 	c := dvswitch.NewCore(p)
 	c.Dense = *dense
 	c.Deliver = func(dvswitch.Packet, int64) {}
+	var reg *obs.Registry
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
+		c.SetObs(reg)
+	}
 	rng := sim.NewRNG(*seed)
 	for k := 0; k < *faults; k++ {
 		cl := 1 + rng.Intn(p.Cylinders()-1)
@@ -150,5 +158,24 @@ func main() {
 	}
 	if *corruptrate > 0 {
 		fmt.Printf("  corrupted      %d (%.2g/link corrupt rate)\n", st.Corrupted, *corruptrate)
+	}
+	if reg != nil {
+		out := os.Stdout
+		if *metricsPath != "-" {
+			f, err := os.Create(*metricsPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dvswitchsim: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := reg.WritePrometheus(out); err != nil {
+			fmt.Fprintf(os.Stderr, "dvswitchsim: %v\n", err)
+			os.Exit(1)
+		}
+		if *metricsPath != "-" {
+			fmt.Printf("  metrics        written to %s\n", *metricsPath)
+		}
 	}
 }

@@ -6,18 +6,64 @@
 // Usage:
 //
 //	dvtrace [-nodes 4] [-updates 2048] [-o gups_trace.csv]
+//	dvtrace export -i gups_trace.csv -o gups.trace.json   # CSV -> Chrome/Perfetto
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/apps/gups"
 	"repro/internal/trace"
 )
 
+// runExport converts a trace CSV (as written by the default mode's -o) into
+// Chrome trace-event JSON, loadable in Perfetto or chrome://tracing.
+func runExport(in io.Reader, out io.Writer) error {
+	rec, err := trace.ReadCSV(in)
+	if err != nil {
+		return err
+	}
+	return rec.WriteChrome(out)
+}
+
+func exportMain(args []string) {
+	fs := flag.NewFlagSet("dvtrace export", flag.ExitOnError)
+	inPath := fs.String("i", "gups_trace.csv", "input trace CSV (from a prior dvtrace run)")
+	outPath := fs.String("o", "gups.trace.json", "output Chrome trace JSON ('-' for stdout)")
+	fs.Parse(args)
+	in, err := os.Open(*inPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvtrace export: %v\n", err)
+		os.Exit(1)
+	}
+	defer in.Close()
+	out := os.Stdout
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvtrace export: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := runExport(in, out); err != nil {
+		fmt.Fprintf(os.Stderr, "dvtrace export: %v\n", err)
+		os.Exit(1)
+	}
+	if *outPath != "-" {
+		fmt.Printf("Chrome trace written to %s (load in Perfetto or chrome://tracing)\n", *outPath)
+	}
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "export" {
+		exportMain(os.Args[2:])
+		return
+	}
 	nodes := flag.Int("nodes", 4, "cluster nodes")
 	updates := flag.Int("updates", 2048, "updates per node")
 	out := flag.String("o", "gups_trace.csv", "output CSV path")

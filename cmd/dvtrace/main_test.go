@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestExportGolden pins the exact Chrome trace `dvtrace export` produces for
+// a fixed input CSV. Run with -update to regenerate the golden file after an
+// intentional format change.
+func TestExportGolden(t *testing.T) {
+	in, err := os.Open(filepath.Join("testdata", "small_trace.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	var out bytes.Buffer
+	if err := runExport(in, &out); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "small_trace.trace.json")
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("export differs from golden file %s:\ngot:\n%s\nwant:\n%s",
+			golden, out.String(), want)
+	}
+}
+
+func TestExportRejectsGarbage(t *testing.T) {
+	var out bytes.Buffer
+	if err := runExport(strings.NewReader("not,a,trace\n"), &out); err == nil {
+		t.Error("export accepted garbage input")
+	}
+}

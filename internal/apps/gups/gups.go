@@ -19,6 +19,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/faultplan"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vic"
@@ -55,6 +56,9 @@ type Params struct {
 	CycleAccurate bool
 	// Trace records execution states and messages (Figure 5).
 	Trace *trace.Recorder
+	// Obs enables the unified metrics layer for the run (series sampler,
+	// registry, packet-lifecycle sampling); results land in Report.Metrics.
+	Obs *obs.Config
 	// IBAdaptive enables adaptive fat-tree routing for the MPI variant.
 	IBAdaptive bool
 
@@ -167,6 +171,7 @@ func Run(net Net, par Params) Result {
 	cfg.Seed = par.Seed
 	cfg.CycleAccurate = par.CycleAccurate
 	cfg.Trace = par.Trace
+	cfg.Obs = par.Obs
 	cfg.IB.Adaptive = par.IBAdaptive
 	cfg.Faults = par.Faults
 	if net == DV {

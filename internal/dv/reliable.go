@@ -276,8 +276,14 @@ func (e *Endpoint) reliableChunk(words []vic.Word) error {
 		}
 		if attempt == 1 {
 			r.st.Writes += int64(len(pending))
+			if e.obs != nil {
+				e.obs.Writes.Add(int64(len(pending)))
+			}
 		} else {
 			r.st.Retransmits += int64(len(pending))
+			if e.obs != nil {
+				e.obs.Retransmits.Add(int64(len(pending)))
+			}
 		}
 		e.Scatter(o.Mode, data)
 		if o.QueryDelay > 0 {
@@ -290,7 +296,13 @@ func (e *Endpoint) reliableChunk(words []vic.Word) error {
 			queries[j] = vic.Word{Dst: w.Dst, Op: vic.OpQuery, GC: vic.NoGC, Addr: w.Addr, Val: ret}
 		}
 		e.Scatter(o.Mode, queries)
-		e.WaitGC(ack, timeout)
+		acked := e.WaitGC(ack, timeout)
+		if e.obs != nil {
+			if !acked {
+				e.obs.Timeouts.Inc()
+			}
+			e.obs.BackoffWait.Observe(int64(timeout / sim.Microsecond))
+		}
 		got := e.Read(r.verifyBase, len(pending))
 		still := pending[:0]
 		for j, wi := range pending {
@@ -309,9 +321,15 @@ func (e *Endpoint) reliableChunk(words []vic.Word) error {
 			tFail = e.p.Now()
 		}
 		r.st.RetryRounds++
+		if e.obs != nil {
+			e.obs.RetryRounds.Inc()
+		}
 		if attempt >= o.MaxAttempts {
 			r.st.RecoveryTime += e.p.Now() - tFail
 			r.st.Failures++
+			if e.obs != nil {
+				e.obs.Failures.Inc()
+			}
 			return &DeliveryError{Dst: words[still[0]].Dst, Attempts: attempt, Missing: len(still)}
 		}
 		timeout *= sim.Time(o.Backoff)

@@ -247,6 +247,10 @@ type Core struct {
 	// (dead node or probabilistic drop). Used by invariant tests.
 	DropHook func(pkt Packet)
 
+	// obs holds the registry-backed instruments (SetObs); nil when
+	// observability is disabled, costing one pointer test per hook.
+	obs *SwitchObs
+
 	stats Stats
 }
 
@@ -319,6 +323,9 @@ func (c *Core) Inject(pkt Packet) {
 	c.inq[pkt.Src].push(c.alloc(pkt))
 	c.queued++
 	c.stats.Injected++
+	if c.obs != nil {
+		c.obs.Injected.Inc()
+	}
 }
 
 func (c *Core) idx(cyl, h, a int) int {
@@ -442,6 +449,10 @@ func (c *Core) moveOne(cl, idx int) {
 		return
 	}
 	f.Deflections++
+	if c.obs != nil {
+		c.obs.Deflected.Inc()
+		c.obs.DeflectByCyl[cl].Inc()
+	}
 	ni := c.idx(cl, h2, na)
 	c.place(ni, ref)
 	c.signal(ni)
@@ -549,6 +560,10 @@ func (c *Core) eject(ref int32) {
 	c.stats.TotalHops += int64(pkt.Hops)
 	c.stats.TotalDeflected += int64(pkt.Deflections)
 	c.stats.recordLatency(lat)
+	if c.obs != nil {
+		c.obs.Delivered.Inc()
+		c.obs.Latency.Observe(lat)
+	}
 	if c.Deliver != nil {
 		c.Deliver(pkt, c.cycle+1)
 	}
@@ -574,6 +589,9 @@ func (c *Core) drop(ref int32) {
 	c.release(ref)
 	c.flying--
 	c.stats.Dropped++
+	if c.obs != nil {
+		c.obs.Dropped.Inc()
+	}
 	if c.DropHook != nil {
 		c.DropHook(pkt)
 	}

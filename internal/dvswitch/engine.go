@@ -110,6 +110,7 @@ type FastModel struct {
 	rng *sim.RNG
 	fn  func(pkt Packet)
 	st  Stats
+	obs *SwitchObs // registry-backed instruments (SetObs); nil when disabled
 
 	// fpl/frng configure probabilistic per-packet faults (ApplyPlan):
 	// the plan plus one independent RNG stream per source port.
@@ -135,7 +136,12 @@ func fireDelivery(a any) {
 	ev := a.(*deliveryEvent)
 	m := ev.m
 	m.st.Delivered++
-	m.st.recordLatency(int64((ev.done - ev.now) / m.ct))
+	lat := int64((ev.done - ev.now) / m.ct)
+	m.st.recordLatency(lat)
+	if m.obs != nil {
+		m.obs.Delivered.Inc()
+		m.obs.Latency.Observe(lat)
+	}
 	if m.fn != nil {
 		m.fn(ev.pkt)
 	}
@@ -202,6 +208,9 @@ func (m *FastModel) Inject(pkt Packet) {
 		panic(fmt.Sprintf("dvswitch: port out of range: src=%d dst=%d ports=%d", pkt.Src, pkt.Dst, m.p.Ports()))
 	}
 	m.st.Injected++
+	if m.obs != nil {
+		m.obs.Injected.Inc()
+	}
 	now := m.k.Now()
 	// Injection link: one packet per cycle per source port.
 	entered := m.in[pkt.Src].Reserve(m.k, m.ct)
@@ -221,6 +230,9 @@ func (m *FastModel) Inject(pkt Packet) {
 		r := m.frng[pkt.Src]
 		if m.fpl.DropProb > 0 && r.Float64() < compound(m.fpl.DropProb, flight) {
 			m.st.Dropped++
+			if m.obs != nil {
+				m.obs.Dropped.Inc()
+			}
 			return
 		}
 		if m.fpl.CorruptProb > 0 && r.Float64() < compound(m.fpl.CorruptProb, flight) {
@@ -236,6 +248,9 @@ func (m *FastModel) Inject(pkt Packet) {
 	pkt.Deflections = defl
 	m.st.TotalHops += flight
 	m.st.TotalDeflected += int64(defl)
+	if m.obs != nil {
+		m.obs.Deflected.Add(int64(defl))
+	}
 	var ev *deliveryEvent
 	if n := len(m.evFree); n > 0 {
 		ev = m.evFree[n-1]

@@ -1,0 +1,78 @@
+package dvswitch
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// SwitchObs bundles the fabric's observability instruments: per-event
+// counters mirroring Stats plus a latency histogram with the same log2
+// buckets as Stats.LatHist. It is built from an obs.Registry by SetObs; a
+// nil SwitchObs (observability disabled) costs one pointer test per hook.
+type SwitchObs struct {
+	Injected     *obs.Counter
+	Delivered    *obs.Counter
+	Dropped      *obs.Counter
+	Deflected    *obs.Counter   // total deflection-path traversals
+	DeflectByCyl []*obs.Counter // per-cylinder split (cycle-accurate Core only)
+	Latency      *obs.Histogram // inject→eject latency, cycles
+}
+
+// newSwitchObs registers the fabric instruments. cylinders > 0 additionally
+// creates the per-cylinder deflection split (only the cycle-accurate Core
+// can attribute deflections to a cylinder; FastModel passes 0).
+func newSwitchObs(r *obs.Registry, cylinders int) *SwitchObs {
+	if r == nil {
+		return nil
+	}
+	o := &SwitchObs{
+		Injected:  r.Counter("switch_injected_total"),
+		Delivered: r.Counter("switch_delivered_total"),
+		Dropped:   r.Counter("switch_dropped_total"),
+		Deflected: r.Counter("switch_deflected_total"),
+		Latency:   r.Histogram("switch_latency_cycles"),
+	}
+	for cl := 0; cl < cylinders; cl++ {
+		o.DeflectByCyl = append(o.DeflectByCyl,
+			r.Counter(fmt.Sprintf("switch_deflected_cyl%d_total", cl)))
+	}
+	return o
+}
+
+// SetObs attaches (or with r == nil detaches) observability instruments to
+// the cycle-accurate core. Safe to call between runs; counters accumulate
+// across the core's lifetime from the moment they are attached.
+func (c *Core) SetObs(r *obs.Registry) {
+	if r == nil {
+		c.obs = nil
+		return
+	}
+	c.obs = newSwitchObs(r, c.p.Cylinders())
+}
+
+// InFlight returns the number of packets currently inside the fabric.
+func (c *Core) InFlight() int { return c.flying }
+
+// QueuedPackets returns the number of packets waiting in injection queues.
+func (c *Core) QueuedPackets() int { return c.queued }
+
+// SetObs attaches observability instruments to the kernel-coupled engine.
+func (e *Engine) SetObs(r *obs.Registry) { e.core.SetObs(r) }
+
+// SetObs attaches observability instruments to the analytic model. The
+// per-cylinder deflection split is not available here: the model draws a
+// total deflection count per packet without attributing it to a cylinder.
+func (m *FastModel) SetObs(r *obs.Registry) {
+	if r == nil {
+		m.obs = nil
+		return
+	}
+	m.obs = newSwitchObs(r, 0)
+}
+
+// Outstanding returns the number of packets injected but not yet delivered
+// or dropped — the model's equivalent of Core fabric occupancy.
+func (m *FastModel) Outstanding() int64 {
+	return m.st.Injected - m.st.Delivered - m.st.Dropped
+}

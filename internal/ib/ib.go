@@ -10,6 +10,7 @@ package ib
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -59,8 +60,9 @@ type Stats struct {
 	Bytes     int64
 	InterLeaf int64 // messages that crossed the spine level
 
-	Flaps        int64    // scheduled uplink outages applied (fault plans)
-	FlapDowntime sim.Time // total scheduled outage duration
+	Flaps          int64    // scheduled uplink outages applied (fault plans)
+	FlapsRecovered int64    // outages whose window has ended (link back up)
+	FlapDowntime   sim.Time // total scheduled outage duration
 }
 
 // Fabric is the event-level InfiniBand model. Transfers are reserved on the
@@ -75,6 +77,43 @@ type Fabric struct {
 	up     []sim.Pipe // [leaf*Spines+spine]
 	down   []sim.Pipe
 	st     Stats
+
+	// obs holds the registry-backed instruments (SetObs); nil when disabled.
+	obs *fabObs
+}
+
+// fabObs is the fabric's registry-backed instrument set.
+type fabObs struct {
+	messages  *obs.Counter
+	bytes     *obs.Counter
+	interLeaf *obs.Counter
+	flaps     *obs.Counter
+	recovered *obs.Counter
+}
+
+// SetObs attaches observability instruments to the fabric (nil detaches).
+func (f *Fabric) SetObs(r *obs.Registry) {
+	if r == nil {
+		f.obs = nil
+		return
+	}
+	f.obs = &fabObs{
+		messages:  r.Counter("ib_messages_total"),
+		bytes:     r.Counter("ib_bytes_total"),
+		interLeaf: r.Counter("ib_interleaf_total"),
+		flaps:     r.Counter("ib_flaps_total"),
+		recovered: r.Counter("ib_flap_recoveries_total"),
+	}
+}
+
+// UplinkBusy returns the cumulative busy time across every leaf↔spine link
+// (both directions) — the fabric's aggregate link utilisation numerator.
+func (f *Fabric) UplinkBusy() sim.Time {
+	var t sim.Time
+	for i := range f.up {
+		t += f.up[i].Busy + f.down[i].Busy
+	}
+	return t
 }
 
 // New builds a fabric connecting n nodes.
@@ -120,8 +159,19 @@ func (f *Fabric) ScheduleFlap(leaf, spine int, start, d sim.Time) {
 	f.k.At(start, func() {
 		f.st.Flaps++
 		f.st.FlapDowntime += d
+		if f.obs != nil {
+			f.obs.flaps.Inc()
+		}
 		f.up[leaf*f.par.Spines+spine].ReserveAt(start, d)
 		f.down[leaf*f.par.Spines+spine].ReserveAt(start, d)
+	})
+	// Daemon event: recovery is telemetry only and must not keep a run
+	// alive past its last real work (a flap window can outlive the app).
+	f.k.AtDaemon(start+d, func() {
+		f.st.FlapsRecovered++
+		if f.obs != nil {
+			f.obs.recovered.Inc()
+		}
 	})
 }
 
@@ -145,6 +195,10 @@ func (f *Fabric) Transfer(src, dst, bytes int, onArrive func()) (srcFree sim.Tim
 	}
 	f.st.Messages++
 	f.st.Bytes += int64(bytes)
+	if f.obs != nil {
+		f.obs.messages.Inc()
+		f.obs.bytes.Add(int64(bytes))
+	}
 	par := f.par
 	// Source NIC injection. Downstream stages are cut-through: each starts
 	// (one hop later) as the head of the message reaches it, so a large
@@ -164,6 +218,9 @@ func (f *Fabric) Transfer(src, dst, bytes int, onArrive func()) (srcFree sim.Tim
 		// paper cites for irregular workloads. Adaptive mode picks the
 		// least-loaded uplink instead.
 		f.st.InterLeaf++
+		if f.obs != nil {
+			f.obs.interLeaf.Inc()
+		}
 		spine := f.leaf(dst) % par.Spines
 		if par.Adaptive {
 			base := f.leaf(src) * par.Spines

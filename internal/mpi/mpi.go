@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/ib"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -57,6 +58,33 @@ type World struct {
 	// onMessage, when set, observes every user-level message for tracing:
 	// (src, dst, injection time, delivery time, payload bytes).
 	onMessage func(src, dst int, t0, t1 sim.Time, bytes int)
+
+	// obs holds the registry-backed instruments (SetObs); nil when disabled.
+	obs *worldObs
+}
+
+// worldObs is the MPI layer's registry-backed instrument set.
+type worldObs struct {
+	messages *obs.Counter
+	bytes    *obs.Counter
+	eager    *obs.Counter
+	rndv     *obs.Counter
+}
+
+// SetObs attaches observability instruments to the world (nil detaches).
+// It also forwards the registry to the underlying fabric.
+func (w *World) SetObs(r *obs.Registry) {
+	w.F.SetObs(r)
+	if r == nil {
+		w.obs = nil
+		return
+	}
+	w.obs = &worldObs{
+		messages: r.Counter("mpi_messages_total"),
+		bytes:    r.Counter("mpi_bytes_total"),
+		eager:    r.Counter("mpi_eager_total"),
+		rndv:     r.Counter("mpi_rendezvous_total"),
+	}
 }
 
 // OnMessage installs a message observer (for execution tracing).
@@ -159,6 +187,15 @@ func (c *Comm) isend(dst, tag int, data []byte) *Request {
 	w := c.w
 	c.SentMessages++
 	c.SentBytes += int64(len(data))
+	if w.obs != nil {
+		w.obs.messages.Inc()
+		w.obs.bytes.Add(int64(len(data)))
+		if len(data) <= w.par.EagerLimit {
+			w.obs.eager.Inc()
+		} else {
+			w.obs.rndv.Inc()
+		}
+	}
 	c.p.Wait(w.par.SendOverhead)
 	req := &Request{}
 	peer := w.comms[dst]

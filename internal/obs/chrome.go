@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TraceEvent is one Chrome trace-event ("X" complete events for spans, "i"
+// for instants). Timestamps and durations are in microseconds, as the format
+// requires. Written with fmt in struct-field order — no encoding/json, no
+// map iteration — so exports are byte-deterministic.
+type TraceEvent struct {
+	Name string  // event name, e.g. "packet" or "phase:updates"
+	Cat  string  // category, e.g. "net", "phase"
+	Ph   string  // phase type: "X" span, "i" instant
+	TS   float64 // start, microseconds
+	Dur  float64 // duration, microseconds (span events)
+	PID  int     // process id lane (we use: node)
+	TID  int     // thread id lane (we use: port or phase lane)
+	Args PacketArgs
+}
+
+// PacketArgs is the fixed argument block attached to packet-lifecycle
+// events. Zero-valued fields are still emitted; a fixed shape keeps the
+// output stable as instrumentation grows.
+type PacketArgs struct {
+	Src         int
+	Dst         int
+	Bytes       int
+	Hops        int
+	Deflections int
+}
+
+// WriteChromeTrace writes events as a Chrome trace-event JSON object
+// ({"traceEvents":[...]}) loadable by Perfetto / chrome://tracing.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	var b strings.Builder
+	for i, ev := range events {
+		b.Reset()
+		fmt.Fprintf(&b,
+			"{\"name\":%q,\"cat\":%q,\"ph\":%q,\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,"+
+				"\"args\":{\"src\":%d,\"dst\":%d,\"bytes\":%d,\"hops\":%d,\"deflections\":%d}}",
+			ev.Name, ev.Cat, ev.Ph, ev.TS, ev.Dur, ev.PID, ev.TID,
+			ev.Args.Src, ev.Args.Dst, ev.Args.Bytes, ev.Args.Hops, ev.Args.Deflections)
+		if i < len(events)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "],\"displayTimeUnit\":\"ns\"}\n")
+	return err
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, high-quality bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// PacketSampler decides, deterministically, which packet lifecycles enter
+// the Chrome trace: each candidate is kept with probability 1/Every based on
+// a hash of (seed, candidate index) — not a modulo stride, so periodic
+// traffic cannot alias with the sampling pattern. The same seed and the same
+// event sequence always select the same packets.
+type PacketSampler struct {
+	seed   uint64
+	every  uint64
+	n      uint64 // candidates seen
+	Events []TraceEvent
+}
+
+// NewPacketSampler keeps roughly 1-in-every candidates; every <= 1 keeps
+// all. A nil sampler keeps none.
+func NewPacketSampler(seed, every uint64) *PacketSampler {
+	return &PacketSampler{seed: seed, every: every}
+}
+
+// Keep consumes one candidate slot and reports whether this packet should be
+// recorded. Always false on a nil receiver.
+func (ps *PacketSampler) Keep() bool {
+	if ps == nil {
+		return false
+	}
+	i := ps.n
+	ps.n++
+	if ps.every <= 1 {
+		return true
+	}
+	return splitmix64(ps.seed^i)%ps.every == 0
+}
+
+// Add appends a recorded event. No-op on a nil receiver.
+func (ps *PacketSampler) Add(ev TraceEvent) {
+	if ps == nil {
+		return
+	}
+	ps.Events = append(ps.Events, ev)
+}
+
+// EventsOrNil returns the recorded events (nil for a nil sampler).
+func (ps *PacketSampler) EventsOrNil() []TraceEvent {
+	if ps == nil {
+		return nil
+	}
+	return ps.Events
+}

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNilInstrumentsAreNoops(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter should read 0")
+	}
+	g := r.Gauge("y")
+	g.Set(3)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge should read 0")
+	}
+	h := r.Histogram("z")
+	h.Observe(9)
+	if h.Count() != 0 || h.Percentile(50) != 0 || h.Mean() != 0 {
+		t.Fatal("nil histogram should read 0")
+	}
+	r.GaugeFunc("f", func() float64 { return 1 })
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var ps *PacketSampler
+	if ps.Keep() {
+		t.Fatal("nil packet sampler must keep nothing")
+	}
+	ps.Add(TraceEvent{})
+}
+
+func TestRegistryDedupsByName(t *testing.T) {
+	r := NewRegistry()
+	a, b := r.Counter("same"), r.Counter("same")
+	if a != b {
+		t.Fatal("same name must return same counter")
+	}
+	a.Inc()
+	if r.CounterValue("same") != 1 {
+		t.Fatal("CounterValue should see the increment")
+	}
+}
+
+func TestHistogramBucketsAndPercentile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 100, 1 << 45} {
+		h.Observe(v)
+	}
+	if h.Count() != 9 {
+		t.Fatalf("count = %d, want 9", h.Count())
+	}
+	if h.Max() != 1<<45 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	// 0 and 1 share bucket 0 (le 2); p25 of 9 obs targets obs #2.
+	if got := h.Percentile(25); got != 2 {
+		t.Fatalf("p25 = %d, want 2", got)
+	}
+	// p100 walks past the last bucket that satisfies the target.
+	if got := h.Percentile(100); got != 1<<40 {
+		t.Fatalf("p100 = %d, want %d", got, int64(1)<<40)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	mk := func() string {
+		r := NewRegistry()
+		r.Counter("b_total").Add(2)
+		r.Counter("a_total").Add(1)
+		r.Gauge("g").Set(0.5)
+		r.GaugeFunc("f", func() float64 { return 2 })
+		h := r.Histogram("h")
+		h.Observe(1)
+		h.Observe(5)
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	out := mk()
+	if out != mk() {
+		t.Fatal("output not deterministic across identical registries")
+	}
+	want := `# TYPE a_total counter
+a_total 1
+# TYPE b_total counter
+b_total 2
+# TYPE f gauge
+f 2
+# TYPE g gauge
+g 0.5
+# TYPE h histogram
+h_bucket{le="2"} 1
+h_bucket{le="4"} 1
+h_bucket{le="8"} 2
+h_bucket{le="+Inf"} 2
+h_sum 6
+h_count 2
+`
+	if out != want {
+		t.Fatalf("prometheus dump:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestSamplerTicksOnDaemonEvents(t *testing.T) {
+	k := sim.NewKernel()
+	var work int
+	s := NewSampler(k, 10*sim.Nanosecond)
+	s.Column("work", func() float64 { return float64(work) })
+	s.Start()
+	k.At(5*sim.Nanosecond, func() { work = 1 })
+	k.At(25*sim.Nanosecond, func() { work = 2 })
+	k.Run()
+	s.SampleNow()
+	rows := s.Series().Rows
+	// Samples at t=0 (work 0), t=10 (1), t=20 (1), then the forced final
+	// sample at t=25 (2). The daemon tick queued for t=30 must not have
+	// kept the run alive.
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4: %+v", len(rows), rows)
+	}
+	wantT := []sim.Time{0, 10 * sim.Nanosecond, 20 * sim.Nanosecond, 25 * sim.Nanosecond}
+	wantV := []float64{0, 1, 1, 2}
+	for i := range rows {
+		if rows[i].T != wantT[i] || rows[i].V[0] != wantV[i] {
+			t.Fatalf("row %d = {%v %v}, want {%v %v}", i, rows[i].T, rows[i].V[0], wantT[i], wantV[i])
+		}
+	}
+	// A second forced sample at the same instant replaces, not appends.
+	work = 3
+	s.SampleNow()
+	rows = s.Series().Rows
+	if len(rows) != 4 || rows[3].V[0] != 3 {
+		t.Fatalf("duplicate-instant sample should replace: %+v", rows)
+	}
+}
+
+func TestSeriesJSONLDeterministic(t *testing.T) {
+	s := &Series{
+		Cols: []string{"a", "b"},
+		Rows: []SampleRow{
+			{T: 0, V: []float64{1, 0.25}},
+			{T: 1500 * sim.Nanosecond, V: []float64{2, 0}},
+		},
+	}
+	var sb strings.Builder
+	if err := s.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"t_us":0.000,"a":1,"b":0.25}
+{"t_us":1.500,"a":2,"b":0}
+`
+	if sb.String() != want {
+		t.Fatalf("jsonl:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestPacketSamplerDeterministicAndRoughRate(t *testing.T) {
+	const n = 100000
+	run := func() (kept int, picks []uint64) {
+		ps := NewPacketSampler(42, 16)
+		for i := uint64(0); i < n; i++ {
+			if ps.Keep() {
+				kept++
+				if len(picks) < 50 {
+					picks = append(picks, i)
+				}
+			}
+		}
+		return
+	}
+	k1, p1 := run()
+	k2, p2 := run()
+	if k1 != k2 {
+		t.Fatalf("non-deterministic: %d vs %d kept", k1, k2)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("pick %d differs: %d vs %d", i, p1[i], p2[i])
+		}
+	}
+	// Expect ~n/16 = 6250; allow ±10%.
+	if k1 < n/16*9/10 || k1 > n/16*11/10 {
+		t.Fatalf("kept %d of %d, want about %d", k1, n, n/16)
+	}
+	// every=1 keeps all, every=0 keeps all too.
+	all := NewPacketSampler(1, 1)
+	for i := 0; i < 10; i++ {
+		if !all.Keep() {
+			t.Fatal("every=1 must keep all")
+		}
+	}
+}
+
+func TestWriteChromeTraceShape(t *testing.T) {
+	var sb strings.Builder
+	err := WriteChromeTrace(&sb, []TraceEvent{
+		{Name: "packet", Cat: "net", Ph: "X", TS: 1.5, Dur: 0.25, PID: 0, TID: 3,
+			Args: PacketArgs{Src: 3, Dst: 9, Bytes: 16, Hops: 7, Deflections: 2}},
+		{Name: "phase:updates", Cat: "phase", Ph: "X", TS: 0, Dur: 10, PID: 1, TID: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := `{"traceEvents":[
+{"name":"packet","cat":"net","ph":"X","ts":1.500,"dur":0.250,"pid":0,"tid":3,"args":{"src":3,"dst":9,"bytes":16,"hops":7,"deflections":2}},
+{"name":"phase:updates","cat":"phase","ph":"X","ts":0.000,"dur":10.000,"pid":1,"tid":0,"args":{"src":0,"dst":0,"bytes":0,"hops":0,"deflections":0}}
+],"displayTimeUnit":"ns"}
+`
+	if out != want {
+		t.Fatalf("chrome trace:\n%s\nwant:\n%s", out, want)
+	}
+	// Empty event list still produces a valid object.
+	sb.Reset()
+	if err := WriteChromeTrace(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ns\"}\n" {
+		t.Fatalf("empty trace: %q", sb.String())
+	}
+}

@@ -9,12 +9,15 @@ import (
 // order (seq), which makes the simulation deterministic. Exactly one of fn
 // and fnArg is set; fnArg carries a caller-pooled payload so hot paths can
 // schedule without allocating a capturing closure (see Kernel.AtArg).
+// Daemon events (AtDaemon) do not keep the simulation alive: once only
+// daemons remain queued, Run stops without firing them.
 type event struct {
-	at    Time
-	seq   uint64
-	fn    func()
-	fnArg func(any)
-	arg   any
+	at     Time
+	seq    uint64
+	daemon bool
+	fn     func()
+	fnArg  func(any)
+	arg    any
 }
 
 type eventHeap []*event
@@ -43,6 +46,7 @@ type Kernel struct {
 	now    Time
 	seq    uint64
 	events eventHeap
+	nUser  int      // queued non-daemon events; Run stops when this hits zero
 	freeEv []*event // fired events, reused by the next At/AtArg
 
 	// yield is signalled by a process when it parks or exits, handing
@@ -76,7 +80,7 @@ func (k *Kernel) newEvent(t Time) *event {
 	} else {
 		e = &event{}
 	}
-	e.at, e.seq = t, k.seq
+	e.at, e.seq, e.daemon = t, k.seq, false
 	return e
 }
 
@@ -84,6 +88,9 @@ func (k *Kernel) newEvent(t Time) *event {
 // may immediately schedule again without growing the heap's backing store.
 func (k *Kernel) fire(e *event) {
 	fn, fnArg, arg := e.fn, e.fnArg, e.arg
+	if !e.daemon {
+		k.nUser--
+	}
 	e.fn, e.fnArg, e.arg = nil, nil, nil
 	k.freeEv = append(k.freeEv, e)
 	if fn != nil {
@@ -97,6 +104,19 @@ func (k *Kernel) fire(e *event) {
 func (k *Kernel) At(t Time, fn func()) {
 	e := k.newEvent(t)
 	e.fn = fn
+	k.nUser++
+	heap.Push(&k.events, e)
+}
+
+// AtDaemon schedules fn at absolute time t like At, but the event does not
+// keep the simulation alive: Run (and RunUntil) stop as soon as only daemon
+// events remain, discarding them unfired. This is how periodic observers —
+// e.g. the obs metrics sampler — tick for exactly as long as real work
+// exists, without wedging a run that would otherwise finish.
+func (k *Kernel) AtDaemon(t Time, fn func()) {
+	e := k.newEvent(t)
+	e.fn = fn
+	e.daemon = true
 	heap.Push(&k.events, e)
 }
 
@@ -107,11 +127,15 @@ func (k *Kernel) At(t Time, fn func()) {
 func (k *Kernel) AtArg(t Time, fn func(any), arg any) {
 	e := k.newEvent(t)
 	e.fnArg, e.arg = fn, arg
+	k.nUser++
 	heap.Push(&k.events, e)
 }
 
 // After schedules fn to run d from now.
 func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// AfterDaemon schedules a daemon event d from now (see AtDaemon).
+func (k *Kernel) AfterDaemon(d Time, fn func()) { k.AtDaemon(k.now+d, fn) }
 
 // AfterArg schedules fn(arg) to run d from now (see AtArg).
 func (k *Kernel) AfterArg(d Time, fn func(any), arg any) { k.AtArg(k.now+d, fn, arg) }
@@ -216,27 +240,40 @@ func (p *Proc) Yield() {
 	p.park()
 }
 
-// Run pumps events until none remain, then aborts any still-parked processes
-// so their goroutines exit. It returns the final virtual time.
+// Run pumps events until no non-daemon events remain, then aborts any
+// still-parked processes so their goroutines exit. Daemon events left in the
+// queue are discarded unfired. It returns the final virtual time.
 func (k *Kernel) Run() Time {
-	for k.events.Len() > 0 {
+	for k.nUser > 0 {
 		e := heap.Pop(&k.events).(*event)
 		k.now = e.at
 		k.fire(e)
 	}
+	k.discardDaemons()
 	k.drain()
 	return k.now
 }
 
 // RunUntil pumps events up to and including time limit, leaving later events
-// queued. Processes stay parked (no drain) so the run can continue.
+// queued. Processes stay parked (no drain) so the run can continue. Like Run,
+// it stops early once only daemon events remain (leaving them queued).
 func (k *Kernel) RunUntil(limit Time) Time {
-	for k.events.Len() > 0 && k.events[0].at <= limit {
+	for k.nUser > 0 && k.events.Len() > 0 && k.events[0].at <= limit {
 		e := heap.Pop(&k.events).(*event)
 		k.now = e.at
 		k.fire(e)
 	}
 	return k.now
+}
+
+// discardDaemons empties the queue of the daemon events that survived the
+// last non-daemon event, returning them to the pool unfired.
+func (k *Kernel) discardDaemons() {
+	for k.events.Len() > 0 {
+		e := heap.Pop(&k.events).(*event)
+		e.fn, e.fnArg, e.arg = nil, nil, nil
+		k.freeEv = append(k.freeEv, e)
+	}
 }
 
 // drain force-aborts every parked live process.

@@ -516,3 +516,64 @@ func TestEventPoolReuse(t *testing.T) {
 		t.Fatalf("sum = %d, want %d", sum, want)
 	}
 }
+
+func TestDaemonEventsFireWhileUserEventsRemain(t *testing.T) {
+	k := NewKernel()
+	var ticks []Time
+	var tick func()
+	tick = func() {
+		ticks = append(ticks, k.Now())
+		k.AfterDaemon(10*Nanosecond, tick)
+	}
+	k.AtDaemon(0, tick)
+	k.At(35*Nanosecond, func() {})
+	end := k.Run()
+	// Daemon ticks at 0, 10, 20, 30 fire before the user event at 35; the
+	// tick queued for 40 is discarded and the run stops at 35.
+	want := []Time{0, 10 * Nanosecond, 20 * Nanosecond, 30 * Nanosecond}
+	if len(ticks) != len(want) {
+		t.Fatalf("got %d daemon ticks %v, want %v", len(ticks), ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+	if end != 35*Nanosecond {
+		t.Fatalf("Run ended at %v, want 35ns", end)
+	}
+}
+
+func TestDaemonOnlyRunStopsImmediately(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	k.AtDaemon(5*Nanosecond, func() { fired = true })
+	if end := k.Run(); end != 0 {
+		t.Fatalf("Run ended at %v, want 0", end)
+	}
+	if fired {
+		t.Fatal("daemon event fired with no user events queued")
+	}
+}
+
+func TestRunUntilStopsWhenOnlyDaemonsRemain(t *testing.T) {
+	k := NewKernel()
+	var n int
+	var tick func()
+	tick = func() {
+		n++
+		k.AfterDaemon(Nanosecond, tick)
+	}
+	k.AtDaemon(0, tick)
+	k.At(2*Nanosecond, func() {})
+	k.RunUntil(100 * Nanosecond)
+	// Ticks at 0 and 1 run; the tick re-queued for 2ns carries a later seq
+	// than the user event at 2ns, so once that user event fires the run
+	// stops even though the limit is far away.
+	if n != 2 {
+		t.Fatalf("got %d daemon ticks, want 2", n)
+	}
+	if k.Now() != 2*Nanosecond {
+		t.Fatalf("RunUntil stopped at %v, want 2ns", k.Now())
+	}
+}

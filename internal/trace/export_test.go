@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func sampleRecorder() *Recorder {
+	us := sim.Microsecond
+	r := New()
+	r.State(0, "compute", 0, 3*us)
+	r.State(1, "comm", 2*us, 5*us)
+	r.Message(0, 1, 1*us, 4*us, 64)
+	r.Message(1, 0, 3*us, 6*us, 8)
+	return r
+}
+
+// TestCSVRoundTrip pins that ReadCSV reconstructs exactly what WriteCSV
+// emitted: re-serialising the parsed recorder is byte-identical.
+func TestCSVRoundTrip(t *testing.T) {
+	var first strings.Builder
+	if err := sampleRecorder().WriteCSV(&first); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ReadCSV(strings.NewReader(first.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second strings.Builder
+	if err := rec.WriteCSV(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("round trip changed the CSV:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+	}
+}
+
+func TestReadCSVRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"0,compute,0.000,1.000\n",                                   // data before any section
+		"# states\nnode,state,t0_us,t1_us\n0,compute,x\n",           // wrong field count
+		"# states\nnode,state,t0_us,t1_us\na,compute,0.000,1.000\n", // bad int
+	} {
+		if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadCSV accepted malformed input %q", bad)
+		}
+	}
+}
+
+// TestWriteChrome checks the export is a well-formed trace-event JSON with
+// one span per record, in states-then-messages order.
+func TestWriteChrome(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleRecorder().WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "{\"traceEvents\":[") {
+		t.Errorf("missing traceEvents envelope:\n%s", out)
+	}
+	for _, want := range []string{
+		`"name":"state:compute"`, `"name":"state:comm"`,
+		`"cat":"net"`, `"bytes":64`, `"displayTimeUnit":"ns"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chrome export missing %s:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, `"ph":"X"`); got != 4 {
+		t.Errorf("chrome export has %d spans, want 4", got)
+	}
+	// Deterministic: a second export is byte-identical.
+	var sb2 strings.Builder
+	if err := sampleRecorder().WriteChrome(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("chrome export not deterministic")
+	}
+}

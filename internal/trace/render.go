@@ -16,17 +16,25 @@ import (
 //	node 1 |..###..####..##  |
 //	msgs   |2313 1 42  1     |
 //
-// width is the number of time buckets (columns).
+// width is the number of time buckets (columns); values < 1 fall back to 80.
+//
+// Edge cases: a recorder with no records at all renders "(empty trace)"; a
+// trace whose records are all instantaneous at t=0 (zero span) still renders,
+// with every record in the first column; node labels widen as needed, so
+// lanes stay aligned past 100 nodes.
 func (r *Recorder) RenderASCII(w io.Writer, width int) error {
 	if width < 1 {
 		width = 80
 	}
-	_, _, span := r.Summary()
-	if span == 0 {
+	nStates, nMsgs, span := r.Summary()
+	if nStates == 0 && nMsgs == 0 {
 		_, err := fmt.Fprintln(w, "(empty trace)")
 		return err
 	}
 	bucket := func(t sim.Time) int {
+		if span == 0 {
+			return 0 // all records are instantaneous at t=0
+		}
 		b := int(int64(t) * int64(width) / int64(span))
 		if b >= width {
 			b = width - 1
@@ -54,6 +62,9 @@ func (r *Recorder) RenderASCII(w io.Writer, width int) error {
 		lanes[i] = []byte(strings.Repeat(".", width))
 	}
 	for _, s := range r.States {
+		if s.T1 < s.T0 {
+			continue // malformed interval; never paint backwards
+		}
 		ch := byte('~')
 		if s.State == "compute" {
 			ch = '#'
@@ -82,11 +93,17 @@ func (r *Recorder) RenderASCII(w io.Writer, width int) error {
 		span, width, span/sim.Time(width)); err != nil {
 		return err
 	}
+	// Label column sized to the widest node id (minimum 2), so lanes stay
+	// aligned for any node count.
+	lw := len(fmt.Sprintf("%d", maxNode))
+	if lw < 2 {
+		lw = 2
+	}
 	for i, lane := range lanes {
-		if _, err := fmt.Fprintf(w, "node %-2d |%s|\n", i, lane); err != nil {
+		if _, err := fmt.Fprintf(w, "node %-*d |%s|\n", lw, i, lane); err != nil {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "msgs    |%s|\n", msgLane)
+	_, err := fmt.Fprintf(w, "msgs %-*s |%s|\n", lw, "", msgLane)
 	return err
 }

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestRenderASCIIEdgeCases is the table-driven edge-case suite for
+// RenderASCII: zero-span traces, single-node traces, degenerate widths, wide
+// node ids, and malformed intervals must all render without panicking.
+func TestRenderASCIIEdgeCases(t *testing.T) {
+	us := sim.Microsecond
+	cases := []struct {
+		name    string
+		build   func() *Recorder
+		width   int
+		want    []string // substrings that must appear
+		wantNot []string // substrings that must not appear
+	}{
+		{
+			name:  "no records",
+			build: New,
+			width: 10,
+			want:  []string{"(empty trace)"},
+		},
+		{
+			name: "zero span with records",
+			build: func() *Recorder {
+				r := New()
+				r.State(0, "compute", 0, 0) // instantaneous at t=0
+				r.Message(0, 1, 0, 0, 8)
+				return r
+			},
+			width: 10,
+			// Must render lanes, not claim the trace is empty: the state
+			// paints column 0 and the message lands in bucket 0.
+			want:    []string{"node 0", "node 1", "#", "msgs", "|1"},
+			wantNot: []string{"empty"},
+		},
+		{
+			name: "single node",
+			build: func() *Recorder {
+				r := New()
+				r.State(0, "compute", 0, 10*us)
+				return r
+			},
+			width: 8,
+			want:  []string{"node 0", "########"},
+		},
+		{
+			name: "width below one falls back",
+			build: func() *Recorder {
+				r := New()
+				r.State(0, "compute", 0, 10*us)
+				return r
+			},
+			width: 0,
+			want:  []string{"80 columns"},
+		},
+		{
+			name: "single column",
+			build: func() *Recorder {
+				r := New()
+				r.State(0, "compute", 0, 10*us)
+				r.Message(0, 0, 0, 5*us, 8)
+				return r
+			},
+			width: 1,
+			want:  []string{"node 0", "|#|", "|1|"},
+		},
+		{
+			name: "three digit node ids stay aligned",
+			build: func() *Recorder {
+				r := New()
+				r.State(0, "compute", 0, 10*us)
+				r.State(120, "comm", 0, 10*us)
+				return r
+			},
+			width: 4,
+			// Label column widens to the widest id: both lanes and the msgs
+			// label pad to the same offset.
+			want: []string{"node 0   |", "node 120 |", "msgs     |"},
+		},
+		{
+			name: "backwards interval ignored",
+			build: func() *Recorder {
+				r := New()
+				r.State(0, "compute", 0, 10*us)
+				r.State(0, "comm", 9*us, 2*us) // T1 < T0: malformed
+				return r
+			},
+			width: 10,
+			// The malformed interval must not repaint the lane with '~':
+			// the lane stays solid compute.
+			want:    []string{"|##########|"},
+			wantNot: []string{"|~", "~|", "#~", "~#"},
+		},
+		{
+			name: "nine plus messages saturate",
+			build: func() *Recorder {
+				r := New()
+				for i := 0; i < 12; i++ {
+					r.Message(0, 1, 0, 10*us, 8)
+				}
+				return r
+			},
+			width: 1,
+			want:  []string{"|+|"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := tc.build().RenderASCII(&sb, tc.width); err != nil {
+				t.Fatal(err)
+			}
+			out := sb.String()
+			for _, want := range tc.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+			for _, not := range tc.wantNot {
+				if strings.Contains(out, not) {
+					t.Errorf("output should not contain %q:\n%s", not, out)
+				}
+			}
+		})
+	}
+}

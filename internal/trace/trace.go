@@ -8,7 +8,6 @@ package trace
 import (
 	"fmt"
 	"io"
-	"sort"
 
 	"repro/internal/sim"
 )
@@ -30,8 +29,18 @@ type MsgRec struct {
 	Bytes int
 }
 
-// Recorder accumulates trace records. It is used from kernel context only
-// (single-threaded), so it needs no locking.
+// Recorder accumulates trace records.
+//
+// Concurrency invariant: a Recorder is single-goroutine. Every State and
+// Message call must come from the goroutine currently driving one sim.Kernel
+// — either the kernel loop itself (fabric delivery events) or the one
+// simulated process the kernel has resumed (sim.Proc bodies); the kernel
+// hands control to at most one of these at a time, so records never race and
+// the Recorder needs no locking. This stays true under bench.Sweep's
+// parallel runners because each sweep point builds its own kernel AND its
+// own Recorder: recorders are never shared across kernels, so cross-kernel
+// parallelism never touches the same Recorder from two goroutines (enforced
+// by a race-detector test in the bench package).
 type Recorder struct {
 	States   []StateRec
 	Messages []MsgRec
@@ -63,8 +72,7 @@ func (r *Recorder) Message(src, dst int, t0, t1 sim.Time, bytes int) {
 // WriteCSV emits the trace as two CSV sections: states, then messages, both
 // sorted by start time. Times are microseconds.
 func (r *Recorder) WriteCSV(w io.Writer) error {
-	states := append([]StateRec(nil), r.States...)
-	sort.Slice(states, func(i, j int) bool { return states[i].T0 < states[j].T0 })
+	states := sortedStates(r.States)
 	if _, err := fmt.Fprintln(w, "# states"); err != nil {
 		return err
 	}
@@ -76,8 +84,7 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 			return err
 		}
 	}
-	msgs := append([]MsgRec(nil), r.Messages...)
-	sort.Slice(msgs, func(i, j int) bool { return msgs[i].T0 < msgs[j].T0 })
+	msgs := sortedMessages(r.Messages)
 	if _, err := fmt.Fprintln(w, "# messages"); err != nil {
 		return err
 	}

@@ -90,6 +90,10 @@ type VIC struct {
 
 	barrierN int
 
+	// obs points at the cluster-shared instruments (SetObs); nil when
+	// observability is disabled.
+	obs *Obs
+
 	st Stats
 }
 
@@ -131,6 +135,9 @@ func (v *VIC) HostSend(p *sim.Proc, mode SendMode, words []Word) {
 		return
 	}
 	v.st.PktsSent += int64(len(words))
+	if v.obs != nil {
+		v.obs.PktsSent.Add(int64(len(words)))
+	}
 	bytesPer := mode.wireBytes()
 	total := len(words) * bytesPer
 	v.st.PCIeBytesOut += int64(total)
@@ -272,6 +279,9 @@ func (v *VIC) setGC(gc int, val int64) {
 
 func (v *VIC) decGC(gc int, by int64) {
 	v.gc[gc] -= by
+	if v.obs != nil {
+		v.obs.GCDecs.Inc()
+	}
 	if v.gc[gc] == 0 {
 		v.notifyZero(gc)
 	}
@@ -352,9 +362,15 @@ func (v *VIC) pushSurprise(val uint64) {
 		// queue; overflow loses the packet (the developer is responsible
 		// for draining fast enough).
 		v.st.FIFODropped++
+		if v.obs != nil {
+			v.obs.FIFODropped.Inc()
+		}
 		return
 	}
 	v.st.FIFOPkts++
+	if v.obs != nil {
+		v.obs.FIFOPkts.Inc()
+	}
 	v.fifo = append(v.fifo, val)
 	if !v.drainArmed {
 		v.drainArmed = true
@@ -394,8 +410,14 @@ func (v *VIC) drainFIFO() {
 // to the sending application a corruption is indistinguishable from a drop.
 func (v *VIC) Receive(pkt dvswitch.Packet) {
 	v.st.PktsReceived++
+	if v.obs != nil {
+		v.obs.PktsReceived.Inc()
+	}
 	if pkt.Corrupt {
 		v.st.CorruptDropped++
+		if v.obs != nil {
+			v.obs.CorruptDropped.Inc()
+		}
 		return
 	}
 	v.k.After(v.par.ProcDelay, func() { v.execute(pkt) })
@@ -484,6 +506,9 @@ func barrierChildren(id, n int) []int {
 // is why the paper's Figure 4 shows it staying flat from 2 to 32 nodes.
 func (v *VIC) Barrier(p *sim.Proc) {
 	v.st.Barriers++
+	if v.obs != nil {
+		v.obs.Barriers.Inc()
+	}
 	n := v.barrierN
 	p.Wait(v.par.PIOLatency) // host kicks the VIC
 	if n <= 1 {
