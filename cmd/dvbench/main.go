@@ -1,13 +1,15 @@
 // Command dvbench regenerates the paper's evaluation: every figure of
 // "Exploring DataVortex Systems for Irregular Applications" plus the
-// extension studies listed in DESIGN.md.
+// extension studies listed in DESIGN.md, and runs individual registered
+// workloads through the apprt harness.
 //
 // Usage:
 //
 //	dvbench                 # run everything at full size
 //	dvbench -small          # fast smoke sizes
-//	dvbench -exp fig6a      # one experiment (fig3a fig3b fig4 fig5 fig6a
-//	                        # fig6b fig7 fig8 fig9 extA extB extC)
+//	dvbench -list           # list experiment ids and registered apps
+//	dvbench -exp fig6a      # one experiment (ids from -list)
+//	dvbench -app gups       # one registered app, both backends
 //	dvbench -jobs 4         # fan independent sweep points over 4 workers
 //	dvbench -trace out.csv  # where fig5 writes its trace
 //	dvbench -metrics m      # observability reference run -> m.jsonl m.prom m.trace.json
@@ -23,13 +25,84 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"repro/internal/apprt"
+	_ "repro/internal/apps/all"
 	"repro/internal/bench"
+	"repro/internal/comm"
 )
 
+// experiment is one dispatchable entry of the evaluation: a primary id,
+// optional aliases, a short description, and the function that produces its
+// tables. Both -list and the -exp dispatch derive from this table.
+type experiment struct {
+	id      string
+	aliases []string
+	desc    string
+	run     func(opt bench.Options, openTrace func() io.Writer) []*bench.Table
+}
+
+// one wraps a single-table experiment.
+func one(f func(bench.Options) *bench.Table) func(bench.Options, func() io.Writer) []*bench.Table {
+	return func(opt bench.Options, _ func() io.Writer) []*bench.Table {
+		return []*bench.Table{f(opt)}
+	}
+}
+
+var experiments = []experiment{
+	{id: "fig3a", desc: "ping-pong bandwidth", run: one(bench.Fig3a)},
+	{id: "fig3b", desc: "ping-pong % of peak", run: one(bench.Fig3b)},
+	{id: "fig4", desc: "barrier latency", run: one(bench.Fig4)},
+	{id: "fig5", desc: "GUPS packet trace", run: func(opt bench.Options, openTrace func() io.Writer) []*bench.Table {
+		return []*bench.Table{bench.Fig5(opt, openTrace())}
+	}},
+	{id: "fig6a", aliases: []string{"fig6b", "fig6"}, desc: "GUPS scaling (both panels)",
+		run: func(opt bench.Options, _ func() io.Writer) []*bench.Table {
+			a, b := bench.Fig6(opt)
+			return []*bench.Table{a, b}
+		}},
+	{id: "fig7", desc: "heat transfer", run: one(bench.Fig7)},
+	{id: "fig8", desc: "Graph500 BFS", run: one(bench.Fig8)},
+	{id: "fig9", desc: "2-D FFT", run: one(bench.Fig9)},
+	{id: "extA", aliases: []string{"switch"}, desc: "switch traffic study", run: one(bench.ExtSwitchTraffic)},
+	{id: "extB", aliases: []string{"scale"}, desc: "scaling study", run: one(bench.ExtScale)},
+	{id: "extC", aliases: []string{"ablation"}, desc: "calibration ablation", run: one(bench.ExtAblation)},
+	{id: "extD", aliases: []string{"scaleapps"}, desc: "app scaling", run: one(bench.ExtScaleApps)},
+	{id: "extE", aliases: []string{"routing"}, desc: "routing study", run: one(bench.ExtRouting)},
+	{id: "extF", aliases: []string{"multirail"}, desc: "multi-rail study", run: one(bench.ExtMultiRail)},
+	{id: "extG", aliases: []string{"pagerank"}, desc: "PageRank study", run: one(bench.ExtPageRank)},
+	{id: "extH", aliases: []string{"faults"}, desc: "fault injection study", run: one(bench.ExtFaults)},
+	{id: "extI", aliases: []string{"spmv"}, desc: "SpMV study", run: one(bench.ExtSpMV)},
+	{id: "extJ", aliases: []string{"subset"}, desc: "subset barrier study", run: one(bench.ExtSubsetBarrier)},
+	{id: "extK", aliases: []string{"sort"}, desc: "sample sort study", run: one(bench.ExtSort)},
+	{id: "extL", aliases: []string{"provisioning"}, desc: "provisioning study", run: one(bench.ExtProvisioning)},
+	{id: "extM", aliases: []string{"appscaling"}, desc: "app scaling study", run: one(bench.ExtAppScaling)},
+	{id: "extN", aliases: []string{"reliability"}, desc: "reliability study", run: one(bench.ExtReliability)},
+	{id: "validate", desc: "cross-variant validation", run: one(bench.Validate)},
+}
+
+// findExperiment resolves an id or alias, case-insensitively.
+func findExperiment(id string) *experiment {
+	for i := range experiments {
+		e := &experiments[i]
+		if strings.EqualFold(e.id, id) {
+			return e
+		}
+		for _, a := range e.aliases {
+			if strings.EqualFold(a, id) {
+				return e
+			}
+		}
+	}
+	return nil
+}
+
 func main() {
-	list := flag.Bool("list", false, "list experiment ids and exit")
+	list := flag.Bool("list", false, "list experiment ids and registered apps, then exit")
 	small := flag.Bool("small", false, "use reduced problem sizes")
 	exp := flag.String("exp", "all", "experiment id or 'all'")
+	app := flag.String("app", "", "run one registered app (see -list) on both backends")
+	nodes := flag.Int("nodes", 0, "node count for -app (0 = the app's reference size)")
+	seed := flag.Uint64("seed", 1, "RNG seed for -app runs")
 	jobs := flag.Int("jobs", runtime.NumCPU(),
 		"worker count for independent sweep points (results identical at any value)")
 	tracePath := flag.String("trace", "gups_trace.csv", "output file for the fig5 trace CSV")
@@ -71,11 +144,25 @@ func main() {
 	}
 
 	if *list {
-		fmt.Println("experiments: fig3a fig3b fig4 fig5 fig6a fig6b fig7 fig8 fig9")
-		fmt.Println("extensions:  extA(switch) extB(scale) extC(ablation) extD(scaleapps)")
-		fmt.Println("             extE(routing) extF(multirail) extG(pagerank) extH(faults)")
-		fmt.Println("             extI(spmv) extJ(subset) extK(sort) extL(provisioning)")
-		fmt.Println("             extM(appscaling) extN(reliability) validate")
+		fmt.Println("experiments (-exp):")
+		for _, e := range experiments {
+			id := e.id
+			if len(e.aliases) > 0 {
+				id += " (" + strings.Join(e.aliases, ", ") + ")"
+			}
+			fmt.Printf("  %-28s %s\n", id, e.desc)
+		}
+		fmt.Println("\nregistered apps (-app):")
+		for _, a := range apprt.Apps() {
+			fmt.Printf("  %-28s %s [ref %d nodes]\n", a.Name, a.Desc, a.RefNodes)
+		}
+		return
+	}
+	if *app != "" {
+		if err := runApp(*app, *nodes, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "dvbench: %v\n", err)
+			os.Exit(2)
+		}
 		return
 	}
 	opt := bench.Options{Small: *small, Jobs: *jobs}
@@ -98,58 +185,12 @@ func main() {
 	}
 
 	var tables []*bench.Table
-	switch strings.ToLower(*exp) {
-	case "all":
+	if strings.EqualFold(*exp, "all") {
 		tables = bench.All(opt, openTrace())
-	case "fig3a":
-		tables = append(tables, bench.Fig3a(opt))
-	case "fig3b":
-		tables = append(tables, bench.Fig3b(opt))
-	case "fig4":
-		tables = append(tables, bench.Fig4(opt))
-	case "fig5":
-		tables = append(tables, bench.Fig5(opt, openTrace()))
-	case "fig6a", "fig6b", "fig6":
-		a, b := bench.Fig6(opt)
-		tables = append(tables, a, b)
-	case "fig7":
-		tables = append(tables, bench.Fig7(opt))
-	case "fig8":
-		tables = append(tables, bench.Fig8(opt))
-	case "fig9":
-		tables = append(tables, bench.Fig9(opt))
-	case "exta", "switch":
-		tables = append(tables, bench.ExtSwitchTraffic(opt))
-	case "extb", "scale":
-		tables = append(tables, bench.ExtScale(opt))
-	case "extc", "ablation":
-		tables = append(tables, bench.ExtAblation(opt))
-	case "extd", "scaleapps":
-		tables = append(tables, bench.ExtScaleApps(opt))
-	case "exte", "routing":
-		tables = append(tables, bench.ExtRouting(opt))
-	case "extf", "multirail":
-		tables = append(tables, bench.ExtMultiRail(opt))
-	case "extg", "pagerank":
-		tables = append(tables, bench.ExtPageRank(opt))
-	case "exth", "faults":
-		tables = append(tables, bench.ExtFaults(opt))
-	case "exti", "spmv":
-		tables = append(tables, bench.ExtSpMV(opt))
-	case "extj", "subset":
-		tables = append(tables, bench.ExtSubsetBarrier(opt))
-	case "extk", "sort":
-		tables = append(tables, bench.ExtSort(opt))
-	case "extl", "provisioning":
-		tables = append(tables, bench.ExtProvisioning(opt))
-	case "extm", "appscaling":
-		tables = append(tables, bench.ExtAppScaling(opt))
-	case "extn", "reliability":
-		tables = append(tables, bench.ExtReliability(opt))
-	case "validate":
-		tables = append(tables, bench.Validate(opt))
-	default:
-		fmt.Fprintf(os.Stderr, "dvbench: unknown experiment %q\n", *exp)
+	} else if e := findExperiment(*exp); e != nil {
+		tables = e.run(opt, openTrace)
+	} else {
+		fmt.Fprintf(os.Stderr, "dvbench: unknown experiment %q (see -list)\n", *exp)
 		os.Exit(2)
 	}
 	for _, t := range tables {
@@ -172,6 +213,27 @@ func main() {
 		c.Close()
 		fmt.Printf("fig5 trace written to %s\n", *tracePath)
 	}
+}
+
+// runApp runs one registered workload on both backends through the apprt
+// harness and prints the summaries.
+func runApp(name string, nodes int, seed uint64) error {
+	a, ok := apprt.Get(name)
+	if !ok {
+		return fmt.Errorf("unknown app %q (see -list)", name)
+	}
+	if nodes <= 0 {
+		nodes = a.RefNodes
+	}
+	for _, net := range comm.Nets() {
+		sum, err := a.Run(apprt.RunSpec{Net: net, Nodes: nodes, Seed: seed})
+		if err != nil {
+			return fmt.Errorf("%s on %s: %w", name, net, err)
+		}
+		fmt.Printf("%-10s %-12s %2d nodes  elapsed=%-12v errors=%d  %s\n",
+			sum.App, sum.Net, sum.Nodes, sum.Elapsed, sum.Errors, sum.Check)
+	}
+	return nil
 }
 
 // runMetrics executes the observability reference run and writes its three

@@ -1,6 +1,7 @@
 // Command dvinfo prints the simulated testbed's configuration for a given
-// node count: switch geometry, calibration constants, and the derived peak
-// rates — a quick reference for interpreting benchmark output.
+// node count — switch geometry, calibration constants, and the derived peak
+// rates — plus the registered workloads, a quick reference for interpreting
+// benchmark output.
 //
 //	dvinfo [-nodes 32] [-rails 1]
 package main
@@ -9,6 +10,8 @@ import (
 	"flag"
 	"fmt"
 
+	"repro/internal/apprt"
+	_ "repro/internal/apps/all"
 	"repro/internal/cluster"
 	"repro/internal/dvswitch"
 )
@@ -45,4 +48,12 @@ func main() {
 		cfg.MPI.EagerLimit, cfg.MPI.SendOverhead, cfg.MPI.RecvOverhead)
 	fmt.Printf("\nHost CPU model: %.0f GFLOPS, %v/random access, %v/small op\n",
 		cfg.CPU.GFLOPS, cfg.CPU.RandomAccess, cfg.CPU.SmallOp)
+	fmt.Printf("\nRegistered workloads (dvbench -app NAME)\n")
+	for _, a := range apprt.Apps() {
+		rel := ""
+		if a.Reliable {
+			rel = " [reliable]"
+		}
+		fmt.Printf("  %-10s %s%s\n", a.Name, a.Desc, rel)
+	}
 }

@@ -1,0 +1,52 @@
+// Registry demo: drive every registered workload through the apprt harness
+// on both network stacks at its reference size — the "add an app in one
+// file" recipe from DESIGN.md ends with the new app appearing here (and in
+// dvbench -list) with no other code changed.
+//
+//	go run ./examples/apps [-app gups] [-nodes 8] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apprt"
+	_ "repro/internal/apps/all"
+	"repro/internal/comm"
+)
+
+func main() {
+	app := flag.String("app", "", "run only this app (default: all registered)")
+	nodes := flag.Int("nodes", 0, "node count (0 = each app's reference size)")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	flag.Parse()
+
+	apps := apprt.Apps()
+	if *app != "" {
+		a, ok := apprt.Get(*app)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown app %q; registered: %v\n", *app, apprt.Names())
+			os.Exit(2)
+		}
+		apps = []apprt.App{a}
+	}
+
+	fmt.Printf("%-10s %-12s %5s  %-14s %-7s %s\n",
+		"app", "net", "nodes", "elapsed", "errors", "check")
+	for _, a := range apps {
+		n := *nodes
+		if n <= 0 {
+			n = a.RefNodes
+		}
+		for _, net := range comm.Nets() {
+			sum, err := a.Run(apprt.RunSpec{Net: net, Nodes: n, Seed: *seed})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s on %s: %v\n", a.Name, net, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-10s %-12s %5d  %-14v %-7d %s\n",
+				sum.App, sum.Net, sum.Nodes, sum.Elapsed, sum.Errors, sum.Check)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Layering check: application packages talk to the fabrics only through the
+// comm abstraction. No file under internal/apps may import the backend
+// packages internal/mpi or internal/vic directly — apps that need the Data
+// Vortex endpoint surface (collectives, shmem) may still import internal/dv
+// via comm.Backend.Endpoint.
+
+package apprt_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAppsImportBan(t *testing.T) {
+	banned := map[string]bool{
+		"repro/internal/mpi": true,
+		"repro/internal/vic": true,
+	}
+	root := filepath.Join("..", "apps")
+	fset := token.NewFileSet()
+	checked := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		checked++
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return err
+			}
+			if banned[p] {
+				t.Errorf("%s imports %s; apps must go through internal/comm",
+					path, p)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking %s: %v", root, err)
+	}
+	if checked == 0 {
+		t.Fatal("no Go files found under internal/apps")
+	}
+}

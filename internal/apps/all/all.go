@@ -1,0 +1,21 @@
+// Package all links every workload package into a binary so that their
+// init-time apprt registrations run. Importing it (blank) is all a tool
+// needs to see the full application registry:
+//
+//	import _ "repro/internal/apps/all"
+//	for _, a := range apprt.Apps() { ... }
+package all
+
+import (
+	_ "repro/internal/apps/barrier"
+	_ "repro/internal/apps/bfs"
+	_ "repro/internal/apps/fft"
+	_ "repro/internal/apps/gups"
+	_ "repro/internal/apps/heat"
+	_ "repro/internal/apps/pagerank"
+	_ "repro/internal/apps/pingpong"
+	_ "repro/internal/apps/snap"
+	_ "repro/internal/apps/sort"
+	_ "repro/internal/apps/spmv"
+	_ "repro/internal/apps/vorticity"
+)

@@ -12,10 +12,11 @@ package barrier
 import (
 	"fmt"
 
+	"repro/internal/apprt"
 	"repro/internal/cluster"
+	"repro/internal/comm"
 	"repro/internal/faultplan"
 	"repro/internal/sim"
-	"repro/internal/vic"
 )
 
 // Impl selects the barrier implementation.
@@ -87,31 +88,32 @@ func RunOpts(impl Impl, nodes, iters int, opts Opts) Result {
 	if iters <= 0 {
 		iters = 100
 	}
-	cfg := cluster.DefaultConfig(nodes)
+	net := comm.DV
 	if impl == MPIBarrier {
-		cfg.Stacks = cluster.StackIB
-	} else {
-		cfg.Stacks = cluster.StackDV
+		net = comm.IB
 	}
-	cfg.Faults = opts.Faults
 	completed := make([]int, nodes)
 	errs := 0
 	var total sim.Time
-	rep := cluster.Run(cfg, func(n *cluster.Node) {
+	rep := apprt.Execute(apprt.RunSpec{
+		Net:    net,
+		Nodes:  nodes,
+		Faults: opts.Faults,
+	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		// Each bar() reports whether the barrier completed; a node whose
 		// barrier gave up stops iterating, leaving its progress visible in
 		// completed (progress is recorded before any wait can wedge).
 		var bar func() bool
 		switch impl {
 		case DVIntrinsic:
-			bar = func() bool { n.DV.Barrier(); return true }
+			bar = func() bool { be.Endpoint().Barrier(); return true }
 		case DVFastBarrier:
-			bar = newFastBarrier(n, opts.WaitTimeout)
+			bar = newFastBarrier(n, be, opts.WaitTimeout)
 		case MPIBarrier:
-			bar = func() bool { n.MPI.Barrier(); return true }
+			bar = func() bool { be.MPI().Barrier(); return true }
 		case DVReliable:
 			bar = func() bool {
-				if err := n.DV.ReliableBarrier(); err != nil {
+				if err := be.Endpoint().ReliableBarrier(); err != nil {
 					errs++
 					return false
 				}
@@ -119,20 +121,22 @@ func RunOpts(impl Impl, nodes, iters int, opts Opts) Result {
 			}
 		}
 		if !bar() { // synchronise entry
-			return
+			return 0
 		}
 		t0 := n.P.Now()
 		for i := 0; i < iters; i++ {
 			if !bar() {
-				return
+				return 0
 			}
 			completed[n.ID] = i + 1
 		}
+		span := n.P.Now() - t0
 		if n.ID == 0 {
-			total = n.P.Now() - t0
+			total = span
 		}
+		return span
 	})
-	res := Result{Impl: impl, Nodes: nodes, Iters: iters, Errors: errs, Report: rep}
+	res := Result{Impl: impl, Nodes: nodes, Iters: iters, Errors: errs, Report: rep.Cluster}
 	res.Completed = iters
 	for _, c := range completed {
 		if c < res.Completed {
@@ -149,8 +153,8 @@ func RunOpts(impl Impl, nodes, iters int, opts Opts) Result {
 // counters alternate between consecutive barriers so that a fast neighbour's
 // next-epoch decrements never race this node's re-arm. A timeout of 0 means
 // wait forever; otherwise the closure reports false when a wait expires.
-func newFastBarrier(n *cluster.Node, timeout sim.Time) func() bool {
-	e := n.DV
+func newFastBarrier(n *cluster.Node, be comm.Backend, timeout sim.Time) func() bool {
+	e := be.Endpoint()
 	gcs := [2]int{e.AllocGC(), e.AllocGC()}
 	peers := int64(e.Size() - 1)
 	e.ArmGC(gcs[0], peers)
@@ -161,17 +165,17 @@ func newFastBarrier(n *cluster.Node, timeout sim.Time) func() bool {
 		wait = timeout
 	}
 	epoch := 0
-	words := make([]vic.Word, 0, peers)
+	words := make([]comm.Word, 0, peers)
 	return func() bool {
 		gc := gcs[epoch&1]
 		epoch++
 		words = words[:0]
 		for d := 0; d < e.Size(); d++ {
 			if d != e.Rank() {
-				words = append(words, vic.Word{Dst: d, Op: vic.OpDecGC, GC: vic.NoGC, Addr: uint32(gc), Val: 1})
+				words = append(words, comm.Word{Dst: d, Op: comm.OpDecGC, GC: comm.NoGC, Addr: uint32(gc), Val: 1})
 			}
 		}
-		e.Scatter(vic.PIOCached, words)
+		e.Scatter(comm.PIOCached, words)
 		if !e.WaitGC(gc, wait) {
 			return false // a notification was lost; abort this node
 		}

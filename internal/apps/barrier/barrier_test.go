@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/comm"
 	"repro/internal/sim"
 )
 
@@ -58,7 +59,7 @@ func TestFastBarrierActuallySynchronises(t *testing.T) {
 	phase := make([]int, n)
 	violated := false
 	cluster.Run(cfg, func(nd *cluster.Node) {
-		bar := newFastBarrier(nd, 0)
+		bar := newFastBarrier(nd, comm.New(comm.DV, nd), 0)
 		for it := 0; it < iters; it++ {
 			nd.Compute(sim.Time(nd.RNG.Intn(3000)) * sim.Nanosecond)
 			phase[nd.ID]++

@@ -14,27 +14,24 @@ package bfs
 import (
 	"fmt"
 
+	"repro/internal/apprt"
 	"repro/internal/cluster"
+	"repro/internal/comm"
 	"repro/internal/sim"
 )
 
 // Net selects the network variant.
-type Net int
+//
+// Deprecated: Net is an alias of comm.Net, the backend selector shared by
+// every workload; new code should use comm.Net directly.
+type Net = comm.Net
 
 const (
 	// DV is the Data Vortex implementation.
-	DV Net = iota
+	DV = comm.DV
 	// IB is the MPI implementation over InfiniBand.
-	IB
+	IB = comm.IB
 )
-
-// String names the network variant as the paper labels it.
-func (n Net) String() string {
-	if n == DV {
-		return "Data Vortex"
-	}
-	return "Infiniband"
-}
 
 // Params configures a run.
 type Params struct {
@@ -209,14 +206,6 @@ func Run(net Net, par Params) Result {
 		panic(fmt.Sprintf("bfs: 2^%d vertices not divisible over %d nodes", par.Scale, par.Nodes))
 	}
 	roots := ChooseRoots(par)
-	cfg := cluster.DefaultConfig(par.Nodes)
-	cfg.Seed = par.Seed
-	cfg.CycleAccurate = par.CycleAccurate
-	if net == DV {
-		cfg.Stacks = cluster.StackDV
-	} else {
-		cfg.Stacks = cluster.StackIB
-	}
 	res := Result{Net: net, Nodes: par.Nodes, Scale: par.Scale,
 		Searches: make([]Search, len(roots))}
 	if par.KeepParents {
@@ -225,11 +214,16 @@ func Run(net Net, par Params) Result {
 			res.Parents[i] = make([]int64, int64(1)<<par.Scale)
 		}
 	}
-	cluster.Run(cfg, func(n *cluster.Node) {
+	apprt.Execute(apprt.RunSpec{
+		Net:           net,
+		Nodes:         par.Nodes,
+		Seed:          par.Seed,
+		CycleAccurate: par.CycleAccurate,
+	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		g := buildLocal(par, n.ID)
 		var st *dvState
 		if net == DV {
-			st = newDVState(n, par.Nodes)
+			st = newDVState(n, be, par.Nodes)
 		}
 		for si, root := range roots {
 			parent := make([]int64, g.perNode)
@@ -238,9 +232,9 @@ func Run(net Net, par Params) Result {
 			}
 			var s Search
 			if net == DV {
-				s = searchDV(n, st, g, root, parent)
+				s = searchDV(n, be, st, g, root, parent)
 			} else {
-				s = searchMPI(n, g, root, parent)
+				s = searchMPI(n, be, g, root, parent)
 			}
 			// Global sums are gathered in-search; node 0's view is
 			// authoritative.
@@ -252,6 +246,7 @@ func Run(net Net, par Params) Result {
 				copy(res.Parents[si][g.lo:g.lo+g.perNode], parent)
 			}
 		}
+		return 0
 	})
 	return res
 }

@@ -2,10 +2,9 @@ package bfs
 
 import (
 	"repro/internal/cluster"
+	"repro/internal/comm"
 	"repro/internal/dv"
-	"repro/internal/mpi"
 	"repro/internal/sim"
-	"repro/internal/vic"
 )
 
 // packVisit encodes a visit message (destination vertex, proposed parent) in
@@ -26,8 +25,8 @@ func visitLocal(g *graph, parent []int64, v, u int64) bool {
 
 // searchMPI is the level-synchronous Graph500 BFS over MPI: visit messages
 // are bucketed by owner and exchanged with one all-to-all per level.
-func searchMPI(n *cluster.Node, g *graph, root int64, parent []int64) Search {
-	c := n.MPI
+func searchMPI(n *cluster.Node, be comm.Backend, g *graph, root int64, parent []int64) Search {
+	c := be.MPI()
 	p := c.Size()
 	var frontier []int64 // local indices
 	c.Barrier()
@@ -63,7 +62,7 @@ func searchMPI(n *cluster.Node, g *graph, root int64, parent []int64) Search {
 		n.Ops(edgesScannedThisLevel(frontier, g) + int64(localVisits))
 		send := make([][]byte, p)
 		for q := range buckets {
-			send[q] = mpi.Uint64sToBytes(buckets[q])
+			send[q] = comm.Uint64sToBytes(buckets[q])
 		}
 		recv := c.Alltoall(send)
 		got := 0
@@ -71,7 +70,7 @@ func searchMPI(n *cluster.Node, g *graph, root int64, parent []int64) Search {
 			if src == n.ID {
 				continue
 			}
-			for _, w := range mpi.BytesToUint64s(data) {
+			for _, w := range comm.BytesToUint64s(data) {
 				v, u := unpackVisit(w)
 				got++
 				if visitLocal(g, parent, v, u) {
@@ -82,12 +81,12 @@ func searchMPI(n *cluster.Node, g *graph, root int64, parent []int64) Search {
 		}
 		n.Ops(int64(got))
 		frontier = next
-		total := c.Allreduce([]float64{float64(len(frontier))}, mpi.Sum)
+		total := c.Allreduce([]float64{float64(len(frontier))}, comm.Sum)
 		if total[0] == 0 {
 			break
 		}
 	}
-	sums := c.Allreduce([]float64{float64(edgesScanned), float64(visited)}, mpi.Sum)
+	sums := c.Allreduce([]float64{float64(edgesScanned), float64(visited)}, comm.Sum)
 	elapsed := n.P.Now() - t0
 	c.Barrier()
 	return Search{Edges: int64(sums[0]), Visited: int64(sums[1]), Elapsed: elapsed}
@@ -101,8 +100,8 @@ type dvState struct {
 	coll    *dv.Collective
 }
 
-func newDVState(n *cluster.Node, nodes int) *dvState {
-	e := n.DV
+func newDVState(n *cluster.Node, be comm.Backend, nodes int) *dvState {
+	e := be.Endpoint()
 	st := &dvState{
 		nodes:   nodes,
 		cntBase: e.Alloc(nodes),
@@ -117,8 +116,8 @@ func newDVState(n *cluster.Node, nodes int) *dvState {
 // searchDV is the Data Vortex BFS: every visit is one fine-grained packet to
 // the owner's surprise FIFO, batched across PCIe at the source, drained
 // opportunistically at the receiver, with a counted flush per level.
-func searchDV(n *cluster.Node, st *dvState, g *graph, root int64, parent []int64) Search {
-	e := n.DV
+func searchDV(n *cluster.Node, be comm.Backend, st *dvState, g *graph, root int64, parent []int64) Search {
+	e := be.Endpoint()
 	p := st.nodes
 	var frontier []int64
 	e.Barrier()
@@ -161,7 +160,7 @@ func searchDV(n *cluster.Node, st *dvState, g *graph, root int64, parent []int64
 		next = next[:0]
 		drained = 0
 		sentTo := make([]int64, p)
-		words := make([]vic.Word, 0, 4096)
+		words := make([]comm.Word, 0, 4096)
 		localVisits := 0
 		for _, lu := range frontier {
 			u := g.lo + lu
@@ -176,27 +175,27 @@ func searchDV(n *cluster.Node, st *dvState, g *graph, root int64, parent []int64
 					}
 					continue
 				}
-				words = append(words, vic.Word{Dst: q, Op: vic.OpFIFO, GC: vic.NoGC, Val: packVisit(v, u)})
+				words = append(words, comm.Word{Dst: q, Op: comm.OpFIFO, GC: comm.NoGC, Val: packVisit(v, u)})
 				sentTo[q]++
 				if len(words) == 4096 {
-					e.Scatter(vic.DMACached, words)
+					e.Scatter(comm.DMACached, words)
 					words = words[:0]
 					drain(false)
 				}
 			}
 		}
-		e.Scatter(vic.DMACached, words)
+		e.Scatter(comm.DMACached, words)
 		n.Ops(edgesScannedThisLevel(frontier, g) + int64(localVisits))
 		// Counted flush: exchange per-destination send counts, then drain
 		// to the exact expected total.
-		cnt := make([]vic.Word, 0, p-1)
+		cnt := make([]comm.Word, 0, p-1)
 		for d := 0; d < p; d++ {
 			if d != n.ID {
-				cnt = append(cnt, vic.Word{Dst: d, Op: vic.OpWrite, GC: st.gcCnt,
+				cnt = append(cnt, comm.Word{Dst: d, Op: comm.OpWrite, GC: st.gcCnt,
 					Addr: st.cntBase + uint32(n.ID), Val: uint64(sentTo[d])})
 			}
 		}
-		e.Scatter(vic.PIOCached, cnt)
+		e.Scatter(comm.PIOCached, cnt)
 		e.WaitGC(st.gcCnt, sim.Forever)
 		expected := 0
 		for src, w := range e.Read(st.cntBase, p) {

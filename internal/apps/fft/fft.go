@@ -14,30 +14,25 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/apprt"
 	"repro/internal/cluster"
+	"repro/internal/comm"
 	"repro/internal/fftkernel"
-	"repro/internal/mpi"
 	"repro/internal/sim"
-	"repro/internal/vic"
 )
 
 // Net selects the network variant.
-type Net int
+//
+// Deprecated: Net is an alias of comm.Net, the backend selector shared by
+// every workload; new code should use comm.Net directly.
+type Net = comm.Net
 
 const (
 	// DV is the Data Vortex implementation.
-	DV Net = iota
+	DV = comm.DV
 	// IB is the MPI implementation over InfiniBand.
-	IB
+	IB = comm.IB
 )
-
-// String names the network variant as the paper labels it.
-func (n Net) String() string {
-	if n == DV {
-		return "Data Vortex"
-	}
-	return "Infiniband"
-}
 
 // Params configures a run.
 type Params struct {
@@ -124,31 +119,25 @@ func SerialReference(par Params) []complex128 {
 func Run(net Net, par Params) Result {
 	par.defaults()
 	n1, n2 := geometry(par.LogN, par.Nodes)
-	cfg := cluster.DefaultConfig(par.Nodes)
-	cfg.Seed = par.Seed
-	cfg.CycleAccurate = par.CycleAccurate
-	cfg.IB.Adaptive = par.IBAdaptive
-	if net == DV {
-		cfg.Stacks = cluster.StackDV
-	} else {
-		cfg.Stacks = cluster.StackIB
-	}
 	res := Result{Net: net, Nodes: par.Nodes, N: n1 * n2}
 	var rows [][]complex128
 	if par.KeepResult {
 		rows = make([][]complex128, par.Nodes)
 	}
-	var span sim.Time
-	cluster.Run(cfg, func(n *cluster.Node) {
-		out, d := runNode(n, net, par, n1, n2)
-		if d > span {
-			span = d
-		}
+	rep := apprt.Execute(apprt.RunSpec{
+		Net:           net,
+		Nodes:         par.Nodes,
+		Seed:          par.Seed,
+		CycleAccurate: par.CycleAccurate,
+		IBAdaptive:    par.IBAdaptive,
+	}, func(n *cluster.Node, be comm.Backend) sim.Time {
+		out, d := runNode(n, be, net, par, n1, n2)
 		if par.KeepResult {
 			rows[n.ID] = out
 		}
+		return d
 	})
-	res.Elapsed = span
+	res.Elapsed = rep.Elapsed
 	if par.KeepResult {
 		for _, r := range rows {
 			res.Spectrum = append(res.Spectrum, r...)
@@ -159,7 +148,7 @@ func Run(net Net, par Params) Result {
 
 // runNode executes the six-step FFT on one node and returns its slab of the
 // final spectrum (rows k1 ∈ [id·n1/P, ...)) and the measured time.
-func runNode(n *cluster.Node, net Net, par Params, n1, n2 int) ([]complex128, sim.Time) {
+func runNode(n *cluster.Node, be comm.Backend, net Net, par Params, n1, n2 int) ([]complex128, sim.Time) {
 	p := par.Nodes
 	rowsA := n1 / p // rows of the n1×n2 matrix per node
 	rowsB := n2 / p // rows of the transposed n2×n1 matrix per node
@@ -175,16 +164,9 @@ func runNode(n *cluster.Node, net Net, par Params, n1, n2 int) ([]complex128, si
 
 	var tp *transposer
 	if net == DV {
-		tp = newTransposer(n, n1, n2)
+		tp = newTransposer(be, n1, n2)
 	}
-	barrier := func() {
-		if net == DV {
-			n.DV.Barrier()
-		} else {
-			n.MPI.Barrier()
-		}
-	}
-	barrier()
+	be.Barrier()
 	t0 := n.P.Now()
 
 	// Step 1: row FFTs of length n2.
@@ -204,30 +186,31 @@ func runNode(n *cluster.Node, net Net, par Params, n1, n2 int) ([]complex128, si
 	n.Flops(8 * float64(rowsA*n2))
 
 	// Step 3: distributed transpose to n2×n1, then row FFTs of length n1.
-	localT := transpose(n, net, tp, local, n1, n2)
+	localT := transpose(n, be, net, tp, local, n1, n2)
 	for r := 0; r < rowsB; r++ {
 		fftkernel.Forward(localT[r*n1 : (r+1)*n1])
 	}
 	n.Flops(float64(rowsB) * fftkernel.Flops(n1))
 
 	// Step 4: transpose back to n1×n2 natural order.
-	out := transpose(n, net, tp, localT, n2, n1)
-	barrier()
+	out := transpose(n, be, net, tp, localT, n2, n1)
+	be.Barrier()
 	return out, n.P.Now() - t0
 }
 
 // transpose redistributes an r×c matrix (rows split over nodes) into its c×r
 // transpose (rows split over nodes).
-func transpose(n *cluster.Node, net Net, tp *transposer, local []complex128, r, c int) []complex128 {
+func transpose(n *cluster.Node, be comm.Backend, net Net, tp *transposer, local []complex128, r, c int) []complex128 {
 	if net == DV {
-		return tp.run(n, local, r, c)
+		return tp.run(n, be, local, r, c)
 	}
-	return mpiTranspose(n, local, r, c)
+	return mpiTranspose(n, be, local, r, c)
 }
 
 // mpiTranspose is the all-to-all implementation with pack/unpack passes.
-func mpiTranspose(n *cluster.Node, local []complex128, r, c int) []complex128 {
-	p := n.MPI.Size()
+func mpiTranspose(n *cluster.Node, be comm.Backend, local []complex128, r, c int) []complex128 {
+	c2 := be.MPI()
+	p := c2.Size()
 	myRows := r / p
 	outRows := c / p
 	// Pack: block for node q holds elements (row, col) with col in q's
@@ -241,13 +224,13 @@ func mpiTranspose(n *cluster.Node, local []complex128, r, c int) []complex128 {
 				block = append(block, real(v), imag(v))
 			}
 		}
-		send[q] = mpi.Float64sToBytes(block)
+		send[q] = comm.Float64sToBytes(block)
 	}
 	n.Compute(sim.BytesAt(len(local)*16, 8e9)) // pack pass
-	recv := n.MPI.Alltoall(send)
+	recv := c2.Alltoall(send)
 	out := make([]complex128, outRows*r)
 	for q := 0; q < p; q++ {
-		vals := mpi.BytesToFloat64s(recv[q])
+		vals := comm.BytesToFloat64s(recv[q])
 		i := 0
 		// Block from q: columns (now rows) in my range, original rows in
 		// q's range.
@@ -271,19 +254,20 @@ type transposer struct {
 	words  int // region capacity in words
 }
 
-func newTransposer(n *cluster.Node, n1, n2 int) *transposer {
-	p := n.DV.Size()
+func newTransposer(be comm.Backend, n1, n2 int) *transposer {
+	e := be.Endpoint()
+	p := e.Size()
 	maxWords := 2 * (n2 / p) * n1
 	if w := 2 * (n1 / p) * n2; w > maxWords {
 		maxWords = w
 	}
-	return &transposer{region: n.DV.Alloc(maxWords), gc: n.DV.AllocGC(), words: maxWords}
+	return &transposer{region: e.Alloc(maxWords), gc: e.AllocGC(), words: maxWords}
 }
 
 // run scatters each element directly to its transposed location in the
 // destination VIC's DV Memory — redistribution folded into communication.
-func (tp *transposer) run(n *cluster.Node, local []complex128, r, c int) []complex128 {
-	e := n.DV
+func (tp *transposer) run(n *cluster.Node, be comm.Backend, local []complex128, r, c int) []complex128 {
+	e := be.Endpoint()
 	p := e.Size()
 	id := e.Rank()
 	myRows := r / p
@@ -294,7 +278,7 @@ func (tp *transposer) run(n *cluster.Node, local []complex128, r, c int) []compl
 	e.Barrier() // everyone armed
 
 	out := make([]complex128, outRows*r)
-	words := make([]vic.Word, 0, 2*myRows*outRows)
+	words := make([]comm.Word, 0, 2*myRows*outRows)
 	for q := 0; q < p; q++ {
 		if q == id {
 			// Own block: place directly (host memory copy).
@@ -312,11 +296,11 @@ func (tp *transposer) run(n *cluster.Node, local []complex128, r, c int) []compl
 				// Destination slot: row (col - q·outRows), column row0+row.
 				addr := tp.region + uint32(2*((col-q*outRows)*r+row0+row))
 				words = append(words,
-					vic.Word{Dst: q, Op: vic.OpWrite, GC: tp.gc, Addr: addr, Val: math.Float64bits(real(v))},
-					vic.Word{Dst: q, Op: vic.OpWrite, GC: tp.gc, Addr: addr + 1, Val: math.Float64bits(imag(v))})
+					comm.Word{Dst: q, Op: comm.OpWrite, GC: tp.gc, Addr: addr, Val: math.Float64bits(real(v))},
+					comm.Word{Dst: q, Op: comm.OpWrite, GC: tp.gc, Addr: addr + 1, Val: math.Float64bits(imag(v))})
 			}
 		}
-		e.Scatter(vic.DMACached, words)
+		e.Scatter(comm.DMACached, words)
 	}
 	n.Compute(sim.BytesAt(len(local)*16, 8e9)) // stage DMA buffers
 	e.WaitGC(tp.gc, sim.Forever)

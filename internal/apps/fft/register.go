@@ -1,0 +1,42 @@
+// Registry glue: expose the benchmark to apprt-driven tooling (dvbench
+// -list, dvinfo, the conformance suite) at a small reference size.
+
+package fft
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/apprt"
+)
+
+func init() {
+	apprt.Register(apprt.App{
+		Name:     "fft",
+		Desc:     "distributed 1-D complex FFT, six-step transpose algorithm (Figure 7)",
+		RefNodes: 4,
+		Run: func(spec apprt.RunSpec) (apprt.Summary, error) {
+			par := Params{
+				Nodes:         spec.Nodes,
+				LogN:          10,
+				Seed:          spec.Seed,
+				KeepResult:    true,
+				CycleAccurate: spec.CycleAccurate,
+				IBAdaptive:    spec.IBAdaptive,
+			}
+			res := Run(spec.Net, par)
+			ref := SerialReference(par)
+			var maxErr float64
+			for i, v := range res.Spectrum {
+				if d := cmplx.Abs(v - ref[i]); d > maxErr {
+					maxErr = d
+				}
+			}
+			return apprt.Summary{
+				App: "fft", Net: res.Net, Nodes: res.Nodes, Elapsed: res.Elapsed,
+				Check:   fmt.Sprintf("n=%d maxerr=%.3e", res.N, maxErr),
+				Cluster: nil,
+			}, nil
+		},
+	})
+}

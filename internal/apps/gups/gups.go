@@ -16,32 +16,27 @@ package gups
 import (
 	"fmt"
 
+	"repro/internal/apprt"
 	"repro/internal/cluster"
+	"repro/internal/comm"
 	"repro/internal/faultplan"
-	"repro/internal/mpi"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
-	"repro/internal/vic"
 )
 
 // Net selects the network variant.
-type Net int
+//
+// Deprecated: Net is an alias of comm.Net, the backend selector shared by
+// every workload; new code should use comm.Net directly.
+type Net = comm.Net
 
 const (
 	// DV is the Data Vortex implementation.
-	DV Net = iota
+	DV = comm.DV
 	// IB is the HPCC MPI implementation over InfiniBand.
-	IB
+	IB = comm.IB
 )
-
-// String names the network variant as the paper labels it.
-func (n Net) String() string {
-	if n == DV {
-		return "Data Vortex"
-	}
-	return "Infiniband"
-}
 
 // Params configures a run.
 type Params struct {
@@ -167,56 +162,53 @@ func Verify(par Params, r Result) int {
 // Run executes the benchmark and returns the measurement.
 func Run(net Net, par Params) Result {
 	par.defaults()
-	cfg := cluster.DefaultConfig(par.Nodes)
-	cfg.Seed = par.Seed
-	cfg.CycleAccurate = par.CycleAccurate
-	cfg.Trace = par.Trace
-	cfg.Obs = par.Obs
-	cfg.IB.Adaptive = par.IBAdaptive
-	cfg.Faults = par.Faults
-	if net == DV {
-		cfg.Stacks = cluster.StackDV
-	} else {
-		cfg.Stacks = cluster.StackIB
-	}
 	res := Result{Net: net, Nodes: par.Nodes, Updates: int64(par.Nodes) * int64(par.UpdatesPerNode)}
 	if par.KeepTables {
 		res.Tables = make([][]uint64, par.Nodes)
 	}
-	var span sim.Time
 	var sentRemote, drained int64
-	res.Report = cluster.Run(cfg, func(n *cluster.Node) {
+	rep := apprt.Execute(apprt.RunSpec{
+		Net:           net,
+		Nodes:         par.Nodes,
+		Seed:          par.Seed,
+		CycleAccurate: par.CycleAccurate,
+		IBAdaptive:    par.IBAdaptive,
+		Reliable:      par.Reliable,
+		WaitTimeout:   par.WaitTimeout,
+		Faults:        par.Faults,
+		Trace:         par.Trace,
+		Obs:           par.Obs,
+	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		table := make([]uint64, par.TableWordsNode)
 		var d sim.Time
 		switch {
 		case net != DV:
-			d = runMPI(n, par, table)
+			d = runMPI(n, be, par, table)
 		case par.Reliable:
 			var errs int
-			d, errs = runDVReliable(n, par, table)
+			d, errs = runDVReliable(n, be, par, table)
 			res.Errors += errs
 		default:
 			var sent, got int64
-			d, sent, got = runDV(n, par, table)
+			d, sent, got = runDV(n, be, par, table)
 			sentRemote += sent
 			drained += got
-		}
-		if d > span {
-			span = d
 		}
 		if par.KeepTables {
 			res.Tables[n.ID] = table
 		}
+		return d
 	})
-	res.Elapsed = span
+	res.Elapsed = rep.Elapsed
+	res.Report = rep.Cluster
 	res.Lost = sentRemote - drained
 	return res
 }
 
 // runMPI is the HPCC-style implementation: rounds of ≤1024 updates bucketed
 // by destination and exchanged with Alltoall.
-func runMPI(n *cluster.Node, par Params, table []uint64) sim.Time {
-	c := n.MPI
+func runMPI(n *cluster.Node, be comm.Backend, par Params, table []uint64) sim.Time {
+	c := be.MPI()
 	rng := updateStream(par.Seed, n.ID)
 	rounds := (par.UpdatesPerNode + par.BatchWords - 1) / par.BatchWords
 	c.Barrier()
@@ -244,7 +236,7 @@ func runMPI(n *cluster.Node, par Params, table []uint64) sim.Time {
 		n.MemOps(int64(localApplied))
 		send := make([][]byte, par.Nodes)
 		for d := range buckets {
-			send[d] = mpi.Uint64sToBytes(buckets[d])
+			send[d] = comm.Uint64sToBytes(buckets[d])
 		}
 		recv := c.Alltoall(send)
 		applied := 0
@@ -252,7 +244,7 @@ func runMPI(n *cluster.Node, par Params, table []uint64) sim.Time {
 			if src == n.ID {
 				continue
 			}
-			for _, a := range mpi.BytesToUint64s(data) {
+			for _, a := range comm.BytesToUint64s(data) {
 				_, li := owner(a, par.Nodes, par.TableWordsNode)
 				table[li] ^= a
 				applied++
@@ -272,8 +264,8 @@ func runMPI(n *cluster.Node, par Params, table []uint64) sim.Time {
 // send and drain tallies; under par.WaitTimeout the completion waits are
 // bounded, so a lossy fabric shows up as sent > drained (lost updates)
 // instead of a hang.
-func runDV(n *cluster.Node, par Params, table []uint64) (sim.Time, int64, int64) {
-	e := n.DV
+func runDV(n *cluster.Node, be comm.Backend, par Params, table []uint64) (sim.Time, int64, int64) {
+	e := be.Endpoint()
 	wait := sim.Forever
 	if par.WaitTimeout > 0 {
 		wait = par.WaitTimeout
@@ -310,7 +302,7 @@ func runDV(n *cluster.Node, par Params, table []uint64) (sim.Time, int64, int64)
 	}
 
 	sentTo := make([]int64, par.Nodes)
-	words := make([]vic.Word, 0, par.BatchWords)
+	words := make([]comm.Word, 0, par.BatchWords)
 	left := par.UpdatesPerNode
 	for left > 0 {
 		b := par.BatchWords
@@ -327,25 +319,25 @@ func runDV(n *cluster.Node, par Params, table []uint64) (sim.Time, int64, int64)
 				table[li] ^= a
 				localApplied++
 			} else {
-				words = append(words, vic.Word{Dst: dst, Op: vic.OpFIFO, GC: vic.NoGC, Val: a})
+				words = append(words, comm.Word{Dst: dst, Op: comm.OpFIFO, GC: comm.NoGC, Val: a})
 				sentTo[dst]++
 			}
 		}
 		n.Ops(int64(2 * b))
 		n.MemOps(int64(localApplied))
-		e.Scatter(vic.DMACached, words)
+		e.Scatter(comm.DMACached, words)
 		drain(false) // overlap: apply whatever has arrived
 	}
 	// Tell every peer how many updates we sent it, then drain to the exact
 	// expected count.
-	counts := make([]vic.Word, 0, par.Nodes-1)
+	counts := make([]comm.Word, 0, par.Nodes-1)
 	for d := 0; d < par.Nodes; d++ {
 		if d != e.Rank() {
-			counts = append(counts, vic.Word{Dst: d, Op: vic.OpWrite, GC: countGC,
+			counts = append(counts, comm.Word{Dst: d, Op: comm.OpWrite, GC: countGC,
 				Addr: countBase + uint32(e.Rank()), Val: uint64(sentTo[d])})
 		}
 	}
-	e.Scatter(vic.DMACached, counts)
+	e.Scatter(comm.DMACached, counts)
 	e.WaitGC(countGC, wait)
 	expected := int64(0)
 	for src, w := range e.Read(countBase, par.Nodes) {
@@ -378,8 +370,8 @@ func runDV(n *cluster.Node, par Params, table []uint64) (sim.Time, int64, int64)
 // visible; owners then read their mailboxes and apply. Counts are written
 // every round — including zeros — so a stale count can never be mistaken for
 // fresh data.
-func runDVReliable(n *cluster.Node, par Params, table []uint64) (sim.Time, int) {
-	e := n.DV
+func runDVReliable(n *cluster.Node, be comm.Backend, par Params, table []uint64) (sim.Time, int) {
+	e := be.Endpoint()
 	b := par.BatchWords
 	mbox := e.Alloc(par.Nodes * b) // mailbox slot [src*b+j]
 	cnts := e.Alloc(par.Nodes)     // cnts[src] = words src sent me this round
@@ -395,7 +387,7 @@ func runDVReliable(n *cluster.Node, par Params, table []uint64) (sim.Time, int) 
 	rounds := (par.UpdatesPerNode + b - 1) / b
 	left := par.UpdatesPerNode
 	perDst := make([]int, par.Nodes)
-	words := make([]vic.Word, 0, 2*b)
+	words := make([]comm.Word, 0, 2*b)
 	for r := 0; r < rounds; r++ {
 		bb := b
 		if bb > left {
@@ -414,14 +406,14 @@ func runDVReliable(n *cluster.Node, par Params, table []uint64) (sim.Time, int) 
 				table[li] ^= a
 				localApplied++
 			} else {
-				words = append(words, vic.Word{Dst: dst, Op: vic.OpWrite, GC: vic.NoGC,
+				words = append(words, comm.Word{Dst: dst, Op: comm.OpWrite, GC: comm.NoGC,
 					Addr: mbox + uint32(e.Rank()*b+perDst[dst]), Val: a})
 				perDst[dst]++
 			}
 		}
 		for d := 0; d < par.Nodes; d++ {
 			if d != e.Rank() {
-				words = append(words, vic.Word{Dst: d, Op: vic.OpWrite, GC: vic.NoGC,
+				words = append(words, comm.Word{Dst: d, Op: comm.OpWrite, GC: comm.NoGC,
 					Addr: cnts + uint32(e.Rank()), Val: uint64(perDst[d])})
 			}
 		}

@@ -15,30 +15,25 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/apprt"
 	"repro/internal/cluster"
+	"repro/internal/comm"
 	"repro/internal/faultplan"
-	"repro/internal/mpi"
 	"repro/internal/sim"
-	"repro/internal/vic"
 )
 
 // Net selects the network variant.
-type Net int
+//
+// Deprecated: Net is an alias of comm.Net, the backend selector shared by
+// every workload; new code should use comm.Net directly.
+type Net = comm.Net
 
 const (
 	// DV is the Data Vortex implementation.
-	DV Net = iota
+	DV = comm.DV
 	// IB is the MPI implementation over InfiniBand.
-	IB
+	IB = comm.IB
 )
-
-// String names the network variant as the paper labels it.
-func (n Net) String() string {
-	if n == DV {
-		return "Data Vortex"
-	}
-	return "Infiniband"
-}
 
 // Params configures a run.
 type Params struct {
@@ -141,39 +136,37 @@ func Run(net Net, par Params) Result {
 	if par.N%px != 0 || par.N%py != 0 || par.N%pz != 0 {
 		panic(fmt.Sprintf("heat: N=%d not divisible by %d×%d×%d decomposition", par.N, px, py, pz))
 	}
-	cfg := cluster.DefaultConfig(par.Nodes)
-	cfg.Seed = par.Seed
-	cfg.CycleAccurate = par.CycleAccurate
-	cfg.Faults = par.Faults
-	if net == DV {
-		cfg.Stacks = cluster.StackDV
-	} else {
-		cfg.Stacks = cluster.StackIB
-	}
 	res := Result{Net: net, Nodes: par.Nodes, N: par.N, Steps: par.Steps}
 	if par.KeepField {
 		res.Field = make([]float64, par.N*par.N*par.N)
 	}
-	var span sim.Time
-	res.Report = cluster.Run(cfg, func(n *cluster.Node) {
-		s := newSolver(n, par, px, py, pz)
+	rep := apprt.Execute(apprt.RunSpec{
+		Net:           net,
+		Nodes:         par.Nodes,
+		Seed:          par.Seed,
+		CycleAccurate: par.CycleAccurate,
+		Reliable:      par.Reliable,
+		WaitTimeout:   par.WaitTimeout,
+		Faults:        par.Faults,
+	}, func(n *cluster.Node, be comm.Backend) sim.Time {
+		s := newSolver(n, be, par, px, py, pz)
 		d := s.run(net)
-		if d > span {
-			span = d
-		}
 		res.Timeouts += s.timeouts
 		res.Errors += s.errs
 		if par.KeepField {
 			s.gatherInto(res.Field)
 		}
+		return d
 	})
-	res.Elapsed = span
+	res.Elapsed = rep.Elapsed
+	res.Report = rep.Cluster
 	return res
 }
 
 // solver is one node's slab state.
 type solver struct {
 	n          *cluster.Node
+	be         comm.Backend
 	par        Params
 	px, py, pz int
 	cx, cy, cz int // coordinates in the process grid
@@ -191,8 +184,8 @@ type solver struct {
 	region      [2]uint32
 	gc          [2]int
 	expected    int64
-	prog        [2]*vic.DMAProgram
-	rdprog      [2]*vic.ReadProgram
+	prog        [2]*comm.DMAProgram
+	rdprog      [2]*comm.ReadProgram
 
 	timeouts int64 // bounded halo waits that gave up
 	errs     int   // reliable-path delivery errors
@@ -208,8 +201,8 @@ func (s *solver) fail(err error) {
 // Face order: -x, +x, -y, +y, -z, +z.
 var faceDirs = [6][3]int{{-1, 0, 0}, {1, 0, 0}, {0, -1, 0}, {0, 1, 0}, {0, 0, -1}, {0, 0, 1}}
 
-func newSolver(n *cluster.Node, par Params, px, py, pz int) *solver {
-	s := &solver{n: n, par: par, px: px, py: py, pz: pz}
+func newSolver(n *cluster.Node, be comm.Backend, par Params, px, py, pz int) *solver {
+	s := &solver{n: n, be: be, par: par, px: px, py: py, pz: pz}
 	id := n.ID
 	s.cx = id / (py * pz)
 	s.cy = (id / pz) % py
@@ -241,23 +234,23 @@ func newSolver(n *cluster.Node, par Params, px, py, pz int) *solver {
 		}
 	}
 	s.regionWords = off
-	if n.DV != nil {
-		s.region[0] = n.DV.Alloc(off)
-		s.region[1] = n.DV.Alloc(off)
-		s.gc[0] = n.DV.AllocGC()
-		s.gc[1] = n.DV.AllocGC()
+	if e := be.Endpoint(); e != nil {
+		s.region[0] = e.Alloc(off)
+		s.region[1] = e.Alloc(off)
+		s.gc[0] = e.AllocGC()
+		s.gc[1] = e.AllocGC()
 		for f := 0; f < 6; f++ {
 			if s.neighbor(f) >= 0 {
 				s.expected += int64(areas[f])
 			}
 		}
-		n.DV.ArmGC(s.gc[0], s.expected)
-		n.DV.ArmGC(s.gc[1], s.expected)
+		e.ArmGC(s.gc[0], s.expected)
+		e.ArmGC(s.gc[1], s.expected)
 		// The halo pattern is fixed, so the restructured implementation
 		// stages the descriptors as persistent DMA programs: one scatter
 		// program and one halo-read program per step parity.
 		for par := 0; par < 2; par++ {
-			var tmpl []vic.Word
+			var tmpl []comm.Word
 			for f := 0; f < 6; f++ {
 				nb := s.neighbor(f)
 				if nb < 0 {
@@ -265,13 +258,13 @@ func newSolver(n *cluster.Node, par Params, px, py, pz int) *solver {
 				}
 				base := s.region[par] + uint32(s.inOff[opp(f)])
 				for w := 0; w < s.faceWords[f]; w++ {
-					tmpl = append(tmpl, vic.Word{Dst: nb, Op: vic.OpWrite,
+					tmpl = append(tmpl, comm.Word{Dst: nb, Op: comm.OpWrite,
 						GC: s.gc[par], Addr: base + uint32(w)})
 				}
 			}
-			s.prog[par] = n.DV.NewProgram(tmpl)
+			s.prog[par] = e.NewProgram(tmpl)
 			if s.expected > 0 {
-				s.rdprog[par] = n.DV.NewReadProgram(s.region[par], s.regionWords)
+				s.rdprog[par] = e.NewReadProgram(s.region[par], s.regionWords)
 			}
 		}
 	}
@@ -400,13 +393,10 @@ func opp(f int) int { return f ^ 1 }
 // run executes the timestep loop and returns the measured span.
 func (s *solver) run(net Net) sim.Time {
 	n := s.n
-	switch {
-	case net != DV:
-		n.MPI.Barrier()
-	case s.par.Reliable:
-		s.fail(n.DV.ReliableBarrier())
-	default:
-		n.DV.Barrier()
+	if s.par.Reliable && net == DV {
+		s.fail(s.be.ReliableBarrier())
+	} else {
+		s.be.Barrier()
 	}
 	t0 := n.P.Now()
 	buf := make([]float64, s.lx*s.ly+s.ly*s.lz+s.lx*s.lz) // scratch max face
@@ -423,11 +413,11 @@ func (s *solver) run(net Net) sim.Time {
 	}
 	switch {
 	case net != DV:
-		n.MPI.Barrier()
+		s.be.Barrier()
 	case s.par.Reliable:
-		s.fail(n.DV.ReliableBarrier())
+		s.fail(s.be.ReliableBarrier())
 	case s.par.WaitTimeout == 0:
-		n.DV.Barrier()
+		s.be.Barrier()
 		// (bounded mode skips the intrinsic barrier: it hangs forever if one
 		// of its notification packets is lost)
 	}
@@ -436,9 +426,9 @@ func (s *solver) run(net Net) sim.Time {
 
 // exchangeMPI posts all six receives and non-blocking sends, then unpacks.
 func (s *solver) exchangeMPI(buf []float64) {
-	c := s.n.MPI
-	var sends []*mpi.Request
-	recvs := [6]*mpi.Request{}
+	c := s.be.MPI()
+	var sends []*comm.Request
+	recvs := [6]*comm.Request{}
 	for f := 0; f < 6; f++ {
 		if s.neighbor(f) >= 0 {
 			recvs[f] = c.Irecv(s.neighbor(f), 10+opp(f))
@@ -452,14 +442,14 @@ func (s *solver) exchangeMPI(buf []float64) {
 		face := buf[:s.faceWords[f]]
 		s.packFace(f, face)
 		s.n.Compute(sim.BytesAt(len(face)*8, 8e9)) // pack pass
-		sends = append(sends, c.Isend(nb, 10+f, mpi.Float64sToBytes(face)))
+		sends = append(sends, c.Isend(nb, 10+f, comm.Float64sToBytes(face)))
 	}
 	for f := 0; f < 6; f++ {
 		if recvs[f] == nil {
 			continue
 		}
 		data, _ := c.Wait(recvs[f])
-		s.unpackFace(f, mpi.BytesToFloat64s(data))
+		s.unpackFace(f, comm.BytesToFloat64s(data))
 		s.n.Compute(sim.BytesAt(len(data), 8e9)) // unpack pass
 	}
 	c.Waitall(sends)
@@ -468,7 +458,7 @@ func (s *solver) exchangeMPI(buf []float64) {
 // exchangeDV sends all six faces in one source-aggregated scatter, waits on
 // the step-parity group counter, and pulls the whole halo with one DMA read.
 func (s *solver) exchangeDV(step int, buf []float64) {
-	e := s.n.DV
+	e := s.be.Endpoint()
 	par := step & 1
 	// Refresh the prepared program's payloads with this step's faces.
 	w := 0
@@ -517,9 +507,9 @@ func (s *solver) exchangeDV(step int, buf []float64) {
 // a ReliableBarrier stands in for the group-counter wait, and the incoming
 // halo is pulled with the same prepared DMA read as the unprotected path.
 func (s *solver) exchangeDVReliable(step int, buf []float64) {
-	e := s.n.DV
+	e := s.be.Endpoint()
 	par := step & 1
-	var words []vic.Word
+	var words []comm.Word
 	for f := 0; f < 6; f++ {
 		nb := s.neighbor(f)
 		if nb < 0 {
@@ -529,7 +519,7 @@ func (s *solver) exchangeDVReliable(step int, buf []float64) {
 		s.packFace(f, face)
 		base := s.region[par] + uint32(s.inOff[opp(f)])
 		for w, v := range face {
-			words = append(words, vic.Word{Dst: nb, Op: vic.OpWrite, GC: vic.NoGC,
+			words = append(words, comm.Word{Dst: nb, Op: comm.OpWrite, GC: comm.NoGC,
 				Addr: base + uint32(w), Val: math.Float64bits(v)})
 		}
 	}

@@ -15,30 +15,26 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/apprt"
 	"repro/internal/apps/bfs"
 	"repro/internal/cluster"
-	"repro/internal/mpi"
+	"repro/internal/comm"
 	"repro/internal/shmem"
 	"repro/internal/sim"
 )
 
 // Net selects the network variant.
-type Net int
+//
+// Deprecated: Net is an alias of comm.Net, the backend selector shared by
+// every workload; new code should use comm.Net directly.
+type Net = comm.Net
 
 const (
 	// DV is the Data Vortex implementation (over the shmem layer).
-	DV Net = iota
+	DV = comm.DV
 	// IB is the MPI implementation over InfiniBand.
-	IB
+	IB = comm.IB
 )
-
-// String names the network variant as the paper labels it.
-func (n Net) String() string {
-	if n == DV {
-		return "Data Vortex"
-	}
-	return "Infiniband"
-}
 
 // Params configures a run.
 type Params struct {
@@ -175,35 +171,31 @@ func Run(net Net, par Params) Result {
 	if (int64(1)<<par.Scale)%int64(par.Nodes) != 0 {
 		panic(fmt.Sprintf("pagerank: 2^%d vertices not divisible over %d nodes", par.Scale, par.Nodes))
 	}
-	cfg := cluster.DefaultConfig(par.Nodes)
-	cfg.Seed = par.Seed
-	cfg.CycleAccurate = par.CycleAccurate
-	if net == DV {
-		cfg.Stacks = cluster.StackDV
-	} else {
-		cfg.Stacks = cluster.StackIB
-	}
 	res := Result{Net: net, Nodes: par.Nodes}
 	if par.KeepRanks {
 		res.Ranks = make([]float64, int64(1)<<par.Scale)
 	}
-	cluster.Run(cfg, func(n *cluster.Node) {
-		iters, delta, elapsed, ranks := runNode(n, net, par)
+	rep := apprt.Execute(apprt.RunSpec{
+		Net:           net,
+		Nodes:         par.Nodes,
+		Seed:          par.Seed,
+		CycleAccurate: par.CycleAccurate,
+	}, func(n *cluster.Node, be comm.Backend) sim.Time {
+		iters, delta, elapsed, ranks := runNode(n, be, net, par)
 		if n.ID == 0 {
 			res.Iters, res.Delta = iters, delta
-		}
-		if elapsed > res.Elapsed {
-			res.Elapsed = elapsed
 		}
 		if par.KeepRanks {
 			perNode := (int64(1) << par.Scale) / int64(par.Nodes)
 			copy(res.Ranks[int64(n.ID)*perNode:], ranks)
 		}
+		return elapsed
 	})
+	res.Elapsed = rep.Elapsed
 	return res
 }
 
-func runNode(n *cluster.Node, net Net, par Params) (int, float64, sim.Time, []float64) {
+func runNode(n *cluster.Node, be comm.Backend, net Net, par Params) (int, float64, sim.Time, []float64) {
 	adjOff, adj, outDeg, perNode := outEdges(par, n.ID)
 	nv := int64(1) << par.Scale
 	lo := int64(n.ID) * perNode
@@ -219,14 +211,14 @@ func runNode(n *cluster.Node, net Net, par Params) (int, float64, sim.Time, []fl
 	var ctx *shmem.Ctx
 	var slab shmem.Sym // [src][localV] contribution slots
 	if net == DV {
-		ctx = shmem.New(n.DV)
+		ctx = shmem.New(be.Endpoint())
 		slab = ctx.Malloc(p * int(perNode))
 	}
 	barrier := func() {
 		if net == DV {
 			ctx.Barrier()
 		} else {
-			n.MPI.Barrier()
+			be.Barrier()
 		}
 	}
 	// sumAll reduces one float64 in rank order on both stacks, so the two
@@ -239,8 +231,8 @@ func runNode(n *cluster.Node, net Net, par Params) (int, float64, sim.Time, []fl
 			}
 			return sum
 		}
-		for _, b := range n.MPI.Allgather(mpi.Float64sToBytes([]float64{v})) {
-			sum += mpi.BytesToFloat64s(b)[0]
+		for _, b := range be.MPI().Allgather(comm.Float64sToBytes([]float64{v})) {
+			sum += comm.BytesToFloat64s(b)[0]
 		}
 		return sum
 	}
@@ -302,12 +294,12 @@ func runNode(n *cluster.Node, net Net, par Params) (int, float64, sim.Time, []fl
 		} else {
 			send := make([][]byte, p)
 			for q := 0; q < p; q++ {
-				send[q] = mpi.Float64sToBytes(contrib[int64(q)*perNode : int64(q+1)*perNode])
+				send[q] = comm.Float64sToBytes(contrib[int64(q)*perNode : int64(q+1)*perNode])
 			}
 			n.Compute(sim.BytesAt(int(nv)*8, 8e9)) // pack
-			recv := n.MPI.Alltoall(send)
+			recv := be.MPI().Alltoall(send)
 			for _, data := range recv {
-				for i, v := range mpi.BytesToFloat64s(data) {
+				for i, v := range comm.BytesToFloat64s(data) {
 					recvSum[i] += v
 				}
 			}

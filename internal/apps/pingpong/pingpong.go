@@ -9,9 +9,10 @@ package pingpong
 import (
 	"fmt"
 
+	"repro/internal/apprt"
 	"repro/internal/cluster"
+	"repro/internal/comm"
 	"repro/internal/sim"
-	"repro/internal/vic"
 )
 
 // Mode selects the transfer configuration under test.
@@ -52,15 +53,23 @@ func (m Mode) PeakBandwidth() float64 {
 	return 4.4e9
 }
 
-func (m Mode) sendMode() vic.SendMode {
+func (m Mode) sendMode() comm.SendMode {
 	switch m {
 	case DVWrNoCached:
-		return vic.PIO
+		return comm.PIO
 	case DVWrCached:
-		return vic.PIOCached
+		return comm.PIOCached
 	default:
-		return vic.DMACached
+		return comm.DMACached
 	}
+}
+
+// net maps the mode onto the backend it exercises.
+func (m Mode) net() comm.Net {
+	if m == MPIIB {
+		return comm.IB
+	}
+	return comm.DV
 }
 
 // Result is one measured configuration.
@@ -96,27 +105,25 @@ func Run(mode Mode, par Params) Result {
 	if par.Words <= 0 {
 		par.Words = 1
 	}
-	cfg := cluster.DefaultConfig(2)
-	cfg.Seed = par.Seed + 1
-	cfg.VICsPerNode = par.Rails
-	if mode == MPIIB {
-		cfg.Stacks = cluster.StackIB
-	} else {
-		cfg.Stacks = cluster.StackDV
-	}
 	var total sim.Time
-	cluster.Run(cfg, func(n *cluster.Node) {
+	apprt.Execute(apprt.RunSpec{
+		Net:         mode.net(),
+		Nodes:       2,
+		Seed:        par.Seed + 1,
+		VICsPerNode: par.Rails,
+	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		var d sim.Time
 		if mode == MPIIB {
-			d = runMPI(n, par)
+			d = runMPI(n, be, par)
 		} else {
-			d = runDV(n, mode, par)
+			d = runDV(n, be, mode, par)
 		}
 		// Rank 0 observes full round trips; rank 1 finishes after its last
 		// send is merely staged, so its span under-counts.
 		if n.ID == 0 {
 			total = d
 		}
+		return d
 	})
 	rtt := total / sim.Time(par.Iters)
 	bw := float64(par.Words*8) / (rtt.Seconds() / 2)
@@ -128,9 +135,9 @@ func Run(mode Mode, par Params) Result {
 // DMA pull of chunk i overlaps the arrival of chunk i+1 — the multi-buffered
 // DMA overlap the paper credits for reaching 99.4% of network peak. Small
 // messages skip the DMA engine and use direct reads.
-func runDV(n *cluster.Node, mode Mode, par Params) sim.Time {
+func runDV(n *cluster.Node, be comm.Backend, mode Mode, par Params) sim.Time {
 	rails := n.Rails
-	e := n.DV
+	e := be.Endpoint()
 	// Identical symmetric allocation on every rail.
 	regions := make([]uint32, len(rails))
 	for r, re := range rails {
@@ -182,7 +189,7 @@ func runDV(n *cluster.Node, mode Mode, par Params) sim.Time {
 		armAll() // safe: the peer sends again only after our reply
 		return got
 	}
-	send := func(sm vic.SendMode, data []uint64) {
+	send := func(sm comm.SendMode, data []uint64) {
 		for i := range gcs {
 			off := i * chunk
 			rails[railOf[i]].Put(sm, peer, regions[railOf[i]]+uint32(off), gcs[i],
@@ -206,8 +213,8 @@ func runDV(n *cluster.Node, mode Mode, par Params) sim.Time {
 	return end
 }
 
-func runMPI(n *cluster.Node, par Params) sim.Time {
-	c := n.MPI
+func runMPI(n *cluster.Node, be comm.Backend, par Params) sim.Time {
+	c := be.MPI()
 	msg := make([]byte, par.Words*8)
 	c.Barrier()
 	t0 := n.P.Now()

@@ -18,29 +18,25 @@ package snap
 import (
 	"fmt"
 
+	"repro/internal/apprt"
 	"repro/internal/cluster"
+	"repro/internal/comm"
 	"repro/internal/dv"
 	"repro/internal/sim"
-	"repro/internal/vic"
 )
 
 // Net selects the network variant.
-type Net int
+//
+// Deprecated: Net is an alias of comm.Net, the backend selector shared by
+// every workload; new code should use comm.Net directly.
+type Net = comm.Net
 
 const (
 	// DV is the Data Vortex implementation.
-	DV Net = iota
+	DV = comm.DV
 	// IB is the MPI implementation over InfiniBand.
-	IB
+	IB = comm.IB
 )
-
-// String names the network variant as the paper labels it.
-func (n Net) String() string {
-	if n == DV {
-		return "Data Vortex"
-	}
-	return "Infiniband"
-}
 
 // Params configures a run.
 type Params struct {
@@ -177,39 +173,34 @@ func Run(net Net, par Params) Result {
 	if n := par.NX / par.ChunkX; 8*n > 56 {
 		panic(fmt.Sprintf("snap: %d chunks need %d group counters (max 56)", n, 8*n))
 	}
-	cfg := cluster.DefaultConfig(par.Nodes)
-	cfg.Seed = par.Seed
-	cfg.CycleAccurate = par.CycleAccurate
-	if net == DV {
-		cfg.Stacks = cluster.StackDV
-	} else {
-		cfg.Stacks = cluster.StackIB
-	}
 	res := Result{Net: net, Nodes: par.Nodes}
 	if par.KeepFlux {
 		res.Flux = make([]float64, par.Groups*par.NX*par.NY*par.NZ)
 	}
-	var span sim.Time
-	cluster.Run(cfg, func(n *cluster.Node) {
-		s := newSolver(n, net, par, py, pz)
+	rep := apprt.Execute(apprt.RunSpec{
+		Net:           net,
+		Nodes:         par.Nodes,
+		Seed:          par.Seed,
+		CycleAccurate: par.CycleAccurate,
+	}, func(n *cluster.Node, be comm.Backend) sim.Time {
+		s := newSolver(n, be, net, par, py, pz)
 		iters, err, bal := s.solve()
-		if d := s.elapsed; d > span {
-			span = d
-		}
 		if n.ID == 0 {
 			res.Iters, res.Err, res.Balance = iters, err, bal
 		}
 		if par.KeepFlux {
 			s.gatherInto(res.Flux)
 		}
+		return s.elapsed
 	})
-	res.Elapsed = span
+	res.Elapsed = rep.Elapsed
 	return res
 }
 
 // solver is one node's state.
 type solver struct {
 	n      *cluster.Node
+	be     comm.Backend
 	net    Net
 	par    Params
 	py, pz int
@@ -232,13 +223,13 @@ type solver struct {
 	// per (octant, chunk).
 	region [8]uint32
 	gc     [8][]int
-	prog   [8][]*vic.DMAProgram
-	rdprog [8][]*vic.ReadProgram
+	prog   [8][]*comm.DMAProgram
+	rdprog [8][]*comm.ReadProgram
 	coll   *dv.Collective
 }
 
-func newSolver(n *cluster.Node, net Net, par Params, py, pz int) *solver {
-	s := &solver{n: n, net: net, par: par, py: py, pz: pz}
+func newSolver(n *cluster.Node, be comm.Backend, net Net, par Params, py, pz int) *solver {
+	s := &solver{n: n, be: be, net: net, par: par, py: py, pz: pz}
 	s.cy = n.ID / pz
 	s.cz = n.ID % pz
 	s.ly = par.NY / py
@@ -259,28 +250,28 @@ func newSolver(n *cluster.Node, net Net, par Params, py, pz int) *solver {
 }
 
 func (s *solver) setupDV() {
-	e := s.n.DV
+	e := s.be.Endpoint()
 	slot := s.cyw + s.czw
 	for o := 0; o < 8; o++ {
 		s.region[o] = e.Alloc(s.nchunks * slot)
 		s.gc[o] = make([]int, s.nchunks)
-		s.prog[o] = make([]*vic.DMAProgram, s.nchunks)
-		s.rdprog[o] = make([]*vic.ReadProgram, s.nchunks)
+		s.prog[o] = make([]*comm.DMAProgram, s.nchunks)
+		s.rdprog[o] = make([]*comm.ReadProgram, s.nchunks)
 		dy, dz := s.downstream(o, 0), s.downstream(o, 1)
 		upY, upZ := s.upstream(o, 0) >= 0, s.upstream(o, 1) >= 0
 		for k := 0; k < s.nchunks; k++ {
 			s.gc[o][k] = e.AllocGC()
 			base := s.region[o] + uint32(k*slot)
-			var tmpl []vic.Word
+			var tmpl []comm.Word
 			if dy >= 0 {
 				for i := 0; i < s.cyw; i++ {
-					tmpl = append(tmpl, vic.Word{Dst: dy, Op: vic.OpWrite,
+					tmpl = append(tmpl, comm.Word{Dst: dy, Op: comm.OpWrite,
 						GC: s.gc[o][k], Addr: base + uint32(i)})
 				}
 			}
 			if dz >= 0 {
 				for i := 0; i < s.czw; i++ {
-					tmpl = append(tmpl, vic.Word{Dst: dz, Op: vic.OpWrite,
+					tmpl = append(tmpl, comm.Word{Dst: dz, Op: comm.OpWrite,
 						GC: s.gc[o][k], Addr: base + uint32(s.cyw+i)})
 				}
 			}
@@ -339,7 +330,7 @@ func (s *solver) downstream(o, dir int) int {
 
 // armAll pre-arms every (octant, chunk) counter with the expected words.
 func (s *solver) armAll() {
-	e := s.n.DV
+	e := s.be.Endpoint()
 	for o := 0; o < 8; o++ {
 		exp := int64(0)
 		if s.upstream(o, 0) >= 0 {

@@ -3,7 +3,7 @@ package snap
 import (
 	"math"
 
-	"repro/internal/mpi"
+	"repro/internal/comm"
 	"repro/internal/sim"
 )
 
@@ -11,11 +11,7 @@ import (
 // the iteration count, final change, and particle-balance residual.
 func (s *solver) solve() (iters int, err, balance float64) {
 	n := s.n
-	if s.net == DV {
-		n.DV.Barrier()
-	} else {
-		n.MPI.Barrier()
-	}
+	s.be.Barrier()
 	t0 := n.P.Now()
 	planeX := make([]float64, s.ly*s.lz*s.par.Angles*s.par.Groups)
 	for iters = 1; iters <= s.par.MaxIters; iters++ {
@@ -24,7 +20,7 @@ func (s *solver) solve() (iters int, err, balance float64) {
 			s.phi[i] = 0
 		}
 		s.leak = 0
-		var sends []*mpi.Request
+		var sends []*comm.Request
 		for o := 0; o < 8; o++ {
 			zero(planeX) // vacuum at the x sweep entry
 			for k := 0; k < s.nchunks; k++ {
@@ -34,7 +30,7 @@ func (s *solver) solve() (iters int, err, balance float64) {
 			}
 		}
 		if s.net == IB {
-			n.MPI.Waitall(sends)
+			s.be.MPI().Waitall(sends)
 		}
 		// Convergence: global max |φ−φold|.
 		local := 0.0
@@ -50,7 +46,7 @@ func (s *solver) solve() (iters int, err, balance float64) {
 			// collective's fence and an explicit one so no early
 			// next-iteration face can race the re-arm.
 			s.armAll()
-			n.DV.Barrier()
+			s.be.Barrier()
 		}
 		if err < s.par.Tol {
 			break
@@ -76,7 +72,7 @@ func (s *solver) maxAll(v float64) float64 {
 	if s.net == DV {
 		return s.coll.AllReduceMaxFloat(v)
 	}
-	return s.n.MPI.Allreduce([]float64{v}, mpi.Max)[0]
+	return s.be.MPI().Allreduce([]float64{v}, comm.Max)[0]
 }
 
 // sumAll is a global sum reduction.
@@ -88,7 +84,7 @@ func (s *solver) sumAll(v float64) float64 {
 		}
 		return sum
 	}
-	return s.n.MPI.Allreduce([]float64{v}, mpi.Sum)[0]
+	return s.be.MPI().Allreduce([]float64{v}, comm.Sum)[0]
 }
 
 // chunkTag derives the MPI tag for (octant, chunk, direction).
@@ -99,18 +95,18 @@ func (s *solver) chunkTag(o, k, dir int) int {
 // recvChunk obtains the upstream faces of one chunk (nil at boundaries).
 func (s *solver) recvChunk(o, k int) (yIn, zIn []float64) {
 	if s.net == IB {
-		c := s.n.MPI
+		c := s.be.MPI()
 		if up := s.upstream(o, 0); up >= 0 {
 			data, _ := c.Recv(up, s.chunkTag(o, k, 0))
-			yIn = mpi.BytesToFloat64s(data)
+			yIn = comm.BytesToFloat64s(data)
 		}
 		if up := s.upstream(o, 1); up >= 0 {
 			data, _ := c.Recv(up, s.chunkTag(o, k, 1))
-			zIn = mpi.BytesToFloat64s(data)
+			zIn = comm.BytesToFloat64s(data)
 		}
 		return
 	}
-	e := s.n.DV
+	e := s.be.Endpoint()
 	if s.rdprog[o][k] == nil {
 		return
 	}
@@ -135,19 +131,19 @@ func (s *solver) recvChunk(o, k int) (yIn, zIn []float64) {
 // sendChunk forwards one chunk's outgoing faces downstream. The DV port
 // pushes both faces with one prepared PCIe transfer (the paper's
 // aggregation optimisation).
-func (s *solver) sendChunk(o, k int, yOut, zOut []float64, sends []*mpi.Request) []*mpi.Request {
+func (s *solver) sendChunk(o, k int, yOut, zOut []float64, sends []*comm.Request) []*comm.Request {
 	dy, dz := s.downstream(o, 0), s.downstream(o, 1)
 	if s.net == IB {
-		c := s.n.MPI
+		c := s.be.MPI()
 		if dy >= 0 {
-			sends = append(sends, c.Isend(dy, s.chunkTag(o, k, 0), mpi.Float64sToBytes(yOut)))
+			sends = append(sends, c.Isend(dy, s.chunkTag(o, k, 0), comm.Float64sToBytes(yOut)))
 		}
 		if dz >= 0 {
-			sends = append(sends, c.Isend(dz, s.chunkTag(o, k, 1), mpi.Float64sToBytes(zOut)))
+			sends = append(sends, c.Isend(dz, s.chunkTag(o, k, 1), comm.Float64sToBytes(zOut)))
 		}
 		return sends
 	}
-	e := s.n.DV
+	e := s.be.Endpoint()
 	if s.prog[o][k] == nil {
 		return sends
 	}

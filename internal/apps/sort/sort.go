@@ -14,30 +14,25 @@ import (
 	"fmt"
 	gosort "sort"
 
+	"repro/internal/apprt"
 	"repro/internal/cluster"
+	"repro/internal/comm"
 	"repro/internal/dv"
-	"repro/internal/mpi"
 	"repro/internal/sim"
-	"repro/internal/vic"
 )
 
 // Net selects the network variant.
-type Net int
+//
+// Deprecated: Net is an alias of comm.Net, the backend selector shared by
+// every workload; new code should use comm.Net directly.
+type Net = comm.Net
 
 const (
 	// DV is the Data Vortex implementation.
-	DV Net = iota
+	DV = comm.DV
 	// IB is the MPI implementation over InfiniBand.
-	IB
+	IB = comm.IB
 )
-
-// String names the network variant as the paper labels it.
-func (n Net) String() string {
-	if n == DV {
-		return "Data Vortex"
-	}
-	return "Infiniband"
-}
 
 // Params configures a run.
 type Params struct {
@@ -92,40 +87,36 @@ func inputKeys(par Params, id int) []uint64 {
 // Run executes the benchmark.
 func Run(net Net, par Params) Result {
 	par.defaults()
-	cfg := cluster.DefaultConfig(par.Nodes)
-	cfg.Seed = par.Seed
-	cfg.CycleAccurate = par.CycleAccurate
-	if net == DV {
-		cfg.Stacks = cluster.StackDV
-	} else {
-		cfg.Stacks = cluster.StackIB
-	}
 	res := Result{Net: net, Nodes: par.Nodes,
 		Keys: int64(par.Nodes) * int64(par.KeysPerNode)}
 	if par.KeepKeys {
 		res.Output = make([][]uint64, par.Nodes)
 	}
-	cluster.Run(cfg, func(n *cluster.Node) {
-		elapsed, out := runNode(n, net, par)
-		if elapsed > res.Elapsed {
-			res.Elapsed = elapsed
-		}
+	rep := apprt.Execute(apprt.RunSpec{
+		Net:           net,
+		Nodes:         par.Nodes,
+		Seed:          par.Seed,
+		CycleAccurate: par.CycleAccurate,
+	}, func(n *cluster.Node, be comm.Backend) sim.Time {
+		elapsed, out := runNode(n, be, net, par)
 		if par.KeepKeys {
 			res.Output[n.ID] = out
 		}
+		return elapsed
 	})
+	res.Elapsed = rep.Elapsed
 	return res
 }
 
-func runNode(n *cluster.Node, net Net, par Params) (sim.Time, []uint64) {
+func runNode(n *cluster.Node, be comm.Backend, net Net, par Params) (sim.Time, []uint64) {
 	p := par.Nodes
 	keys := inputKeys(par, n.ID)
 
 	var ex sorter
 	if net == DV {
-		ex = newDVSorter(n, par)
+		ex = newDVSorter(n, be, par)
 	} else {
-		ex = &mpiSorter{n: n, c: n.MPI}
+		ex = &mpiSorter{n: n, be: be}
 	}
 	ex.barrier()
 	t0 := n.P.Now()
@@ -187,14 +178,14 @@ type sorter interface {
 // MPI
 
 type mpiSorter struct {
-	n *cluster.Node
-	c *mpi.Comm
+	n  *cluster.Node
+	be comm.Backend
 }
 
 func (s *mpiSorter) allGather(vals []uint64) []uint64 {
 	var out []uint64
-	for _, b := range s.c.Allgather(mpi.Uint64sToBytes(vals)) {
-		out = append(out, mpi.BytesToUint64s(b)...)
+	for _, b := range s.be.MPI().Allgather(comm.Uint64sToBytes(vals)) {
+		out = append(out, comm.BytesToUint64s(b)...)
 	}
 	return out
 }
@@ -203,19 +194,19 @@ func (s *mpiSorter) exchange(buckets [][]uint64) [][]uint64 {
 	send := make([][]byte, len(buckets))
 	total := 0
 	for d, b := range buckets {
-		send[d] = mpi.Uint64sToBytes(b)
+		send[d] = comm.Uint64sToBytes(b)
 		total += len(b)
 	}
 	s.n.Compute(sim.BytesAt(total*8, 8e9)) // pack
-	recvB := s.c.Alltoall(send)
+	recvB := s.be.MPI().Alltoall(send)
 	out := make([][]uint64, len(recvB))
 	for i, b := range recvB {
-		out[i] = mpi.BytesToUint64s(b)
+		out[i] = comm.BytesToUint64s(b)
 	}
 	return out
 }
 
-func (s *mpiSorter) barrier() { s.c.Barrier() }
+func (s *mpiSorter) barrier() { s.be.Barrier() }
 
 // ---------------------------------------------------------------------------
 // Data Vortex: counted bulk puts at exchanged offsets
@@ -229,8 +220,8 @@ type dvSorter struct {
 	cap    int
 }
 
-func newDVSorter(n *cluster.Node, par Params) *dvSorter {
-	e := n.DV
+func newDVSorter(n *cluster.Node, be comm.Backend, par Params) *dvSorter {
+	e := be.Endpoint()
 	s := &dvSorter{n: n, e: e}
 	// Worst-case incoming: all keys of all peers (bounded by total keys).
 	s.cap = par.KeysPerNode * par.Nodes
@@ -292,7 +283,7 @@ func (s *dvSorter) exchange(buckets [][]uint64) [][]uint64 {
 			dOff += int(matrix[src*p+d])
 		}
 		s.n.Compute(sim.BytesAt(len(b)*8, 8e9)) // stage payloads
-		e.Put(vic.DMACached, d, s.region+uint32(dOff), s.gc, b)
+		e.Put(comm.DMACached, d, s.region+uint32(dOff), s.gc, b)
 	}
 	e.WaitGC(s.gc, sim.Forever)
 	raw := e.Read(s.region, offs[p])

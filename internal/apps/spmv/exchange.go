@@ -5,15 +5,14 @@ import (
 	"sort"
 
 	"repro/internal/cluster"
+	"repro/internal/comm"
 	"repro/internal/dv"
-	"repro/internal/mpi"
 	"repro/internal/sim"
-	"repro/internal/vic"
 )
 
 // runNode executes the multiply loop on one node, returning the measured
 // span, the ghost-entry count, and the final local x slab.
-func runNode(n *cluster.Node, net Net, par Params) (sim.Time, int, []float64) {
+func runNode(n *cluster.Node, be comm.Backend, net Net, par Params) (sim.Time, int, []float64) {
 	m := buildLocal(par, n.ID)
 	rows := m.rows
 
@@ -52,9 +51,9 @@ func runNode(n *cluster.Node, net Net, par Params) (sim.Time, int, []float64) {
 
 	var ex exchanger
 	if net == DV {
-		ex = newDVExchanger(n, par, rows, ghosts)
+		ex = newDVExchanger(n, be, par, rows, ghosts)
 	} else {
-		ex = newMPIExchanger(n, par, rows, ghosts)
+		ex = newMPIExchanger(n, be, par, rows, ghosts)
 	}
 	ex.barrier()
 	t0 := n.P.Now()
@@ -106,11 +105,11 @@ type dvExchanger struct {
 	gRegion uint32
 	gc      int
 	coll    *dv.Collective
-	queries []vic.Word // prepared query batch (payload = return header)
+	queries []comm.Word // prepared query batch (payload = return header)
 }
 
-func newDVExchanger(n *cluster.Node, par Params, rows int64, ghosts []int64) *dvExchanger {
-	e := n.DV
+func newDVExchanger(n *cluster.Node, be comm.Backend, par Params, rows int64, ghosts []int64) *dvExchanger {
+	e := be.Endpoint()
 	ex := &dvExchanger{n: n, e: e, rows: rows, ghosts: ghosts}
 	// Symmetric allocations first (identical on every node); the
 	// variable-size ghost region must come last or the symmetric heap
@@ -124,11 +123,11 @@ func newDVExchanger(n *cluster.Node, par Params, rows int64, ghosts []int64) *dv
 	}
 	ex.gRegion = e.Alloc(gwords)
 	// Prepare the query batch once: the pattern is fixed across iterations.
-	ex.queries = make([]vic.Word, len(ghosts))
+	ex.queries = make([]comm.Word, len(ghosts))
 	for i, g := range ghosts {
 		owner := int(g / rows)
-		ret := vic.EncodeHeader(e.Rank(), vic.OpWrite, ex.gc, ex.gRegion+uint32(i))
-		ex.queries[i] = vic.Word{Dst: owner, Op: vic.OpQuery, GC: vic.NoGC,
+		ret := comm.EncodeHeader(e.Rank(), comm.OpWrite, ex.gc, ex.gRegion+uint32(i))
+		ex.queries[i] = comm.Word{Dst: owner, Op: comm.OpQuery, GC: comm.NoGC,
 			Addr: ex.xRegion + uint32(g%rows), Val: ret}
 	}
 	e.Barrier()
@@ -148,7 +147,7 @@ func (ex *dvExchanger) gather(x, ghostOut []float64) {
 	e.Barrier() // everyone's slab is queryable
 	if len(ex.queries) > 0 {
 		e.ArmGC(ex.gc, int64(len(ex.queries)))
-		e.Scatter(vic.DMACached, ex.queries)
+		e.Scatter(comm.DMACached, ex.queries)
 		e.WaitGC(ex.gc, sim.Forever)
 		for i, w := range e.Read(ex.gRegion, len(ex.queries)) {
 			ghostOut[i] = math.Float64frombits(w)
@@ -165,7 +164,7 @@ func (ex *dvExchanger) barrier()                 { ex.e.Barrier() }
 
 type mpiExchanger struct {
 	n    *cluster.Node
-	c    *mpi.Comm
+	be   comm.Backend
 	rows int64
 	// wantFrom[q] lists the ghost slots whose value comes from q;
 	// theirIdx[q] lists MY local indices that q asked me to push.
@@ -173,10 +172,10 @@ type mpiExchanger struct {
 	theirIdx [][]int32
 }
 
-func newMPIExchanger(n *cluster.Node, par Params, rows int64, ghosts []int64) *mpiExchanger {
-	c := n.MPI
+func newMPIExchanger(n *cluster.Node, be comm.Backend, par Params, rows int64, ghosts []int64) *mpiExchanger {
+	c := be.MPI()
 	p := c.Size()
-	ex := &mpiExchanger{n: n, c: c, rows: rows,
+	ex := &mpiExchanger{n: n, be: be, rows: rows,
 		wantFrom: make([][]int, p), theirIdx: make([][]int32, p)}
 	// Setup (one time): tell each owner which of its entries we need.
 	req := make([][]uint64, p)
@@ -187,10 +186,10 @@ func newMPIExchanger(n *cluster.Node, par Params, rows int64, ghosts []int64) *m
 	}
 	send := make([][]byte, p)
 	for q := range req {
-		send[q] = mpi.Uint64sToBytes(req[q])
+		send[q] = comm.Uint64sToBytes(req[q])
 	}
 	for q, data := range c.Alltoall(send) {
-		for _, idx := range mpi.BytesToUint64s(data) {
+		for _, idx := range comm.BytesToUint64s(data) {
 			ex.theirIdx[q] = append(ex.theirIdx[q], int32(idx))
 		}
 	}
@@ -199,9 +198,9 @@ func newMPIExchanger(n *cluster.Node, par Params, rows int64, ghosts []int64) *m
 }
 
 func (ex *mpiExchanger) gather(x, ghostOut []float64) {
-	c := ex.c
+	c := ex.be.MPI()
 	p := c.Size()
-	var sends []*mpi.Request
+	var sends []*comm.Request
 	for q := 0; q < p; q++ {
 		if q == c.Rank() || len(ex.theirIdx[q]) == 0 {
 			continue
@@ -211,14 +210,14 @@ func (ex *mpiExchanger) gather(x, ghostOut []float64) {
 			vals[i] = x[idx]
 		}
 		ex.n.Compute(sim.BytesAt(len(vals)*8, 8e9)) // pack
-		sends = append(sends, c.Isend(q, 7, mpi.Float64sToBytes(vals)))
+		sends = append(sends, c.Isend(q, 7, comm.Float64sToBytes(vals)))
 	}
 	for q := 0; q < p; q++ {
 		if q == c.Rank() || len(ex.wantFrom[q]) == 0 {
 			continue
 		}
-		data, st := c.Recv(mpi.AnySource, 7)
-		vals := mpi.BytesToFloat64s(data)
+		data, st := c.Recv(comm.AnySource, 7)
+		vals := comm.BytesToFloat64s(data)
 		for i, slot := range ex.wantFrom[st.Source] {
 			ghostOut[slot] = vals[i]
 		}
@@ -228,6 +227,6 @@ func (ex *mpiExchanger) gather(x, ghostOut []float64) {
 }
 
 func (ex *mpiExchanger) maxAll(v float64) float64 {
-	return ex.c.Allreduce([]float64{v}, mpi.Max)[0]
+	return ex.be.MPI().Allreduce([]float64{v}, comm.Max)[0]
 }
-func (ex *mpiExchanger) barrier() { ex.c.Barrier() }
+func (ex *mpiExchanger) barrier() { ex.be.Barrier() }

@@ -21,28 +21,25 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/apprt"
 	"repro/internal/apps/bfs"
 	"repro/internal/cluster"
+	"repro/internal/comm"
 	"repro/internal/sim"
 )
 
 // Net selects the network variant.
-type Net int
+//
+// Deprecated: Net is an alias of comm.Net, the backend selector shared by
+// every workload; new code should use comm.Net directly.
+type Net = comm.Net
 
 const (
 	// DV is the Data Vortex implementation (query-packet gathers).
-	DV Net = iota
+	DV = comm.DV
 	// IB is the MPI implementation (owner-push ghost exchange).
-	IB
+	IB = comm.IB
 )
-
-// String names the network variant as the paper labels it.
-func (n Net) String() string {
-	if n == DV {
-		return "Data Vortex"
-	}
-	return "Infiniband"
-}
 
 // Params configures a run.
 type Params struct {
@@ -194,23 +191,17 @@ func Run(net Net, par Params) Result {
 	if (int64(1)<<par.Scale)%int64(par.Nodes) != 0 {
 		panic(fmt.Sprintf("spmv: 2^%d rows not divisible over %d nodes", par.Scale, par.Nodes))
 	}
-	cfg := cluster.DefaultConfig(par.Nodes)
-	cfg.Seed = par.Seed
-	cfg.CycleAccurate = par.CycleAccurate
-	if net == DV {
-		cfg.Stacks = cluster.StackDV
-	} else {
-		cfg.Stacks = cluster.StackIB
-	}
 	res := Result{Net: net, Nodes: par.Nodes, Iters: par.Iters}
 	if par.KeepVector {
 		res.Vector = make([]float64, int64(1)<<par.Scale)
 	}
-	cluster.Run(cfg, func(n *cluster.Node) {
-		elapsed, ghost, x := runNode(n, net, par)
-		if elapsed > res.Elapsed {
-			res.Elapsed = elapsed
-		}
+	rep := apprt.Execute(apprt.RunSpec{
+		Net:           net,
+		Nodes:         par.Nodes,
+		Seed:          par.Seed,
+		CycleAccurate: par.CycleAccurate,
+	}, func(n *cluster.Node, be comm.Backend) sim.Time {
+		elapsed, ghost, x := runNode(n, be, net, par)
 		if n.ID == 0 {
 			res.GhostWords = ghost
 		}
@@ -218,6 +209,8 @@ func Run(net Net, par Params) Result {
 			perNode := (int64(1) << par.Scale) / int64(par.Nodes)
 			copy(res.Vector[int64(n.ID)*perNode:], x)
 		}
+		return elapsed
 	})
+	res.Elapsed = rep.Elapsed
 	return res
 }

@@ -14,30 +14,25 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/apprt"
 	"repro/internal/cluster"
+	"repro/internal/comm"
 	"repro/internal/fftkernel"
-	"repro/internal/mpi"
 	"repro/internal/sim"
-	"repro/internal/vic"
 )
 
 // Net selects the network variant.
-type Net int
+//
+// Deprecated: Net is an alias of comm.Net, the backend selector shared by
+// every workload; new code should use comm.Net directly.
+type Net = comm.Net
 
 const (
 	// DV is the Data Vortex implementation.
-	DV Net = iota
+	DV = comm.DV
 	// IB is the MPI implementation over InfiniBand.
-	IB
+	IB = comm.IB
 )
-
-// String names the network variant as the paper labels it.
-func (n Net) String() string {
-	if n == DV {
-		return "Data Vortex"
-	}
-	return "Infiniband"
-}
 
 // Params configures a run.
 type Params struct {
@@ -117,33 +112,27 @@ func Run(net Net, par Params) Result {
 	if !fftkernel.IsPow2(par.N) || par.N%par.Nodes != 0 {
 		panic(fmt.Sprintf("vorticity: N=%d invalid for %d nodes", par.N, par.Nodes))
 	}
-	cfg := cluster.DefaultConfig(par.Nodes)
-	cfg.Seed = par.Seed
-	cfg.CycleAccurate = par.CycleAccurate
-	if net == DV {
-		cfg.Stacks = cluster.StackDV
-	} else {
-		cfg.Stacks = cluster.StackIB
-	}
 	res := Result{Net: net, Nodes: par.Nodes, N: par.N, Steps: par.Steps}
 	if par.KeepField {
 		res.Field = make([]float64, par.N*par.N)
 	}
-	var span sim.Time
 	energies := make([]float64, par.Nodes)
 	enstrophies := make([]float64, par.Nodes)
-	cluster.Run(cfg, func(n *cluster.Node) {
-		s := newSolver(n, net, par)
+	rep := apprt.Execute(apprt.RunSpec{
+		Net:           net,
+		Nodes:         par.Nodes,
+		Seed:          par.Seed,
+		CycleAccurate: par.CycleAccurate,
+	}, func(n *cluster.Node, be comm.Backend) sim.Time {
+		s := newSolver(n, be, net, par)
 		d := s.run()
-		if d > span {
-			span = d
-		}
 		energies[n.ID], enstrophies[n.ID] = s.invariants()
 		if par.KeepField {
 			s.gatherInto(res.Field)
 		}
+		return d
 	})
-	res.Elapsed = span
+	res.Elapsed = rep.Elapsed
 	for i := range energies {
 		res.Energy += energies[i]
 		res.Enstrophy += enstrophies[i]
@@ -155,6 +144,7 @@ func Run(net Net, par Params) Result {
 // layout: rows are ky (this node owns ky ∈ [lo, lo+rows)), columns are kx.
 type solver struct {
 	n    *cluster.Node
+	be   comm.Backend
 	net  Net
 	par  Params
 	p    int // nodes
@@ -166,13 +156,13 @@ type solver struct {
 	// Data Vortex transpose state (two parities).
 	region [2]uint32
 	gc     [2]int
-	prog   [2]*vic.DMAProgram
-	rdprog [2]*vic.ReadProgram
+	prog   [2]*comm.DMAProgram
+	rdprog [2]*comm.ReadProgram
 	tcount int // transposes executed (selects parity)
 }
 
-func newSolver(n *cluster.Node, net Net, par Params) *solver {
-	s := &solver{n: n, net: net, par: par, p: par.Nodes, rows: par.N / par.Nodes}
+func newSolver(n *cluster.Node, be comm.Backend, net Net, par Params) *solver {
+	s := &solver{n: n, be: be, net: net, par: par, p: par.Nodes, rows: par.N / par.Nodes}
 	s.lo = n.ID * s.rows
 	N := par.N
 	// Physical slab (x-rows) of the initial condition.
@@ -185,13 +175,14 @@ func newSolver(n *cluster.Node, net Net, par Params) *solver {
 		}
 	}
 	if net == DV {
+		e := be.Endpoint()
 		words := 2 * s.rows * N
 		for par2 := 0; par2 < 2; par2++ {
-			s.region[par2] = n.DV.Alloc(words)
-			s.gc[par2] = n.DV.AllocGC()
-			n.DV.ArmGC(s.gc[par2], int64(2*s.rows*(N-s.rows)))
+			s.region[par2] = e.Alloc(words)
+			s.gc[par2] = e.AllocGC()
+			e.ArmGC(s.gc[par2], int64(2*s.rows*(N-s.rows)))
 			// Persistent scatter program: the transpose pattern is fixed.
-			var tmpl []vic.Word
+			var tmpl []comm.Word
 			for q := 0; q < s.p; q++ {
 				if q == n.ID {
 					continue
@@ -200,13 +191,13 @@ func newSolver(n *cluster.Node, net Net, par Params) *solver {
 					for row := 0; row < s.rows; row++ {
 						addr := s.region[par2] + uint32(2*((col-q*s.rows)*N+s.lo+row))
 						tmpl = append(tmpl,
-							vic.Word{Dst: q, Op: vic.OpWrite, GC: s.gc[par2], Addr: addr},
-							vic.Word{Dst: q, Op: vic.OpWrite, GC: s.gc[par2], Addr: addr + 1})
+							comm.Word{Dst: q, Op: comm.OpWrite, GC: s.gc[par2], Addr: addr},
+							comm.Word{Dst: q, Op: comm.OpWrite, GC: s.gc[par2], Addr: addr + 1})
 					}
 				}
 			}
-			s.prog[par2] = n.DV.NewProgram(tmpl)
-			s.rdprog[par2] = n.DV.NewReadProgram(s.region[par2], words)
+			s.prog[par2] = e.NewProgram(tmpl)
+			s.rdprog[par2] = e.NewReadProgram(s.region[par2], words)
 		}
 	}
 	// Transform the initial condition to the transposed spectral layout.
@@ -220,7 +211,7 @@ func (s *solver) transpose(m []complex128) []complex128 {
 	if s.net == IB {
 		return s.mpiTranspose(m, N)
 	}
-	e := s.n.DV
+	e := s.be.Endpoint()
 	par := s.tcount & 1
 	s.tcount++
 	out := make([]complex128, s.rows*N)
@@ -264,7 +255,7 @@ func (s *solver) transpose(m []complex128) []complex128 {
 }
 
 func (s *solver) mpiTranspose(m []complex128, N int) []complex128 {
-	c := s.n.MPI
+	c := s.be.MPI()
 	send := make([][]byte, s.p)
 	for q := 0; q < s.p; q++ {
 		block := make([]float64, 0, 2*s.rows*s.rows)
@@ -274,13 +265,13 @@ func (s *solver) mpiTranspose(m []complex128, N int) []complex128 {
 				block = append(block, real(v), imag(v))
 			}
 		}
-		send[q] = mpi.Float64sToBytes(block)
+		send[q] = comm.Float64sToBytes(block)
 	}
 	s.n.Compute(sim.BytesAt(len(m)*16, 8e9)) // pack
 	recv := c.Alltoall(send)
 	out := make([]complex128, s.rows*N)
 	for q := 0; q < s.p; q++ {
-		vals := mpi.BytesToFloat64s(recv[q])
+		vals := comm.BytesToFloat64s(recv[q])
 		i := 0
 		for or := 0; or < s.rows; or++ {
 			for sr := 0; sr < s.rows; sr++ {
@@ -404,11 +395,7 @@ func (s *solver) run() sim.Time {
 }
 
 func (s *solver) barrier() {
-	if s.net == DV {
-		s.n.DV.Barrier()
-	} else {
-		s.n.MPI.Barrier()
-	}
+	s.be.Barrier()
 }
 
 // invariants returns this slab's contribution to kinetic energy and

@@ -1,0 +1,63 @@
+// Package comm is the backend-neutral transport layer of the reproduction:
+// one Net enum naming the interconnects the paper compares, one Backend
+// interface carrying the transport operations every workload needs
+// (put/scatter/all-to-all/barrier/drain plus their reliable variants), and
+// a registry holding one Backend implementation per fabric — Data Vortex
+// (wrapping internal/dv and internal/vic, over either switch engine) and
+// InfiniBand (wrapping internal/mpi and internal/ib).
+//
+// Before this layer existed every package under internal/apps re-declared
+// its own Net enum and re-wired its own cluster; now an app names a
+// comm.Net, receives a comm.Backend from the apprt harness, and adding a
+// third interconnect means one new Backend registration — not eleven app
+// edits.
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// Net selects the network under test — the comparison axis of the whole
+// paper. It replaces the private Net enums formerly duplicated across every
+// app package.
+type Net int
+
+const (
+	// DV is the Data Vortex fabric driven through the paper's §III API.
+	DV Net = iota
+	// IB is MPI over the FDR InfiniBand fat tree.
+	IB
+)
+
+// String names the network as the paper's figures label it.
+func (n Net) String() string {
+	if n == DV {
+		return "Data Vortex"
+	}
+	return "Infiniband"
+}
+
+// Stacks maps the network to the cluster stack(s) a run must instantiate.
+func (n Net) Stacks() cluster.Stack {
+	if n == DV {
+		return cluster.StackDV
+	}
+	return cluster.StackIB
+}
+
+// Nets lists the registered networks in definition order.
+func Nets() []Net { return []Net{DV, IB} }
+
+// ParseNet maps a command-line spelling ("dv", "ib", or a paper label) to
+// its Net.
+func ParseNet(s string) (Net, error) {
+	switch s {
+	case "dv", "DV", "datavortex", "Data Vortex":
+		return DV, nil
+	case "ib", "IB", "infiniband", "Infiniband", "mpi":
+		return IB, nil
+	}
+	return 0, fmt.Errorf("comm: unknown network %q (want dv or ib)", s)
+}

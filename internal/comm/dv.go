@@ -1,0 +1,178 @@
+// Data Vortex backend: thin forwarding onto the §III API endpoint for the
+// native operations, plus an all-to-all built from counted one-sided
+// writes — the one collective the fabric does not provide natively.
+
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/dv"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+func init() {
+	Register(DV, func(n *cluster.Node) Backend {
+		if n.DV == nil {
+			panic("comm: node has no Data Vortex endpoint (StackDV not enabled)")
+		}
+		return &dvBackend{e: n.DV}
+	})
+}
+
+// dvBackend drives one node's Data Vortex rail-0 endpoint.
+type dvBackend struct {
+	e *dv.Endpoint
+
+	// All-to-all exchange state, allocated collectively on first use.
+	a2aInit bool
+	a2aLen  uint32 // P incoming block lengths (bytes), indexed by source
+	a2aMax  uint32 // P per-source capacity proposals (words)
+	a2aGC   [2]int // control / payload counters
+	a2aBuf  uint32 // P rows of a2aCap words each
+	a2aCap  int    // payload row capacity in words
+}
+
+func (b *dvBackend) Net() Net  { return DV }
+func (b *dvBackend) Rank() int { return b.e.Rank() }
+func (b *dvBackend) Size() int { return b.e.Size() }
+
+func (b *dvBackend) Barrier()               { b.e.Barrier() }
+func (b *dvBackend) ReliableBarrier() error { return b.e.ReliableBarrier() }
+
+func (b *dvBackend) Put(mode SendMode, dst int, addr uint32, gc int, vals []uint64) error {
+	b.e.Put(mode, dst, addr, gc, vals)
+	return nil
+}
+
+func (b *dvBackend) Scatter(mode SendMode, words []Word) error {
+	b.e.Scatter(mode, words)
+	return nil
+}
+
+func (b *dvBackend) ReliableScatter(words []Word) error { return b.e.ReliableScatter(words) }
+
+func (b *dvBackend) Drain(timeout sim.Time) (uint64, bool) { return b.e.PopFIFO(timeout) }
+func (b *dvBackend) TryDrain() (uint64, bool)              { return b.e.TryPopFIFO() }
+
+func (b *dvBackend) Endpoint() *dv.Endpoint { return b.e }
+func (b *dvBackend) MPI() *mpi.Comm         { return nil }
+
+// Alltoall emulates the byte-block exchange with counted writes into a
+// symmetric region: a control round announces block lengths and agrees on
+// a per-source row capacity (the global maximum, so every node's
+// allocation sequence stays symmetric), then payload words land directly
+// in the receivers' rows. Capacity grows monotonically; the region is
+// reused across calls.
+func (b *dvBackend) Alltoall(blocks [][]byte) [][]byte {
+	e := b.e
+	p := e.Size()
+	if len(blocks) != p {
+		panic(fmt.Sprintf("comm: Alltoall got %d blocks for %d nodes", len(blocks), p))
+	}
+	out := make([][]byte, p)
+	out[e.Rank()] = append([]byte(nil), blocks[e.Rank()]...)
+	if p == 1 {
+		return out
+	}
+	if !b.a2aInit {
+		// First call: every node allocates the control state in lockstep.
+		b.a2aInit = true
+		b.a2aLen = e.Alloc(p)
+		b.a2aMax = e.Alloc(p)
+		b.a2aGC[0] = e.AllocGC()
+		b.a2aGC[1] = e.AllocGC()
+	}
+	localMax := 0
+	for _, blk := range blocks {
+		if w := wordsFor(len(blk)); w > localMax {
+			localMax = w
+		}
+	}
+	// Control round: publish my block lengths and capacity proposal.
+	e.ArmGC(b.a2aGC[0], int64(2*(p-1)))
+	e.Barrier() // every control counter armed
+	ctl := make([]Word, 0, 2*(p-1))
+	for d := 0; d < p; d++ {
+		if d == e.Rank() {
+			continue
+		}
+		ctl = append(ctl,
+			Word{Dst: d, Op: OpWrite, GC: b.a2aGC[0], Addr: b.a2aLen + uint32(e.Rank()), Val: uint64(len(blocks[d]))},
+			Word{Dst: d, Op: OpWrite, GC: b.a2aGC[0], Addr: b.a2aMax + uint32(e.Rank()), Val: uint64(localMax)})
+	}
+	e.Scatter(PIOCached, ctl)
+	e.WaitGC(b.a2aGC[0], sim.Forever)
+	lens := e.Read(b.a2aLen, p)
+	rowCap := localMax
+	for src, w := range e.Read(b.a2aMax, p) {
+		if src != e.Rank() && int(w) > rowCap {
+			rowCap = int(w)
+		}
+	}
+	if rowCap > b.a2aCap {
+		// Global maximum, so every node grows identically and the old
+		// region is abandoned symmetrically.
+		b.a2aBuf = e.Alloc(p * rowCap)
+		b.a2aCap = rowCap
+	}
+	expected := int64(0)
+	for src := 0; src < p; src++ {
+		if src != e.Rank() {
+			expected += int64(wordsFor(int(lens[src])))
+		}
+	}
+	// Payload round.
+	e.ArmGC(b.a2aGC[1], expected)
+	e.Barrier() // every payload counter armed, capacities agreed
+	var words []Word
+	for d := 0; d < p; d++ {
+		if d == e.Rank() || len(blocks[d]) == 0 {
+			continue
+		}
+		row := b.a2aBuf + uint32(e.Rank()*b.a2aCap)
+		for i, v := range packWords(blocks[d]) {
+			words = append(words, Word{Dst: d, Op: OpWrite, GC: b.a2aGC[1], Addr: row + uint32(i), Val: v})
+		}
+	}
+	e.Scatter(DMACached, words)
+	e.WaitGC(b.a2aGC[1], sim.Forever)
+	for src := 0; src < p; src++ {
+		if src == e.Rank() {
+			continue
+		}
+		n := int(lens[src])
+		if n == 0 {
+			out[src] = []byte{}
+			continue
+		}
+		raw := e.Read(b.a2aBuf+uint32(src*b.a2aCap), wordsFor(n))
+		out[src] = unpackWords(raw, n)
+	}
+	e.Barrier() // reads done: rows may be overwritten by the next call
+	return out
+}
+
+// wordsFor returns the 8-byte words covering n payload bytes.
+func wordsFor(n int) int { return (n + 7) / 8 }
+
+// packWords encodes a byte block little-endian into whole words (the last
+// word zero-padded).
+func packWords(b []byte) []uint64 {
+	w := make([]uint64, wordsFor(len(b)))
+	for i, v := range b {
+		w[i/8] |= uint64(v) << (8 * uint(i%8))
+	}
+	return w
+}
+
+// unpackWords decodes n bytes from a little-endian word row.
+func unpackWords(w []uint64, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(w[i/8] >> (8 * uint(i%8)))
+	}
+	return b
+}
