@@ -16,6 +16,7 @@ package apprt
 import (
 	"fmt"
 
+	"repro/internal/check"
 	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/faultplan"
@@ -57,6 +58,9 @@ type RunSpec struct {
 	Trace *trace.Recorder
 	// Obs enables the unified metrics layer for the run.
 	Obs *obs.Config
+	// Check enables the invariant layer for the run; results land in
+	// Report.Cluster.Checks. Checking never alters a run's results.
+	Check *check.Config
 }
 
 // Kernel is one workload's per-node body. It receives the node and the
@@ -100,6 +104,7 @@ func Execute(spec RunSpec, kernel Kernel) Report {
 	cfg.Faults = spec.Faults
 	cfg.Trace = spec.Trace
 	cfg.Obs = spec.Obs
+	cfg.Check = spec.Check
 	rep := Report{Net: spec.Net, Nodes: spec.Nodes}
 	rep.Cluster = cluster.Run(cfg, func(n *cluster.Node) {
 		if d := kernel(n, comm.New(spec.Net, n)); d > rep.Elapsed {

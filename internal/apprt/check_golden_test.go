@@ -1,0 +1,105 @@
+// Golden-diff guarantee for the invariant layer: running any registered
+// workload with checking enabled must (a) raise no violations on a healthy
+// run and (b) leave every observable result — Summary and the full cluster
+// telemetry Report — bit-identical to the unchecked run. The checker is pure
+// observation; this test is the proof.
+
+package apprt_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/apprt"
+	_ "repro/internal/apps/all"
+	"repro/internal/check"
+	"repro/internal/comm"
+)
+
+// runPair executes the same spec with and without the invariant layer and
+// returns both summaries.
+func runPair(t *testing.T, a apprt.App, spec apprt.RunSpec) (plain, checked apprt.Summary) {
+	t.Helper()
+	plain, err := a.Run(spec)
+	if err != nil {
+		t.Fatalf("unchecked run failed: %v", err)
+	}
+	spec.Check = check.All()
+	checked, err = a.Run(spec)
+	if err != nil {
+		t.Fatalf("checked run failed: %v", err)
+	}
+	return plain, checked
+}
+
+func assertGolden(t *testing.T, plain, checked apprt.Summary) {
+	t.Helper()
+	res := checked.Cluster.Checks
+	if res == nil {
+		t.Fatal("checked run produced no check.Result")
+	}
+	if err := res.Err(); err != nil {
+		t.Errorf("invariant violations on a healthy run:\n%v", err)
+	}
+	if !summariesEqual(plain, checked) {
+		t.Errorf("checking changed the summary:\n  off: %+v\n  on:  %+v", plain, checked)
+	}
+	// The telemetry reports must match field for field once the one field
+	// only the checked run can have is cleared.
+	chk := *checked.Cluster
+	chk.Checks = nil
+	if !reflect.DeepEqual(*plain.Cluster, chk) {
+		t.Errorf("checking changed the cluster report:\n  off: %+v\n  on:  %+v", *plain.Cluster, chk)
+	}
+}
+
+// TestCheckGoldenDiff runs every registered app on both backends with the
+// invariant layer on and off: no violations, identical results.
+func TestCheckGoldenDiff(t *testing.T) {
+	for _, a := range apprt.Apps() {
+		for _, net := range comm.Nets() {
+			a, net := a, net
+			t.Run(a.Name+"/"+net.String(), func(t *testing.T) {
+				if testing.Short() && net != comm.DV {
+					t.Skip("IB golden diff in -short mode")
+				}
+				plain, checked := runPair(t, a, confSpec(a, net, false))
+				assertGolden(t, plain, checked)
+			})
+		}
+	}
+}
+
+// TestCheckGoldenDiffCycleAccurate repeats the golden diff through the
+// cycle-level switch core, where the per-cycle sweep invariants actually
+// bite, for a representative irregular workload.
+func TestCheckGoldenDiffCycleAccurate(t *testing.T) {
+	a, ok := apprt.Get("gups")
+	if !ok {
+		t.Fatal("gups not registered")
+	}
+	spec := confSpec(a, comm.DV, false)
+	spec.CycleAccurate = true
+	plain, checked := runPair(t, a, spec)
+	assertGolden(t, plain, checked)
+	if checked.Cluster.Checks.CyclesChecked == 0 {
+		t.Error("cycle-accurate run checked no cycles")
+	}
+}
+
+// TestCheckGoldenDiffUnderFaults repeats the golden diff for the
+// reliable-capable apps under packet loss: the reliable layer must hold
+// exactly-once and sequence monotonicity even while the fabric drops, and
+// checking must still not perturb the run.
+func TestCheckGoldenDiffUnderFaults(t *testing.T) {
+	for _, a := range apprt.Apps() {
+		if !a.Reliable {
+			continue
+		}
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			plain, checked := runPair(t, a, confSpec(a, comm.DV, true))
+			assertGolden(t, plain, checked)
+		})
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/apprt"
+	"repro/internal/check"
 	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/faultplan"
@@ -60,6 +61,8 @@ type Opts struct {
 	// forever and the run ends when the event queue drains, which Completed
 	// likewise exposes.
 	WaitTimeout sim.Time
+	// Check enables the invariant layer for the run.
+	Check *check.Config
 }
 
 // Result is one measurement.
@@ -99,6 +102,7 @@ func RunOpts(impl Impl, nodes, iters int, opts Opts) Result {
 		Net:    net,
 		Nodes:  nodes,
 		Faults: opts.Faults,
+		Check:  opts.Check,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		// Each bar() reports whether the barrier completed; a node whose
 		// barrier gave up stops iterating, leaving its progress visible in

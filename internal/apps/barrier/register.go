@@ -31,6 +31,7 @@ func init() {
 			res := RunOpts(impl, spec.Nodes, 20, Opts{
 				Faults:      spec.Faults,
 				WaitTimeout: spec.WaitTimeout,
+				Check:       spec.Check,
 			})
 			return apprt.Summary{
 				App: "barrier", Net: spec.Net, Nodes: res.Nodes, Elapsed: res.Latency,

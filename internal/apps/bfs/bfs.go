@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/apprt"
+	"repro/internal/check"
 	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/sim"
@@ -44,6 +45,8 @@ type Params struct {
 	KeepParents bool
 	// CycleAccurate routes packets through the cycle-level switch.
 	CycleAccurate bool
+	// Check enables the invariant layer for the run.
+	Check *check.Config
 }
 
 func (p *Params) defaults() {
@@ -70,6 +73,10 @@ type Result struct {
 	// Parents[i] is search i's full parent array when KeepParents was set
 	// (-1 for unreached vertices).
 	Parents [][]int64
+	// Report is the cluster run report (fabric telemetry, and invariant
+	// results when checking was enabled). Excluded from JSON so result
+	// serializations predating the field are unchanged.
+	Report *cluster.Report `json:"-"`
 }
 
 // Search is one BFS measurement.
@@ -214,11 +221,12 @@ func Run(net Net, par Params) Result {
 			res.Parents[i] = make([]int64, int64(1)<<par.Scale)
 		}
 	}
-	apprt.Execute(apprt.RunSpec{
+	rep := apprt.Execute(apprt.RunSpec{
 		Net:           net,
 		Nodes:         par.Nodes,
 		Seed:          par.Seed,
 		CycleAccurate: par.CycleAccurate,
+		Check:         par.Check,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		g := buildLocal(par, n.ID)
 		var st *dvState
@@ -248,5 +256,6 @@ func Run(net Net, par Params) Result {
 		}
 		return 0
 	})
+	res.Report = rep.Cluster
 	return res
 }

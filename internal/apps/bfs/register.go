@@ -22,6 +22,7 @@ func init() {
 				NRoots:        2,
 				Seed:          spec.Seed,
 				CycleAccurate: spec.CycleAccurate,
+				Check:         spec.Check,
 			}
 			res := Run(spec.Net, par)
 			var elapsed, edges int64
@@ -31,7 +32,8 @@ func init() {
 			}
 			return apprt.Summary{
 				App: "bfs", Net: res.Net, Nodes: res.Nodes, Elapsed: sim.Time(elapsed),
-				Check: fmt.Sprintf("searches=%d edges=%d", len(res.Searches), edges),
+				Check:   fmt.Sprintf("searches=%d edges=%d", len(res.Searches), edges),
+				Cluster: res.Report,
 			}, nil
 		},
 	})

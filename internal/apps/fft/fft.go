@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"repro/internal/apprt"
+	"repro/internal/check"
 	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/fftkernel"
@@ -45,6 +46,8 @@ type Params struct {
 	CycleAccurate bool
 	// IBAdaptive enables adaptive fat-tree routing for the MPI variant.
 	IBAdaptive bool
+	// Check enables the invariant layer for the run.
+	Check *check.Config
 }
 
 func (p *Params) defaults() {
@@ -65,6 +68,10 @@ type Result struct {
 	// Spectrum is the gathered result, row-major X[k1][k2] with k = k2 +
 	// n2·k1, when KeepResult was set.
 	Spectrum []complex128
+	// Report is the cluster run report (fabric telemetry, and invariant
+	// results when checking was enabled). Excluded from JSON so result
+	// serializations predating the field are unchanged.
+	Report *cluster.Report `json:"-"`
 }
 
 // GFLOPS returns the aggregate rate under the HPCC 5·N·log2(N) convention
@@ -130,6 +137,7 @@ func Run(net Net, par Params) Result {
 		Seed:          par.Seed,
 		CycleAccurate: par.CycleAccurate,
 		IBAdaptive:    par.IBAdaptive,
+		Check:         par.Check,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		out, d := runNode(n, be, net, par, n1, n2)
 		if par.KeepResult {
@@ -138,6 +146,7 @@ func Run(net Net, par Params) Result {
 		return d
 	})
 	res.Elapsed = rep.Elapsed
+	res.Report = rep.Cluster
 	if par.KeepResult {
 		for _, r := range rows {
 			res.Spectrum = append(res.Spectrum, r...)

@@ -23,6 +23,7 @@ func init() {
 				KeepResult:    true,
 				CycleAccurate: spec.CycleAccurate,
 				IBAdaptive:    spec.IBAdaptive,
+				Check:         spec.Check,
 			}
 			res := Run(spec.Net, par)
 			ref := SerialReference(par)
@@ -35,7 +36,7 @@ func init() {
 			return apprt.Summary{
 				App: "fft", Net: res.Net, Nodes: res.Nodes, Elapsed: res.Elapsed,
 				Check:   fmt.Sprintf("n=%d maxerr=%.3e", res.N, maxErr),
-				Cluster: nil,
+				Cluster: res.Report,
 			}, nil
 		},
 	})

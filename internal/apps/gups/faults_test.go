@@ -7,7 +7,7 @@ import (
 	"repro/internal/sim"
 )
 
-func check(t *testing.T, par Params, r Result) int {
+func verifyRun(t *testing.T, par Params, r Result) int {
 	t.Helper()
 	return Verify(par, r)
 }
@@ -18,7 +18,7 @@ func TestSmokeReliableUnderFaults(t *testing.T) {
 	par := Params{Nodes: 4, TableWordsNode: 1 << 10, UpdatesPerNode: 1 << 10, Seed: 1,
 		KeepTables: true, Faults: plan, Reliable: true}
 	r := Run(DV, par)
-	if bad := check(t, par, r); bad != 0 {
+	if bad := verifyRun(t, par, r); bad != 0 {
 		t.Fatalf("reliable run has %d wrong words", bad)
 	}
 	if r.Errors != 0 {
@@ -45,13 +45,13 @@ func TestSmokeUnprotectedUnderFaults(t *testing.T) {
 func TestSmokeCleanStillExact(t *testing.T) {
 	par := Params{Nodes: 4, TableWordsNode: 1 << 10, UpdatesPerNode: 1 << 10, Seed: 1, KeepTables: true}
 	r := Run(DV, par)
-	if bad := check(t, par, r); bad != 0 {
+	if bad := verifyRun(t, par, r); bad != 0 {
 		t.Fatalf("clean run has %d wrong words", bad)
 	}
 	par2 := par
 	par2.Reliable = true
 	r2 := Run(DV, par2)
-	if bad := check(t, par2, r2); bad != 0 {
+	if bad := verifyRun(t, par2, r2); bad != 0 {
 		t.Fatalf("clean reliable run has %d wrong words", bad)
 	}
 	if r2.Report.Reliability.Retransmits != 0 {

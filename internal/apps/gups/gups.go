@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/apprt"
+	"repro/internal/check"
 	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/faultplan"
@@ -67,6 +68,8 @@ type Params struct {
 	// waits so a run under packet loss terminates and reports lost updates
 	// instead of hanging on a counter that will never reach zero.
 	WaitTimeout sim.Time
+	// Check enables the invariant layer for the run.
+	Check *check.Config
 }
 
 func (p *Params) defaults() {
@@ -178,6 +181,7 @@ func Run(net Net, par Params) Result {
 		Faults:        par.Faults,
 		Trace:         par.Trace,
 		Obs:           par.Obs,
+		Check:         par.Check,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		table := make([]uint64, par.TableWordsNode)
 		var d sim.Time

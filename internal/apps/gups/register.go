@@ -29,6 +29,7 @@ func init() {
 				WaitTimeout:    spec.WaitTimeout,
 				Trace:          spec.Trace,
 				Obs:            spec.Obs,
+				Check:          spec.Check,
 			}
 			res := Run(spec.Net, par)
 			return apprt.Summary{

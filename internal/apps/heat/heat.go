@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"repro/internal/apprt"
+	"repro/internal/check"
 	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/faultplan"
@@ -57,6 +58,8 @@ type Params struct {
 	// counter waits so a lossy run terminates (with a wrong answer that
 	// MaxErr exposes) instead of hanging.
 	WaitTimeout sim.Time
+	// Check enables the invariant layer for the run.
+	Check *check.Config
 }
 
 func (p *Params) defaults() {
@@ -148,6 +151,7 @@ func Run(net Net, par Params) Result {
 		Reliable:      par.Reliable,
 		WaitTimeout:   par.WaitTimeout,
 		Faults:        par.Faults,
+		Check:         par.Check,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		s := newSolver(n, be, par, px, py, pz)
 		d := s.run(net)

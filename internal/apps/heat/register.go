@@ -26,6 +26,7 @@ func init() {
 				Faults:        spec.Faults,
 				Reliable:      spec.Reliable,
 				WaitTimeout:   spec.WaitTimeout,
+				Check:         spec.Check,
 			}
 			res := Run(spec.Net, par)
 			return apprt.Summary{

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/apprt"
 	"repro/internal/apps/bfs"
+	"repro/internal/check"
 	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/shmem"
@@ -49,6 +50,8 @@ type Params struct {
 	KeepRanks bool
 	// CycleAccurate routes packets through the cycle-level switch.
 	CycleAccurate bool
+	// Check enables the invariant layer for the run.
+	Check *check.Config
 }
 
 func (p *Params) defaults() {
@@ -80,6 +83,10 @@ type Result struct {
 	Delta   float64 // final L1 change
 	Elapsed sim.Time
 	Ranks   []float64 // gathered when KeepRanks
+	// Report is the cluster run report (fabric telemetry, and invariant
+	// results when checking was enabled). Excluded from JSON so result
+	// serializations predating the field are unchanged.
+	Report *cluster.Report `json:"-"`
 }
 
 // outEdges builds node id's slab: out-adjacency of owned vertices (directed
@@ -180,6 +187,7 @@ func Run(net Net, par Params) Result {
 		Nodes:         par.Nodes,
 		Seed:          par.Seed,
 		CycleAccurate: par.CycleAccurate,
+		Check:         par.Check,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		iters, delta, elapsed, ranks := runNode(n, be, net, par)
 		if n.ID == 0 {
@@ -192,6 +200,7 @@ func Run(net Net, par Params) Result {
 		return elapsed
 	})
 	res.Elapsed = rep.Elapsed
+	res.Report = rep.Cluster
 	return res
 }
 

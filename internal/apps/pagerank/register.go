@@ -21,11 +21,13 @@ func init() {
 				MaxIters:      8,
 				Seed:          spec.Seed,
 				CycleAccurate: spec.CycleAccurate,
+				Check:         spec.Check,
 			}
 			res := Run(spec.Net, par)
 			return apprt.Summary{
 				App: "pagerank", Net: res.Net, Nodes: res.Nodes, Elapsed: res.Elapsed,
-				Check: fmt.Sprintf("iters=%d delta=%.6e", res.Iters, res.Delta),
+				Check:   fmt.Sprintf("iters=%d delta=%.6e", res.Iters, res.Delta),
+				Cluster: res.Report,
 			}, nil
 		},
 	})

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/apprt"
+	"repro/internal/check"
 	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/sim"
@@ -81,6 +82,10 @@ type Result struct {
 	// Bandwidth is the one-way payload bandwidth in bytes/s, the quantity
 	// Figure 3a plots.
 	Bandwidth float64
+	// Report is the cluster run report (fabric telemetry, and invariant
+	// results when checking was enabled). Excluded from JSON so result
+	// serializations predating the field are unchanged.
+	Report *cluster.Report `json:"-"`
 }
 
 // PercentPeak returns the bandwidth as a percentage of the network's peak
@@ -95,6 +100,8 @@ type Params struct {
 	// Rails stripes the transfer across multiple VICs per node (multi-rail
 	// Data Vortex; the paper notes nodes carry "at least one" VIC).
 	Rails int
+	// Check enables the invariant layer for the run.
+	Check *check.Config
 }
 
 // Run measures one configuration on a two-node cluster.
@@ -106,11 +113,12 @@ func Run(mode Mode, par Params) Result {
 		par.Words = 1
 	}
 	var total sim.Time
-	apprt.Execute(apprt.RunSpec{
+	rep := apprt.Execute(apprt.RunSpec{
 		Net:         mode.net(),
 		Nodes:       2,
 		Seed:        par.Seed + 1,
 		VICsPerNode: par.Rails,
+		Check:       par.Check,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		var d sim.Time
 		if mode == MPIIB {
@@ -127,7 +135,7 @@ func Run(mode Mode, par Params) Result {
 	})
 	rtt := total / sim.Time(par.Iters)
 	bw := float64(par.Words*8) / (rtt.Seconds() / 2)
-	return Result{Mode: mode, Words: par.Words, Iters: par.Iters, RTT: rtt, Bandwidth: bw}
+	return Result{Mode: mode, Words: par.Words, Iters: par.Iters, RTT: rtt, Bandwidth: bw, Report: rep.Cluster}
 }
 
 // runDV plays ping-pong over the Data Vortex API. The message is split into

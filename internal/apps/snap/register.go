@@ -24,11 +24,13 @@ func init() {
 				MaxIters:      6,
 				Seed:          spec.Seed,
 				CycleAccurate: spec.CycleAccurate,
+				Check:         spec.Check,
 			}
 			res := Run(spec.Net, par)
 			return apprt.Summary{
 				App: "snap", Net: res.Net, Nodes: res.Nodes, Elapsed: res.Elapsed,
-				Check: fmt.Sprintf("iters=%d err=%.3e balance=%.3e", res.Iters, res.Err, res.Balance),
+				Check:   fmt.Sprintf("iters=%d err=%.3e balance=%.3e", res.Iters, res.Err, res.Balance),
+				Cluster: res.Report,
 			}, nil
 		},
 	})

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/apprt"
+	"repro/internal/check"
 	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/dv"
@@ -58,6 +59,8 @@ type Params struct {
 	KeepFlux bool
 	// CycleAccurate routes packets through the cycle-level switch.
 	CycleAccurate bool
+	// Check enables the invariant layer for the run.
+	Check *check.Config
 }
 
 func (p *Params) defaults() {
@@ -111,6 +114,10 @@ type Result struct {
 	Balance float64
 	// Flux is the gathered scalar flux (group-major) when KeepFlux is set.
 	Flux []float64
+	// Report is the cluster run report (fabric telemetry, and invariant
+	// results when checking was enabled). Excluded from JSON so result
+	// serializations predating the field are unchanged.
+	Report *cluster.Report `json:"-"`
 }
 
 // quadrature returns the per-octant angle cosines and weights (all
@@ -182,6 +189,7 @@ func Run(net Net, par Params) Result {
 		Nodes:         par.Nodes,
 		Seed:          par.Seed,
 		CycleAccurate: par.CycleAccurate,
+		Check:         par.Check,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		s := newSolver(n, be, net, par, py, pz)
 		iters, err, bal := s.solve()
@@ -194,6 +202,7 @@ func Run(net Net, par Params) Result {
 		return s.elapsed
 	})
 	res.Elapsed = rep.Elapsed
+	res.Report = rep.Cluster
 	return res
 }
 

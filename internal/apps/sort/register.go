@@ -22,6 +22,7 @@ func init() {
 				Seed:          spec.Seed,
 				KeepKeys:      true,
 				CycleAccurate: spec.CycleAccurate,
+				Check:         spec.Check,
 			}
 			res := Run(spec.Net, par)
 			var bad, total int
@@ -37,8 +38,9 @@ func init() {
 			}
 			return apprt.Summary{
 				App: "sort", Net: res.Net, Nodes: res.Nodes, Elapsed: res.Elapsed,
-				Check:  fmt.Sprintf("keys=%d checksum=%016x", total, sum),
-				Errors: bad,
+				Check:   fmt.Sprintf("keys=%d checksum=%016x", total, sum),
+				Errors:  bad,
+				Cluster: res.Report,
 			}, nil
 		},
 	})

@@ -15,6 +15,7 @@ import (
 	gosort "sort"
 
 	"repro/internal/apprt"
+	"repro/internal/check"
 	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/dv"
@@ -44,6 +45,8 @@ type Params struct {
 	KeepKeys bool
 	// CycleAccurate routes packets through the cycle-level switch.
 	CycleAccurate bool
+	// Check enables the invariant layer for the run.
+	Check *check.Config
 }
 
 func (p *Params) defaults() {
@@ -67,6 +70,10 @@ type Result struct {
 	// SortedRate is keys sorted per second (aggregate).
 	// Keys holds each node's final run when KeepKeys is set.
 	Output [][]uint64
+	// Report is the cluster run report (fabric telemetry, and invariant
+	// results when checking was enabled). Excluded from JSON so result
+	// serializations predating the field are unchanged.
+	Report *cluster.Report `json:"-"`
 }
 
 // SortedRate returns aggregate keys per second.
@@ -97,6 +104,7 @@ func Run(net Net, par Params) Result {
 		Nodes:         par.Nodes,
 		Seed:          par.Seed,
 		CycleAccurate: par.CycleAccurate,
+		Check:         par.Check,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		elapsed, out := runNode(n, be, net, par)
 		if par.KeepKeys {
@@ -105,6 +113,7 @@ func Run(net Net, par Params) Result {
 		return elapsed
 	})
 	res.Elapsed = rep.Elapsed
+	res.Report = rep.Cluster
 	return res
 }
 

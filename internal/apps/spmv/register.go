@@ -23,6 +23,7 @@ func init() {
 				Seed:          spec.Seed,
 				KeepVector:    true,
 				CycleAccurate: spec.CycleAccurate,
+				Check:         spec.Check,
 			}
 			res := Run(spec.Net, par)
 			ref := SerialReference(par)
@@ -38,8 +39,9 @@ func init() {
 			}
 			return apprt.Summary{
 				App: "spmv", Net: res.Net, Nodes: res.Nodes, Elapsed: res.Elapsed,
-				Check:  fmt.Sprintf("iters=%d ghost=%d maxerr=%.3e", res.Iters, res.GhostWords, maxerr),
-				Errors: errs,
+				Check:   fmt.Sprintf("iters=%d ghost=%d maxerr=%.3e", res.Iters, res.GhostWords, maxerr),
+				Errors:  errs,
+				Cluster: res.Report,
 			}, nil
 		},
 	})

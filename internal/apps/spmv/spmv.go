@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/apprt"
 	"repro/internal/apps/bfs"
+	"repro/internal/check"
 	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/sim"
@@ -52,6 +53,8 @@ type Params struct {
 	KeepVector bool
 	// CycleAccurate routes packets through the cycle-level switch.
 	CycleAccurate bool
+	// Check enables the invariant layer for the run.
+	Check *check.Config
 }
 
 func (p *Params) defaults() {
@@ -79,6 +82,10 @@ type Result struct {
 	// (telemetry for the study).
 	GhostWords int
 	Vector     []float64
+	// Report is the cluster run report (fabric telemetry, and invariant
+	// results when checking was enabled). Excluded from JSON so result
+	// serializations predating the field are unchanged.
+	Report *cluster.Report `json:"-"`
 }
 
 // weight deterministically assigns a matrix value to entry (u, v).
@@ -200,6 +207,7 @@ func Run(net Net, par Params) Result {
 		Nodes:         par.Nodes,
 		Seed:          par.Seed,
 		CycleAccurate: par.CycleAccurate,
+		Check:         par.Check,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		elapsed, ghost, x := runNode(n, be, net, par)
 		if n.ID == 0 {
@@ -212,5 +220,6 @@ func Run(net Net, par Params) Result {
 		return elapsed
 	})
 	res.Elapsed = rep.Elapsed
+	res.Report = rep.Cluster
 	return res
 }

@@ -21,11 +21,13 @@ func init() {
 				Steps:         4,
 				Seed:          spec.Seed,
 				CycleAccurate: spec.CycleAccurate,
+				Check:         spec.Check,
 			}
 			res := Run(spec.Net, par)
 			return apprt.Summary{
 				App: "vorticity", Net: res.Net, Nodes: res.Nodes, Elapsed: res.Elapsed,
-				Check: fmt.Sprintf("energy=%.6e enstrophy=%.6e", res.Energy, res.Enstrophy),
+				Check:   fmt.Sprintf("energy=%.6e enstrophy=%.6e", res.Energy, res.Enstrophy),
+				Cluster: res.Report,
 			}, nil
 		},
 	})

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"repro/internal/apprt"
+	"repro/internal/check"
 	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/fftkernel"
@@ -53,6 +54,8 @@ type Params struct {
 	KeepField bool
 	// CycleAccurate routes packets through the cycle-level switch.
 	CycleAccurate bool
+	// Check enables the invariant layer for the run.
+	Check *check.Config
 }
 
 func (p *Params) defaults() {
@@ -82,6 +85,10 @@ type Result struct {
 	Field []float64
 	// Energy and Enstrophy are the final spectral invariants.
 	Energy, Enstrophy float64
+	// Report is the cluster run report (fabric telemetry, and invariant
+	// results when checking was enabled). Excluded from JSON so result
+	// serializations predating the field are unchanged.
+	Report *cluster.Report `json:"-"`
 }
 
 // initialVorticity returns ω(x,y) at t=0.
@@ -123,6 +130,7 @@ func Run(net Net, par Params) Result {
 		Nodes:         par.Nodes,
 		Seed:          par.Seed,
 		CycleAccurate: par.CycleAccurate,
+		Check:         par.Check,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		s := newSolver(n, be, net, par)
 		d := s.run()
@@ -133,6 +141,7 @@ func Run(net Net, par Params) Result {
 		return d
 	})
 	res.Elapsed = rep.Elapsed
+	res.Report = rep.Cluster
 	for i := range energies {
 		res.Energy += energies[i]
 		res.Enstrophy += enstrophies[i]

@@ -1,0 +1,79 @@
+package check
+
+import (
+	"repro/internal/dv"
+	"repro/internal/vic"
+)
+
+// endpointID keys reliable-layer state by endpoint identity.
+type endpointID = *dv.Endpoint
+
+// endpointKey identifies one sender→destination sequence stream.
+type endpointKey struct {
+	e   endpointID
+	dst int
+}
+
+// resolver maps a destination rank (within the endpoint's stack) to its VIC.
+type resolver func(dstRank int) *vic.VIC
+
+// BindEndpoint installs the checker on an endpoint's reliable layer.
+// resolve maps a destination rank to its VIC so words reported delivered can
+// be verified against the destination's write log; the destination VICs must
+// also be attached (AttachVIC) or the log will be empty.
+func (c *Checker) BindEndpoint(e *dv.Endpoint, resolve resolver) {
+	if !c.cfg.Reliable {
+		return
+	}
+	e.SetChecker(c)
+	c.resolve[e] = resolve
+}
+
+// ChunkSeq implements dv.Checker: per-destination chunk sequence numbers
+// must advance by exactly one per chunk — a skip means a lost chunk a
+// receiver tracking sender progress would never detect, a repeat means a
+// duplicated one.
+func (c *Checker) ChunkSeq(e *dv.Endpoint, dst int, seq uint64) {
+	if c.seqs == nil {
+		return
+	}
+	k := endpointKey{e: e, dst: dst}
+	if last := c.seqs[k]; seq != last+1 {
+		c.violate("reliable", "seq-monotone", -1,
+			"rank %d → %d: chunk sequence jumped %d → %d", e.Rank(), dst, last, seq)
+	}
+	c.seqs[k] = seq
+}
+
+// ChunkDone implements dv.Checker: a chunk the reliable layer reports
+// delivered (err == nil) must have every word — data and sequence markers
+// alike — present in its destination's write log. DV memory is
+// last-writer-wins, so retransmitted duplicates are harmless and legal;
+// what must never happen is a success report for a word that never arrived.
+func (c *Checker) ChunkDone(e *dv.Endpoint, words []vic.Word, attempts int, err error) {
+	if c.seqs == nil {
+		return
+	}
+	c.res.ChunksChecked++
+	if err != nil {
+		// An honest failure report is not an invariant violation: the layer
+		// detected the loss and said so.
+		return
+	}
+	resolve := c.resolve[e]
+	if resolve == nil {
+		return
+	}
+	for _, w := range words {
+		dstVIC := resolve(w.Dst)
+		if dstVIC == nil {
+			continue
+		}
+		s := c.state(dstVIC)
+		if s.mem == nil || s.mem[memKey{addr: w.Addr, val: w.Val}] == 0 {
+			c.violate("reliable", "exactly-once", -1,
+				"rank %d → %d: word addr=%#x val=%#x reported delivered (attempt %d) but never written at destination",
+				e.Rank(), w.Dst, w.Addr, w.Val, attempts)
+		}
+	}
+}

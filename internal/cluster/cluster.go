@@ -9,6 +9,7 @@ package cluster
 import (
 	"fmt"
 
+	"repro/internal/check"
 	"repro/internal/dv"
 	"repro/internal/dvswitch"
 	"repro/internal/faultplan"
@@ -103,6 +104,13 @@ type Config struct {
 	// of packet lifecycles into a Chrome trace. Results land in
 	// Report.Metrics. Nil costs one pointer test per instrumentation site.
 	Obs *obs.Config
+
+	// Check, when non-nil, enables the invariant layer: continuous
+	// verification of switch packet conservation, VIC counter/FIFO/byte
+	// conservation, and reliable-layer exactly-once delivery. Results land
+	// in Report.Checks. Checking is pure observation and never changes a
+	// run's results.
+	Check *check.Config
 }
 
 // DefaultConfig returns the calibrated testbed configuration for n nodes
@@ -215,6 +223,11 @@ type Report struct {
 	// instrument values, the sampled time series, and the sampled packet
 	// lifecycles (plus phase spans) for Chrome/Perfetto export.
 	Metrics *obs.Metrics
+
+	// Checks holds the invariant-layer result when Config.Check was set.
+	// Omitted from JSON when checking was off so pinned golden reports are
+	// unchanged by the field's existence.
+	Checks *check.Result `json:",omitempty"`
 }
 
 // Run executes body SPMD-style on every node and returns the report.
@@ -224,6 +237,11 @@ func Run(cfg Config, body func(n *Node)) *Report {
 	}
 	k := sim.NewKernel()
 	rng := sim.NewRNG(cfg.Seed)
+
+	var chk *check.Checker
+	if cfg.Check != nil {
+		chk = check.New(cfg.Check)
+	}
 
 	// Observability: one registry and sampler per run (the kernel is
 	// single-threaded, so instruments need no locking; parallel sweep points
@@ -272,6 +290,9 @@ func Run(cfg Config, body func(n *Node)) *Report {
 			}
 			eng.ApplyPlan(cfg.Faults)
 			eng.SetObs(reg)
+			if chk != nil {
+				chk.AttachCore(eng.Core())
+			}
 			fabric = eng
 			if sampler != nil {
 				core := eng.Core()
@@ -289,6 +310,9 @@ func Run(cfg Config, body func(n *Node)) *Report {
 			fm := dvswitch.NewFastModel(k, geom, ct, rng.Split())
 			fm.ApplyPlan(cfg.Faults)
 			fm.SetObs(reg)
+			if chk != nil {
+				fm.DropHook = chk.FabricDrop
+			}
 			fabric = fm
 			if sampler != nil {
 				sampler.Column("inflight", func() float64 { return float64(fm.Outstanding()) })
@@ -307,15 +331,22 @@ func Run(cfg Config, body func(n *Node)) *Report {
 			vicPar.FIFOCapacity = cfg.Faults.FIFOCapacity
 		}
 		stride = fabric.Ports() / total
+		inject := fabric.Inject
+		if chk != nil {
+			inject = chk.WrapInject(inject)
+		}
 		vics = make([]*vic.VIC, total)
 		for r := 0; r < rails; r++ {
 			for i := 0; i < cfg.Nodes; i++ {
 				g := r*cfg.Nodes + i
-				v := vic.New(k, i, g*stride, vicPar, fabric.Inject)
+				v := vic.New(k, i, g*stride, vicPar, inject)
 				base := r * cfg.Nodes
 				v.SetPortResolver(func(id int) int { return (base + id) * stride })
 				v.BarrierInit(cfg.Nodes)
 				v.SetObs(vicObs)
+				if chk != nil {
+					chk.AttachVIC(v)
+				}
 				vics[g] = v
 			}
 		}
@@ -392,6 +423,9 @@ func Run(cfg Config, body func(n *Node)) *Report {
 				inner(pkt)
 			}
 		}
+		if chk != nil {
+			deliver = chk.WrapDeliver(deliver)
+		}
 		fabric.OnDeliver(deliver)
 		if cfg.Faults != nil {
 			for _, s := range cfg.Faults.DMAStalls {
@@ -448,6 +482,15 @@ func Run(cfg Config, body func(n *Node)) *Report {
 					e := dv.NewEndpoint(vics[r*cfg.Nodes+i], i, cfg.Nodes)
 					e.Bind(p)
 					e.SetObs(relObs)
+					if chk != nil {
+						base := r * cfg.Nodes
+						chk.BindEndpoint(e, func(dst int) *vic.VIC {
+							if dst < 0 || dst >= cfg.Nodes {
+								return nil
+							}
+							return vics[base+dst]
+						})
+					}
 					n.Rails = append(n.Rails, e)
 				}
 				n.DV = n.Rails[0]
@@ -492,6 +535,9 @@ func Run(cfg Config, body func(n *Node)) *Report {
 			packets = append(packets, met.phases...)
 		}
 		rep.Metrics = &obs.Metrics{Registry: reg, Series: sampler.Series(), Packets: packets}
+	}
+	if chk != nil {
+		rep.Checks = chk.Finalize()
 	}
 	return rep
 }

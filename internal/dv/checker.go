@@ -1,0 +1,21 @@
+package dv
+
+import "repro/internal/vic"
+
+// Checker observes reliable-layer progress on behalf of the invariant layer
+// (internal/check). Methods are called synchronously from the sending
+// endpoint's process and must not block, advance virtual time, or consume
+// randomness. A nil checker costs one pointer test per seam.
+type Checker interface {
+	// ChunkSeq fires when the endpoint stamps a new chunk sequence number
+	// for dst — sequence numbers must be consumed in strictly increasing
+	// order, one per chunk.
+	ChunkSeq(e *Endpoint, dst int, seq uint64)
+	// ChunkDone fires when one reliable chunk resolves: err == nil means
+	// every word (data and sequence markers alike) was verified present at
+	// its destination after the given number of attempts.
+	ChunkDone(e *Endpoint, words []vic.Word, attempts int, err error)
+}
+
+// SetChecker installs (or with nil removes) the invariant checker.
+func (e *Endpoint) SetChecker(c Checker) { e.chk = c }

@@ -13,7 +13,6 @@
 package dv
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/sim"
@@ -39,6 +38,12 @@ type Endpoint struct {
 	// obs points at the cluster-shared reliable-layer instruments (SetObs);
 	// nil when observability is disabled.
 	obs *RelObs
+
+	// chk observes reliable-layer progress for the invariant layer
+	// (SetChecker); nil when checking is disabled.
+	chk Checker
+	// mut plants deliberate defects for checker validation (SetMutation).
+	mut Mutation
 }
 
 // NewEndpoint wraps a VIC as rank's endpoint in a size-node program.
@@ -61,18 +66,31 @@ func (e *Endpoint) Proc() *sim.Proc { return e.p }
 // Alloc reserves words of DV Memory from the symmetric heap and returns the
 // base address. Every node must perform the same Alloc sequence so the
 // addresses agree cluster-wide — the coordination discipline the paper
-// describes for DV Memory slot reuse.
+// describes for DV Memory slot reuse. Exhausting the heap panics with an
+// *OOMError; use TryAlloc to handle exhaustion gracefully.
 func (e *Endpoint) Alloc(words int) uint32 {
-	limit := e.V.Params().MemWords
+	base, err := e.TryAlloc(words)
+	if err != nil {
+		panic(err)
+	}
+	return base
+}
+
+// TryAlloc is Alloc returning a typed *OOMError instead of panicking when
+// the symmetric heap cannot satisfy the request. The bound arithmetic is
+// 64-bit, so a request large enough to wrap the uint32 heap cursor fails
+// cleanly rather than wrapping to address 0.
+func (e *Endpoint) TryAlloc(words int) (uint32, error) {
+	limit := e.memLimit()
 	if e.rel != nil {
 		limit = int(e.rel.limit) // reliable scratch occupies the top of memory
 	}
-	if int(e.heapNext)+words > limit {
-		panic(fmt.Sprintf("dv: symmetric heap exhausted (%d + %d words, limit %d)", e.heapNext, words, limit))
+	if words < 0 || int64(e.heapNext)+int64(words) > int64(limit) {
+		return 0, &OOMError{Op: "Alloc", Addr: e.heapNext, Words: words, Limit: limit}
 	}
 	base := e.heapNext
 	e.heapNext += uint32(words)
-	return base
+	return base, nil
 }
 
 // AllocGC reserves a group counter from the symmetric pool (skipping the
@@ -93,6 +111,7 @@ func (e *Endpoint) AllocGC() int {
 // Put writes vals into dst's DV Memory starting at addr, decrementing dst's
 // group counter gc once per word (vic.NoGC to skip counting).
 func (e *Endpoint) Put(mode vic.SendMode, dst int, addr uint32, gc int, vals []uint64) {
+	e.checkRange("Put", addr, len(vals))
 	words := make([]vic.Word, len(vals))
 	for i, v := range vals {
 		words[i] = vic.Word{Dst: dst, Op: vic.OpWrite, GC: gc, Addr: addr + uint32(i), Val: v}
@@ -102,6 +121,7 @@ func (e *Endpoint) Put(mode vic.SendMode, dst int, addr uint32, gc int, vals []u
 
 // PutFloat64s is Put for float64 payloads.
 func (e *Endpoint) PutFloat64s(mode vic.SendMode, dst int, addr uint32, gc int, vals []float64) {
+	e.checkRange("PutFloat64s", addr, len(vals))
 	words := make([]vic.Word, len(vals))
 	for i, v := range vals {
 		words[i] = vic.Word{Dst: dst, Op: vic.OpWrite, GC: gc, Addr: addr + uint32(i), Val: math.Float64bits(v)}
@@ -166,7 +186,10 @@ func (e *Endpoint) WaitGC(gc int, timeout sim.Time) bool {
 }
 
 // Read DMA-transfers n words of local DV Memory into host memory.
-func (e *Endpoint) Read(addr uint32, n int) []uint64 { return e.V.DMARead(e.p, addr, n) }
+func (e *Endpoint) Read(addr uint32, n int) []uint64 {
+	e.checkRange("Read", addr, n)
+	return e.V.DMARead(e.p, addr, n)
+}
 
 // ReadFloat64s is Read for float64 payloads.
 func (e *Endpoint) ReadFloat64s(addr uint32, n int) []float64 {
@@ -179,7 +202,10 @@ func (e *Endpoint) ReadFloat64s(addr uint32, n int) []float64 {
 }
 
 // WriteLocal stages words into local DV Memory via the DMA engine.
-func (e *Endpoint) WriteLocal(addr uint32, vals []uint64) { e.V.HostWriteMemDMA(e.p, addr, vals) }
+func (e *Endpoint) WriteLocal(addr uint32, vals []uint64) {
+	e.checkRange("WriteLocal", addr, len(vals))
+	e.V.HostWriteMemDMA(e.p, addr, vals)
+}
 
 // WriteLocalFloat64s stages float64s into local DV Memory.
 func (e *Endpoint) WriteLocalFloat64s(addr uint32, vals []float64) {

@@ -1,0 +1,22 @@
+package dv
+
+// Mutation selects a deliberate, well-understood defect to plant in the
+// reliable-delivery layer. Mutations exist solely to validate the invariant
+// layer (internal/check): a checker that cannot catch a planted defect
+// cannot be trusted to catch an accidental one. Production code never sets a
+// mutation; the zero value is defect-free.
+type Mutation uint32
+
+const (
+	// MutSkipRetransmit makes every verify round report success regardless
+	// of what the verify region holds, so lost words are never resent —
+	// the silent-loss failure mode the ARQ layer exists to prevent.
+	MutSkipRetransmit Mutation = 1 << iota
+	// MutSeqSkip advances the per-destination chunk sequence number by two
+	// per chunk, breaking the monotone +1 sequencing receivers rely on.
+	MutSeqSkip
+)
+
+// SetMutation plants (or with 0 clears) deliberate defects in the endpoint's
+// reliable layer. Testing only; see Mutation.
+func (e *Endpoint) SetMutation(m Mutation) { e.mut = m }

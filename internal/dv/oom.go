@@ -1,0 +1,48 @@
+package dv
+
+import "fmt"
+
+// OOMError reports an allocation or addressed transfer that does not fit in
+// the 32 MB QDR SRAM word space. Address arithmetic in the packet header is
+// 24-bit and DV Memory is word-addressed, so a transfer running past the top
+// of SRAM would otherwise wrap silently to address 0 and corrupt unrelated
+// slots; every out-of-range operation instead fails with this typed error
+// (returned where the API has an error path, panicked where it does not).
+type OOMError struct {
+	// Op names the failing operation ("Alloc", "Put", ...).
+	Op string
+	// Addr is the base address of the transfer (0 for allocations).
+	Addr uint32
+	// Words is the requested length in words.
+	Words int
+	// Limit is the first word address past the usable SRAM space.
+	Limit int
+}
+
+// Error implements error.
+func (e *OOMError) Error() string {
+	if e.Op == "Alloc" {
+		return fmt.Sprintf("dv: out of DV memory: %s of %d words exceeds limit %d", e.Op, e.Words, e.Limit)
+	}
+	return fmt.Sprintf("dv: out of DV memory: %s of %d words at %#x runs past limit %d", e.Op, e.Words, e.Addr, e.Limit)
+}
+
+// memLimit returns the first word address past the addressable DV memory:
+// the SRAM size, capped by the 24-bit header address field.
+func (e *Endpoint) memLimit() int {
+	limit := e.V.Params().MemWords
+	if limit > 1<<24 {
+		limit = 1 << 24
+	}
+	return limit
+}
+
+// checkRange panics with *OOMError unless [addr, addr+words) fits in the
+// addressable DV memory. The arithmetic is 64-bit so a transfer that would
+// wrap the uint32 address space is caught, not wrapped.
+func (e *Endpoint) checkRange(op string, addr uint32, words int) {
+	limit := e.memLimit()
+	if words < 0 || int64(addr)+int64(words) > int64(limit) {
+		panic(&OOMError{Op: op, Addr: addr, Words: words, Limit: limit})
+	}
+}

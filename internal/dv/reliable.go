@@ -159,7 +159,10 @@ func (e *Endpoint) rstate() *reliableState {
 	if e.relOpts != nil {
 		o = *e.relOpts
 	}
-	if o.ChunkWords < 1 || o.MaxAttempts < 1 || o.Backoff < 1 || o.Timeout <= 0 {
+	// ChunkWords must fit at least one data word plus its destination's
+	// sequence marker; with ChunkWords == 1 a two-word chunk would verify
+	// past the end of the verify region into the sequence slots.
+	if o.ChunkWords < 2 || o.MaxAttempts < 1 || o.Backoff < 1 || o.Timeout <= 0 {
 		panic(fmt.Sprintf("dv: invalid ReliableOpts %+v", o))
 	}
 	top := e.V.Params().MemWords
@@ -189,6 +192,9 @@ func (e *Endpoint) rstate() *reliableState {
 // retransmission would make such counts unreliable — completion is the nil
 // return itself.
 func (e *Endpoint) ReliableWrite(dst int, addr uint32, vals []uint64) error {
+	if limit := e.memLimit(); int64(addr)+int64(len(vals)) > int64(limit) {
+		return &OOMError{Op: "ReliableWrite", Addr: addr, Words: len(vals), Limit: limit}
+	}
 	words := make([]vic.Word, len(vals))
 	for i, v := range vals {
 		words[i] = vic.Word{Dst: dst, Op: vic.OpWrite, GC: vic.NoGC, Addr: addr + uint32(i), Val: v}
@@ -234,6 +240,12 @@ func (e *Endpoint) ReliableScatter(words []vic.Word) error {
 		}
 		if !inChunk[seqKey] {
 			r.seq[w.Dst]++
+			if e.mut&MutSeqSkip != 0 {
+				r.seq[w.Dst]++
+			}
+			if e.chk != nil {
+				e.chk.ChunkSeq(e, w.Dst, r.seq[w.Dst])
+			}
 			chunk = append(chunk, vic.Word{
 				Dst: w.Dst, Op: vic.OpWrite, GC: vic.NoGC,
 				Addr: r.seqBase + uint32(e.rank), Val: r.seq[w.Dst]})
@@ -310,9 +322,15 @@ func (e *Endpoint) reliableChunk(words []vic.Word) error {
 				still = append(still, wi)
 			}
 		}
+		if e.mut&MutSkipRetransmit != 0 {
+			still = still[:0]
+		}
 		if len(still) == 0 {
 			if failed {
 				r.st.RecoveryTime += e.p.Now() - tFail
+			}
+			if e.chk != nil {
+				e.chk.ChunkDone(e, words, attempt, nil)
 			}
 			return nil
 		}
@@ -330,11 +348,33 @@ func (e *Endpoint) reliableChunk(words []vic.Word) error {
 			if e.obs != nil {
 				e.obs.Failures.Inc()
 			}
-			return &DeliveryError{Dst: words[still[0]].Dst, Attempts: attempt, Missing: len(still)}
+			err := &DeliveryError{Dst: words[still[0]].Dst, Attempts: attempt, Missing: len(still)}
+			if e.chk != nil {
+				e.chk.ChunkDone(e, words, attempt, err)
+			}
+			return err
 		}
 		timeout *= sim.Time(o.Backoff)
 		pending = still
 	}
+}
+
+// worstChunkWait bounds the virtual time one chunk can spend inside
+// reliableChunk before it returns. The per-attempt ack timeout grows
+// geometrically — attempt a waits Timeout·Backoff^(a-1) — so the bound is
+// the geometric sum over MaxAttempts attempts, plus the QueryDelay gap each
+// attempt inserts between its data and query batches. A linear
+// MaxAttempts·Timeout·Backoff bound underestimates this badly (for the
+// defaults, by more than an order of magnitude), making waiters give up
+// while the sender is still legitimately retrying.
+func (o ReliableOpts) worstChunkWait() sim.Time {
+	wait := sim.Time(0)
+	t := o.Timeout
+	for a := 0; a < o.MaxAttempts; a++ {
+		wait += o.QueryDelay + t
+		t *= sim.Time(o.Backoff)
+	}
+	return wait
 }
 
 // ReliableBarrier synchronises all nodes through the reliable path: a
@@ -349,8 +389,7 @@ func (e *Endpoint) ReliableBarrier() error {
 	for 1<<rounds < e.size {
 		rounds++
 	}
-	deadline := e.p.Now() +
-		sim.Time(rounds+1)*sim.Time(r.opts.MaxAttempts)*r.opts.Timeout*sim.Time(r.opts.Backoff)
+	deadline := e.p.Now() + sim.Time(rounds+1)*r.opts.worstChunkWait()
 	for rd := 0; rd < rounds; rd++ {
 		peer := (e.rank + 1<<rd) % e.size
 		if err := e.ReliableWrite(peer, r.flagBase+uint32(rd), []uint64{r.epoch}); err != nil {

@@ -247,6 +247,16 @@ type Core struct {
 	// (dead node or probabilistic drop). Used by invariant tests.
 	DropHook func(pkt Packet)
 
+	// OnCycleEnd, when set, runs at the end of every Step, after the cycle
+	// counter has advanced — on the sparse and the dense path alike, so an
+	// invariant sweep (internal/check) observes both implementations through
+	// one seam. It must only observe; mutating the core from the hook is
+	// undefined.
+	OnCycleEnd func(c *Core)
+
+	// mut plants deliberate defects for checker validation (SetMutation).
+	mut Mutation
+
 	// obs holds the registry-backed instruments (SetObs); nil when
 	// observability is disabled, costing one pointer test per hook.
 	obs *SwitchObs
@@ -344,6 +354,9 @@ func (c *Core) place(idx int, ref int32) {
 // signal asserts the same-cylinder deflection signal on a cell, recording it
 // for end-of-step clearing.
 func (c *Core) signal(idx int) {
+	if c.mut&MutDropDeflectSignal != 0 {
+		return
+	}
 	if !c.sameCyl[idx] {
 		c.sameCyl[idx] = true
 		c.sigDirty = append(c.sigDirty, int32(idx))
@@ -410,7 +423,7 @@ func (c *Core) moveOne(cl, idx int) {
 	dh, da := p.PortCoord(f.Dst)
 	if cl == L {
 		// Output ring: circle to the destination angle, then eject.
-		if a == da {
+		if a == da && c.mut&MutStickyOutputRing == 0 {
 			c.eject(ref)
 			return
 		}
@@ -428,6 +441,9 @@ func (c *Core) moveOne(cl, idx int) {
 		return
 	}
 	bit := uint(L - 1 - cl) // height bit resolved by this cylinder
+	if c.mut&MutBitOffByOne != 0 && L > 1 {
+		bit = uint((int(bit) + 1) % L)
+	}
 	if c.linkFault(ref) {
 		return
 	}
@@ -502,6 +518,9 @@ func (c *Core) finishStep() {
 	if c.CheckInvariants {
 		c.verifyPrefixInvariant()
 	}
+	if c.OnCycleEnd != nil {
+		c.OnCycleEnd(c)
+	}
 }
 
 // denseStep is the seed implementation's full-fabric scan: every node of
@@ -566,6 +585,9 @@ func (c *Core) eject(ref int32) {
 	}
 	if c.Deliver != nil {
 		c.Deliver(pkt, c.cycle+1)
+		if c.mut&MutDoubleDeliver != 0 {
+			c.Deliver(pkt, c.cycle+1)
+		}
 	}
 }
 
@@ -588,12 +610,33 @@ func (c *Core) drop(ref int32) {
 	pkt := c.pool[ref-1]
 	c.release(ref)
 	c.flying--
-	c.stats.Dropped++
+	if c.mut&MutSkipDropCount == 0 {
+		c.stats.Dropped++
+	}
 	if c.obs != nil {
 		c.obs.Dropped.Inc()
 	}
 	if c.DropHook != nil {
 		c.DropHook(pkt)
+	}
+}
+
+// ForEachInFlight calls fn for every packet currently occupying a switching
+// node, in dense-scan order (cylinder-major ascending, then height, then
+// angle) — the same order on the sparse and dense paths, so an invariant
+// sweep sees identical sequences from both. id is the packet's pool
+// reference: stable for the packet's whole flight and never shared by two
+// concurrently in-flight packets, which makes it a duplication witness.
+func (c *Core) ForEachInFlight(fn func(id int32, cyl, h, a int, pkt Packet)) {
+	p := c.p
+	for cl := 0; cl <= c.levels; cl++ {
+		for h := 0; h < p.Heights; h++ {
+			for a := 0; a < p.Angles; a++ {
+				if ref := c.grid[c.idx(cl, h, a)]; ref != 0 {
+					fn(ref, cl, h, a, c.pool[ref-1])
+				}
+			}
+		}
 	}
 }
 

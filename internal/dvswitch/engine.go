@@ -117,6 +117,11 @@ type FastModel struct {
 	fpl  *faultplan.Plan
 	frng []*sim.RNG
 
+	// DropHook, when set, observes every packet lost to an injected fault,
+	// mirroring Core.DropHook so the invariant layer (internal/check) can
+	// account fabric losses on either engine.
+	DropHook func(pkt Packet)
+
 	// evFree pools delivery events so the Inject fast path schedules
 	// without allocating a closure (and packet copy) per packet.
 	evFree []*deliveryEvent
@@ -232,6 +237,9 @@ func (m *FastModel) Inject(pkt Packet) {
 			m.st.Dropped++
 			if m.obs != nil {
 				m.obs.Dropped.Inc()
+			}
+			if m.DropHook != nil {
+				m.DropHook(pkt)
 			}
 			return
 		}

@@ -1,0 +1,25 @@
+package vic
+
+// Mutation selects a deliberate, well-understood defect to plant in the VIC
+// model. Mutations exist solely to validate the invariant layer
+// (internal/check): a checker that cannot catch a planted defect cannot be
+// trusted to catch an accidental one. Production code never sets a mutation;
+// the zero value is defect-free.
+type Mutation uint32
+
+const (
+	// MutGCDoubleDec applies every counter decrement twice, driving group
+	// counters negative — the conservation failure the paper's
+	// counter-gather API makes impossible by construction.
+	MutGCDoubleDec Mutation = 1 << iota
+	// MutFIFODrainReorder drains each surprise-FIFO batch to the host ring
+	// in reverse, violating FIFO delivery order.
+	MutFIFODrainReorder
+	// MutUncountedBytes sends packets without accounting their PCIe bytes,
+	// breaking host↔VIC byte conservation.
+	MutUncountedBytes
+)
+
+// SetMutation plants (or with 0 clears) deliberate defects in the VIC.
+// Testing only; see Mutation.
+func (v *VIC) SetMutation(m Mutation) { v.mut = m }

@@ -44,6 +44,10 @@ func (pr *DMAProgram) Trigger(p *sim.Proc) {
 	p.Wait(v.par.PIOLatency) // doorbell
 	v.st.PktsSent += int64(len(pr.words))
 	v.st.PCIeBytesOut += int64(len(pr.words) * 8)
+	if v.chk != nil {
+		// Only the payload stream crosses PCIe: cached-mode wire size.
+		v.chk.HostSent(v, DMACached, len(pr.words))
+	}
 	chunk := v.par.DMAChunkWords
 	if chunk <= 0 {
 		chunk = 1024
@@ -85,5 +89,8 @@ func (rp *ReadProgram) Pull(p *sim.Proc) []uint64 {
 	p.Wait(v.par.PIOLatency)
 	v.dmaOut.Occupy(p, sim.BytesAt(rp.n*8, v.par.DMABW))
 	v.st.PCIeBytesIn += int64(rp.n * 8)
+	if v.chk != nil {
+		v.chk.HostRead(v, rp.n)
+	}
 	return v.mem.readRange(rp.addr, rp.n)
 }

@@ -47,6 +47,10 @@ func (m SendMode) wireBytes() int {
 	return 16
 }
 
+// WireBytes returns the PCIe bytes per packet for the mode: 8 for cached
+// modes (payload only), 16 otherwise (header+payload).
+func (m SendMode) WireBytes() int { return m.wireBytes() }
+
 // Stats aggregates per-VIC telemetry.
 type Stats struct {
 	PktsSent     int64
@@ -94,6 +98,12 @@ type VIC struct {
 	// observability is disabled.
 	obs *Obs
 
+	// chk observes state transitions for the invariant layer (SetChecker);
+	// nil when checking is disabled.
+	chk Checker
+	// mut plants deliberate defects for checker validation (SetMutation).
+	mut Mutation
+
 	st Stats
 }
 
@@ -140,7 +150,12 @@ func (v *VIC) HostSend(p *sim.Proc, mode SendMode, words []Word) {
 	}
 	bytesPer := mode.wireBytes()
 	total := len(words) * bytesPer
-	v.st.PCIeBytesOut += int64(total)
+	if v.mut&MutUncountedBytes == 0 {
+		v.st.PCIeBytesOut += int64(total)
+	}
+	if v.chk != nil {
+		v.chk.HostSent(v, mode, len(words))
+	}
 	switch mode {
 	case PIO, PIOCached:
 		// Doorbell, then each packet crosses the PCIe lane back to back.
@@ -210,6 +225,9 @@ func (v *VIC) DMARead(p *sim.Proc, addr uint32, n int) []uint64 {
 	p.Wait(v.par.PIOLatency + v.par.DMASetup)
 	v.dmaOut.Occupy(p, sim.BytesAt(n*8, v.par.DMABW))
 	v.st.PCIeBytesIn += int64(n * 8)
+	if v.chk != nil {
+		v.chk.HostRead(v, n)
+	}
 	return v.mem.readRange(addr, n)
 }
 
@@ -218,6 +236,9 @@ func (v *VIC) PIORead(p *sim.Proc, addr uint32, n int) []uint64 {
 	p.Wait(v.par.PIOLatency)
 	v.pioRd.Occupy(p, sim.BytesAt(n*8, v.par.PIOReadBW))
 	v.st.PCIeBytesIn += int64(n * 8)
+	if v.chk != nil {
+		v.chk.HostRead(v, n)
+	}
 	return v.mem.readRange(addr, n)
 }
 
@@ -227,6 +248,9 @@ func (v *VIC) HostWriteMem(p *sim.Proc, addr uint32, vals []uint64) {
 	p.Wait(v.par.PIOLatency)
 	v.pioWr.Occupy(p, sim.BytesAt(len(vals)*8, v.par.PIOWriteBW))
 	v.st.PCIeBytesOut += int64(len(vals) * 8)
+	if v.chk != nil {
+		v.chk.HostWrote(v, len(vals))
+	}
 	v.mem.writeRange(addr, vals)
 }
 
@@ -236,6 +260,9 @@ func (v *VIC) HostWriteMemDMA(p *sim.Proc, addr uint32, vals []uint64) {
 	p.Wait(v.par.PIOLatency + v.par.DMASetup)
 	v.dmaIn.Occupy(p, sim.BytesAt(len(vals)*8, v.par.DMABW))
 	v.st.PCIeBytesOut += int64(len(vals) * 8)
+	if v.chk != nil {
+		v.chk.HostWrote(v, len(vals))
+	}
 	v.mem.writeRange(addr, vals)
 }
 
@@ -271,6 +298,9 @@ func (v *VIC) GCValue(p *sim.Proc, gc int) int64 {
 func (v *VIC) setGC(gc int, val int64) {
 	v.gc[gc] = val
 	v.gcZeroed[gc] = false
+	if v.chk != nil {
+		v.chk.GCUpdate(v, gc, val, true)
+	}
 	if val == 0 {
 		v.notifyZero(gc)
 	}
@@ -279,8 +309,14 @@ func (v *VIC) setGC(gc int, val int64) {
 
 func (v *VIC) decGC(gc int, by int64) {
 	v.gc[gc] -= by
+	if v.mut&MutGCDoubleDec != 0 {
+		v.gc[gc] -= by
+	}
 	if v.obs != nil {
 		v.obs.GCDecs.Inc()
+	}
+	if v.chk != nil {
+		v.chk.GCUpdate(v, gc, v.gc[gc], false)
 	}
 	if v.gc[gc] == 0 {
 		v.notifyZero(gc)
@@ -341,18 +377,28 @@ func (v *VIC) WaitGCAtMost(p *sim.Proc, gc int, target int64) {
 // TryPopSurprise returns the next surprise word from the host ring buffer
 // without blocking. Reading the host ring is a plain memory load; any
 // per-message processing cost is the application's to model.
-func (v *VIC) TryPopSurprise() (uint64, bool) { return v.hostFIFO.TryPop() }
+func (v *VIC) TryPopSurprise() (uint64, bool) {
+	w, ok := v.hostFIFO.TryPop()
+	if ok && v.chk != nil {
+		v.chk.FIFOPop(v, w)
+	}
+	return w, ok
+}
 
 // PopSurprise blocks until a surprise word reaches the host ring, or the
 // timeout expires.
 func (v *VIC) PopSurprise(p *sim.Proc, timeout sim.Time) (uint64, bool) {
-	return v.hostFIFO.PopTimeout(p, timeout)
+	w, ok := v.hostFIFO.PopTimeout(p, timeout)
+	if ok && v.chk != nil {
+		v.chk.FIFOPop(v, w)
+	}
+	return w, ok
 }
 
 // SurpriseBacklog returns the number of words already visible to the host.
 func (v *VIC) SurpriseBacklog() int { return v.hostFIFO.Len() }
 
-func (v *VIC) pushSurprise(val uint64) {
+func (v *VIC) pushSurprise(src int, val uint64) {
 	cap := v.par.FIFOCapacity
 	if cap <= 0 {
 		cap = 1 << 20
@@ -365,11 +411,17 @@ func (v *VIC) pushSurprise(val uint64) {
 		if v.obs != nil {
 			v.obs.FIFODropped.Inc()
 		}
+		if v.chk != nil {
+			v.chk.FIFOPush(v, src, val, true)
+		}
 		return
 	}
 	v.st.FIFOPkts++
 	if v.obs != nil {
 		v.obs.FIFOPkts.Inc()
+	}
+	if v.chk != nil {
+		v.chk.FIFOPush(v, src, val, false)
 	}
 	v.fifo = append(v.fifo, val)
 	if !v.drainArmed {
@@ -389,6 +441,14 @@ func (v *VIC) drainFIFO() {
 	}
 	done := v.dmaOut.Reserve(v.k, sim.BytesAt(len(batch)*8, v.par.DMABW))
 	v.st.PCIeBytesIn += int64(len(batch) * 8)
+	if v.chk != nil {
+		v.chk.FIFODrained(v, len(batch))
+	}
+	if v.mut&MutFIFODrainReorder != 0 {
+		for i, j := 0, len(batch)-1; i < j; i, j = i+1, j-1 {
+			batch[i], batch[j] = batch[j], batch[i]
+		}
+	}
 	v.k.At(done, func() {
 		for _, w := range batch {
 			v.hostFIFO.Push(v.k, w)
@@ -446,11 +506,14 @@ func (v *VIC) execute(pkt dvswitch.Packet) {
 	switch op {
 	case OpWrite:
 		v.mem.write(addr, pkt.Payload)
+		if v.chk != nil {
+			v.chk.MemWrite(v, addr, pkt.Payload)
+		}
 		if gc != NoGC {
 			v.decGC(gc, 1)
 		}
 	case OpFIFO:
-		v.pushSurprise(pkt.Payload)
+		v.pushSurprise(pkt.Src, pkt.Payload)
 		if gc != NoGC {
 			v.decGC(gc, 1)
 		}
