@@ -14,21 +14,37 @@
 //	dvbench -trace out.csv  # where fig5 writes its trace
 //	dvbench -metrics m      # observability reference run -> m.jsonl m.prom m.trace.json
 //	dvbench -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// Long runs are crash-resumable: -journal <dir> persists every finished
+// sweep point and experiment before moving on, and -resume <dir> re-runs
+// only what is missing, producing byte-identical final figures. SIGINT or
+// SIGTERM stops a journaled run cleanly (finish in-flight points, save,
+// print the resume command); a second signal force-quits. Individual -app
+// runs checkpoint and restore through -checkpoint/-every/-resume-checkpoint
+// and are bounded by -budget-wall/-budget-virtual.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/apprt"
 	_ "repro/internal/apps/all"
 	"repro/internal/bench"
+	"repro/internal/cluster"
 	"repro/internal/comm"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
 )
 
 // experiment is one dispatchable entry of the evaluation: a primary id,
@@ -111,7 +127,40 @@ func main() {
 	jsonPath := flag.String("json", "", "also write results as JSON to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	journalDir := flag.String("journal", "",
+		"journal finished sweep points and experiments to this directory (crash-resumable)")
+	resumeDir := flag.String("resume", "",
+		"resume a journaled run from this directory (implies -journal)")
+	netFilter := flag.String("net", "", "restrict -app to one backend (dv or ib)")
+	ckptPath := flag.String("checkpoint", "",
+		"for -app: write full-state checkpoints to this file (latest wins)")
+	ckptEvery := flag.Duration("every", 0,
+		"for -app -checkpoint: virtual-time interval between checkpoints (e.g. 500us)")
+	budgetWall := flag.Duration("budget-wall", 0,
+		"for -app: wall-clock budget; on expiry write a final checkpoint and a partial report")
+	budgetVirtual := flag.Duration("budget-virtual", 0,
+		"for -app: virtual-time budget; same expiry behavior as -budget-wall")
+	resumeCkpt := flag.String("resume-checkpoint", "",
+		"for -app: restore from this checkpoint file and finish the run")
 	flag.Parse()
+
+	// Two-stage signal handling: the first SIGINT/SIGTERM cancels sweeps and
+	// managed runs cooperatively (state is saved, a resume hint printed); the
+	// second force-quits.
+	ctx, cancel := context.WithCancel(context.Background())
+	interrupt := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr,
+			"dvbench: interrupt — finishing in-flight work and saving state (signal again to force quit)")
+		cancel()
+		close(interrupt)
+		<-sigc
+		fmt.Fprintln(os.Stderr, "dvbench: force quit")
+		os.Exit(130)
+	}()
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -159,13 +208,39 @@ func main() {
 		return
 	}
 	if *app != "" {
-		if err := runApp(*app, *nodes, *seed); err != nil {
+		err := runApp(appRun{
+			name: *app, nodes: *nodes, seed: *seed, net: *netFilter,
+			checkpoint: *ckptPath, every: *ckptEvery,
+			budgetWall: *budgetWall, budgetVirtual: *budgetVirtual,
+			resumeFrom: *resumeCkpt, interrupt: interrupt,
+		})
+		var be *cluster.BudgetExceededError
+		switch {
+		case errors.As(err, &be):
+			fmt.Fprintf(os.Stderr, "dvbench: %v\n", err)
+			os.Exit(3)
+		case err != nil:
 			fmt.Fprintf(os.Stderr, "dvbench: %v\n", err)
 			os.Exit(2)
 		}
 		return
 	}
 	opt := bench.Options{Small: *small, Jobs: *jobs}
+	if *resumeDir != "" {
+		*journalDir = *resumeDir
+	}
+	var journal *bench.Journal
+	if *journalDir != "" {
+		j, err := bench.OpenJournal(*journalDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		journal = j
+		opt.Journal = j
+		opt.Ctx = ctx
+	}
 	if *metricsBase != "" {
 		if err := runMetrics(opt, *metricsBase); err != nil {
 			fmt.Fprintf(os.Stderr, "dvbench: %v\n", err)
@@ -185,7 +260,54 @@ func main() {
 	}
 
 	var tables []*bench.Table
-	if strings.EqualFold(*exp, "all") {
+	if journal != nil {
+		// Journaled runs go experiment by experiment so each completed
+		// experiment is persisted in full and replayed verbatim on resume
+		// (the loop order matches bench.All, so the figures are identical).
+		sel := make([]*experiment, 0, len(experiments))
+		if strings.EqualFold(*exp, "all") {
+			for i := range experiments {
+				if experiments[i].id != "validate" {
+					sel = append(sel, &experiments[i])
+				}
+			}
+		} else if e := findExperiment(*exp); e != nil {
+			sel = append(sel, e)
+		} else {
+			fmt.Fprintf(os.Stderr, "dvbench: unknown experiment %q (see -list)\n", *exp)
+			os.Exit(2)
+		}
+		for _, e := range sel {
+			if ts, ok := journal.Experiment(e.id); ok {
+				tables = append(tables, ts...)
+				continue
+			}
+			if ctx.Err() != nil {
+				break
+			}
+			ts := e.run(opt, openTrace)
+			if ctx.Err() != nil {
+				break
+			}
+			journal.PutExperiment(e.id, ts)
+			tables = append(tables, ts...)
+		}
+		if err := journal.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "dvbench: journal: %v\n", err)
+			os.Exit(1)
+		}
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "dvbench: interrupted; resume with: dvbench -resume %s", *journalDir)
+			if !strings.EqualFold(*exp, "all") {
+				fmt.Fprintf(os.Stderr, " -exp %s", *exp)
+			}
+			if *small {
+				fmt.Fprint(os.Stderr, " -small")
+			}
+			fmt.Fprintln(os.Stderr)
+			os.Exit(3)
+		}
+	} else if strings.EqualFold(*exp, "all") {
 		tables = bench.All(opt, openTrace())
 	} else if e := findExperiment(*exp); e != nil {
 		tables = e.run(opt, openTrace)
@@ -215,23 +337,127 @@ func main() {
 	}
 }
 
-// runApp runs one registered workload on both backends through the apprt
-// harness and prints the summaries.
-func runApp(name string, nodes int, seed uint64) error {
-	a, ok := apprt.Get(name)
+// appRun bundles the -app invocation: which workload, and the optional
+// checkpoint/watchdog configuration.
+type appRun struct {
+	name       string
+	nodes      int
+	seed       uint64
+	net        string
+	checkpoint string
+	every      time.Duration
+	budgetWall time.Duration
+	// budgetVirtual is the virtual-time budget expressed as a host duration
+	// (1ms means 1ms of simulated time).
+	budgetVirtual time.Duration
+	resumeFrom    string
+	interrupt     <-chan struct{}
+}
+
+// simDur converts a flag duration into virtual time.
+func simDur(d time.Duration) sim.Time { return sim.Time(d.Nanoseconds()) * sim.Nanosecond }
+
+// netSlug is the short, path-safe backend name used by -net and checkpoint
+// file suffixes.
+func netSlug(n comm.Net) string {
+	if n == comm.DV {
+		return "dv"
+	}
+	return "ib"
+}
+
+// matchNet accepts the paper label ("Data Vortex") or the slug ("dv").
+func matchNet(n comm.Net, sel string) bool {
+	return strings.EqualFold(n.String(), sel) || strings.EqualFold(netSlug(n), sel)
+}
+
+// runApp runs one registered workload through the apprt harness — on both
+// backends by default, on one with -net or when restoring a checkpoint
+// (whose header names the backend) — and prints the summaries.
+func runApp(r appRun) error {
+	a, ok := apprt.Get(r.name)
 	if !ok {
-		return fmt.Errorf("unknown app %q (see -list)", name)
+		return fmt.Errorf("unknown app %q (see -list)", r.name)
 	}
-	if nodes <= 0 {
-		nodes = a.RefNodes
+	if r.nodes <= 0 {
+		r.nodes = a.RefNodes
 	}
-	for _, net := range comm.Nets() {
-		sum, err := a.Run(apprt.RunSpec{Net: net, Nodes: nodes, Seed: seed})
+	var resume *snapshot.Snapshot
+	if r.resumeFrom != "" {
+		s, err := snapshot.ReadFile(r.resumeFrom)
 		if err != nil {
-			return fmt.Errorf("%s on %s: %w", name, net, err)
+			return err
+		}
+		if s.Header.App != r.name {
+			return fmt.Errorf("checkpoint %s is for app %q, not %q", r.resumeFrom, s.Header.App, r.name)
+		}
+		resume = s
+		r.net = s.Header.Net
+	}
+	managed := r.checkpoint != "" || r.budgetWall > 0 || r.budgetVirtual > 0 || resume != nil
+	var nets []comm.Net
+	for _, net := range comm.Nets() {
+		if r.net == "" || matchNet(net, r.net) {
+			nets = append(nets, net)
+		}
+	}
+	if len(nets) == 0 {
+		return fmt.Errorf("no backend matches -net %q", r.net)
+	}
+	for _, net := range nets {
+		spec := apprt.RunSpec{Net: net, Nodes: r.nodes, Seed: r.seed}
+		var cp *cluster.Checkpoint
+		if managed {
+			cp = &cluster.Checkpoint{
+				App:           r.name,
+				Every:         simDur(r.every),
+				WallBudget:    r.budgetWall,
+				VirtualBudget: simDur(r.budgetVirtual),
+				Resume:        resume,
+				Interrupt:     r.interrupt,
+			}
+			if r.checkpoint != "" {
+				path := r.checkpoint
+				if len(nets) > 1 {
+					path += "." + netSlug(net)
+				}
+				cp.Sink = func(s *snapshot.Snapshot) error { return snapshot.WriteFile(path, s) }
+				// A resumed run inherits the snapshot's interval, so the
+				// sink is reachable without an explicit -every.
+				if cp.Every == 0 && r.budgetWall == 0 && r.budgetVirtual == 0 && resume == nil {
+					return fmt.Errorf("-checkpoint needs -every or a budget to ever write")
+				}
+			}
+			spec.Checkpoint = cp
+		}
+		sum, err := a.Run(spec)
+		if err != nil {
+			return fmt.Errorf("%s on %s: %w", r.name, net, err)
 		}
 		fmt.Printf("%-10s %-12s %2d nodes  elapsed=%-12v errors=%d  %s\n",
 			sum.App, sum.Net, sum.Nodes, sum.Elapsed, sum.Errors, sum.Check)
+		if cp != nil {
+			var be *cluster.BudgetExceededError
+			if errors.As(cp.Err, &be) && r.checkpoint != "" {
+				fmt.Printf("  checkpoints: %d periodic + final cut checkpoint at virtual %v\n",
+					cp.Taken, cp.LastAt)
+			} else if cp.Taken > 0 {
+				fmt.Printf("  checkpoints: %d written, last at virtual %v\n", cp.Taken, cp.LastAt)
+			}
+			if cp.Err != nil {
+				var be *cluster.BudgetExceededError
+				if errors.As(cp.Err, &be) && r.checkpoint != "" {
+					path := r.checkpoint
+					if len(nets) > 1 {
+						path += "." + netSlug(net)
+					}
+					fmt.Fprintf(os.Stderr,
+						"  partial run; resume with: dvbench -app %s -nodes %d -seed %d -resume-checkpoint %s -checkpoint %s\n",
+						r.name, r.nodes, r.seed, path, r.checkpoint)
+				}
+				return cp.Err
+			}
+		}
 	}
 	return nil
 }

@@ -26,7 +26,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/apprt"
 	_ "repro/internal/apps/all"
@@ -151,7 +153,39 @@ func main() {
 		classes = append(classes, fc)
 	}
 
+	// Two-stage signal handling: the first SIGINT/SIGTERM lets the current
+	// run finish, then prints the exact matrix position to restart from; the
+	// second force-quits.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr,
+			"dvcheck: interrupt — finishing current run (signal again to force quit)")
+		close(stop)
+		<-sigc
+		fmt.Fprintln(os.Stderr, "dvcheck: force quit")
+		os.Exit(130)
+	}()
+	stopped := func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
+	netSlug := func(n comm.Net) string {
+		if n == comm.DV {
+			return "dv"
+		}
+		return "ib"
+	}
+
 	runs, failures := 0, 0
+	interrupted := false
+matrix:
 	for _, a := range apps {
 		for _, net := range nets {
 			for _, fc := range classes {
@@ -161,6 +195,19 @@ func main() {
 				}
 				for s := 0; s < *seeds; s++ {
 					seed := *seed0 + uint64(s)
+					if stopped() {
+						hint := fmt.Sprintf("dvcheck -app %s -nets %s -faults %s -seed0 %d -seeds %d",
+							a.Name, netSlug(net), fc.name, seed, *seeds-s)
+						if *cycle {
+							hint += " -cycle"
+						}
+						if *dense {
+							hint += " -dense"
+						}
+						fmt.Fprintf(os.Stderr, "dvcheck: interrupted; resume from here with: %s\n", hint)
+						interrupted = true
+						break matrix
+					}
 					spec := apprt.RunSpec{
 						Net:           net,
 						Nodes:         a.RefNodes,
@@ -206,4 +253,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("dvcheck: %d runs, all invariants held\n", runs)
+	if interrupted {
+		os.Exit(130)
+	}
 }

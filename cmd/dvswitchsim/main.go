@@ -59,6 +59,8 @@ func main() {
 	faultwindow := flag.String("faultwindow", "", "cycle window start:end for link faults (default: whole run)")
 	dense := flag.Bool("dense", false, "step with the dense full-fabric scan instead of the sparse active list (bit-identical; for perf comparison)")
 	metricsPath := flag.String("metrics", "", "write a Prometheus text dump of the run's instruments to this file ('-' for stdout)")
+	budgetWall := flag.Duration("budget-wall", 0,
+		"wall-clock budget; on expiry stop at a cycle boundary and report partial stats (exit 3)")
 	flag.Parse()
 
 	p := dvswitch.Params{Heights: *heights, Angles: *angles}
@@ -95,7 +97,17 @@ func main() {
 	burstLeft := make([]int, ports)
 	hot := ports / 3
 	wall := time.Now()
+	budgetHit := false
+	ranCycles := 0
 	for cy := 0; cy < *cycles; cy++ {
+		// Watchdog: poll the wall budget at cycle granularity so an oversized
+		// run ends at a clean cycle boundary with a partial report, never a
+		// hang or a mid-cycle kill.
+		if *budgetWall > 0 && cy&1023 == 0 && time.Since(wall) > *budgetWall {
+			budgetHit = true
+			break
+		}
+		ranCycles = cy + 1
 		for src := 0; src < ports; src++ {
 			inject := rng.Float64() < *load
 			if *pattern == "bursty" {
@@ -131,6 +143,9 @@ func main() {
 			c.Inject(dvswitch.Packet{Src: src, Dst: dst})
 		}
 		c.Step()
+	}
+	if budgetHit {
+		*cycles = ranCycles
 	}
 	drain := c.RunUntilIdle(1 << 24)
 	elapsed := time.Since(wall)
@@ -177,5 +192,11 @@ func main() {
 		if *metricsPath != "-" {
 			fmt.Printf("  metrics        written to %s\n", *metricsPath)
 		}
+	}
+	if budgetHit {
+		fmt.Fprintf(os.Stderr,
+			"dvswitchsim: wall budget exceeded after %d of the requested injection cycles; stats above are partial\n",
+			ranCycles)
+		os.Exit(3)
 	}
 }

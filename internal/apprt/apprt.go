@@ -61,6 +61,11 @@ type RunSpec struct {
 	// Check enables the invariant layer for the run; results land in
 	// Report.Cluster.Checks. Checking never alters a run's results.
 	Check *check.Config
+	// Checkpoint runs the workload under the managed pump: periodic
+	// full-state snapshots, wall/virtual budgets, and replay-verified
+	// restore (see cluster.Checkpoint). Execute fills in the Net identity
+	// field when empty; apps forward this pointer untouched.
+	Checkpoint *cluster.Checkpoint
 }
 
 // Kernel is one workload's per-node body. It receives the node and the
@@ -105,6 +110,12 @@ func Execute(spec RunSpec, kernel Kernel) Report {
 	cfg.Trace = spec.Trace
 	cfg.Obs = spec.Obs
 	cfg.Check = spec.Check
+	if spec.Checkpoint != nil {
+		if spec.Checkpoint.Net == "" {
+			spec.Checkpoint.Net = spec.Net.String()
+		}
+		cfg.Checkpoint = spec.Checkpoint
+	}
 	rep := Report{Net: spec.Net, Nodes: spec.Nodes}
 	rep.Cluster = cluster.Run(cfg, func(n *cluster.Node) {
 		if d := kernel(n, comm.New(spec.Net, n)); d > rep.Elapsed {

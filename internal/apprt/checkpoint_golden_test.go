@@ -1,0 +1,124 @@
+// Golden guarantee for checkpoint/restore: for every registered workload, on
+// both backends, clean and under fault plans, with the invariant layer live
+// on both sides —
+//
+//	(a) a managed run (periodic snapshot capture under the stepped pump)
+//	    produces results identical to the plain run, and
+//	(b) restore-then-finish from a mid-run snapshot produces results
+//	    identical to run-straight-through.
+//
+// Identity is checked with reflect.DeepEqual over the full Summary including
+// the cluster telemetry Report, which is stronger than comparing the
+// headline numbers: every fabric counter, VIC stat, reliability counter, and
+// invariant-check tally must survive the round trip.
+package apprt_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/apprt"
+	_ "repro/internal/apps/all"
+	"repro/internal/check"
+	"repro/internal/cluster"
+	"repro/internal/comm"
+	"repro/internal/faultplan"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+)
+
+// ckptClass is one fault-plan family of the matrix (a subset of dvcheck's
+// classes: clean, packet loss, and an InfiniBand uplink outage).
+type ckptClass struct {
+	name string
+	plan func(seed uint64) *faultplan.Plan
+}
+
+var ckptClasses = []ckptClass{
+	{"none", func(uint64) *faultplan.Plan { return nil }},
+	{"drop", func(s uint64) *faultplan.Plan {
+		return &faultplan.Plan{Seed: s, DropProb: 1e-3}
+	}},
+	{"flap", func(s uint64) *faultplan.Plan {
+		return &faultplan.Plan{Seed: s, IBFlaps: []faultplan.LinkFlap{
+			{Leaf: int(s % 2), Spine: int(s % 2), Start: 3 * sim.Microsecond, Down: 5 * sim.Microsecond},
+		}}
+	}},
+}
+
+func ckptSpec(a apprt.App, net comm.Net, fc ckptClass) apprt.RunSpec {
+	const seed = 7
+	spec := apprt.RunSpec{Net: net, Nodes: a.RefNodes, Seed: seed, Check: check.All()}
+	if fc.name != "none" {
+		spec.Reliable = true
+		spec.WaitTimeout = 500 * sim.Microsecond
+		spec.Faults = fc.plan(seed)
+	}
+	return spec
+}
+
+func TestCheckpointGoldenMatrix(t *testing.T) {
+	for _, a := range apprt.Apps() {
+		for _, net := range comm.Nets() {
+			for _, fc := range ckptClasses {
+				if fc.name != "none" && !a.Reliable {
+					continue
+				}
+				a, net, fc := a, net, fc
+				t.Run(a.Name+"/"+net.String()+"/"+fc.name, func(t *testing.T) {
+					if testing.Short() && (net != comm.DV || fc.name == "flap") {
+						t.Skip("matrix reduced in -short mode")
+					}
+					base, err := a.Run(ckptSpec(a, net, fc))
+					if err != nil {
+						t.Fatalf("straight run: %v", err)
+					}
+					if res := base.Cluster.Checks; res == nil || !res.Ok() {
+						t.Fatalf("straight-run invariants: %v", res)
+					}
+
+					every := base.Cluster.Elapsed / 4
+					if every == 0 {
+						every = sim.Nanosecond
+					}
+					var snaps []*snapshot.Snapshot
+					spec := ckptSpec(a, net, fc)
+					spec.Checkpoint = &cluster.Checkpoint{App: a.Name, Every: every,
+						Sink: func(s *snapshot.Snapshot) error { snaps = append(snaps, s); return nil }}
+					managed, err := a.Run(spec)
+					if err != nil {
+						t.Fatalf("managed run: %v", err)
+					}
+					if spec.Checkpoint.Err != nil {
+						t.Fatalf("managed run checkpoint error: %v", spec.Checkpoint.Err)
+					}
+					if !reflect.DeepEqual(base, managed) {
+						t.Errorf("managed run result differs from straight run:\n straight: %+v\n managed:  %+v",
+							base, managed)
+					}
+					if len(snaps) == 0 {
+						t.Fatal("managed run captured no snapshots")
+					}
+
+					rspec := ckptSpec(a, net, fc)
+					rspec.Checkpoint = &cluster.Checkpoint{App: a.Name,
+						Resume: snaps[len(snaps)/2]}
+					resumed, err := a.Run(rspec)
+					if err != nil {
+						t.Fatalf("resumed run: %v", err)
+					}
+					if rspec.Checkpoint.Err != nil {
+						t.Fatalf("resume error: %v", rspec.Checkpoint.Err)
+					}
+					if !reflect.DeepEqual(base, resumed) {
+						t.Errorf("restore-then-finish differs from run-straight-through:\n straight: %+v\n resumed:  %+v",
+							base, resumed)
+					}
+					if res := resumed.Cluster.Checks; res == nil || !res.Ok() {
+						t.Fatalf("resumed-run invariants: %v", res)
+					}
+				})
+			}
+		}
+	}
+}

@@ -63,6 +63,9 @@ type Opts struct {
 	WaitTimeout sim.Time
 	// Check enables the invariant layer for the run.
 	Check *check.Config
+	// Checkpoint runs the app under the managed pump — periodic snapshots,
+	// budgets, replay-verified restore (see cluster.Checkpoint).
+	Checkpoint *cluster.Checkpoint
 }
 
 // Result is one measurement.
@@ -99,10 +102,11 @@ func RunOpts(impl Impl, nodes, iters int, opts Opts) Result {
 	errs := 0
 	var total sim.Time
 	rep := apprt.Execute(apprt.RunSpec{
-		Net:    net,
-		Nodes:  nodes,
-		Faults: opts.Faults,
-		Check:  opts.Check,
+		Net:        net,
+		Nodes:      nodes,
+		Faults:     opts.Faults,
+		Check:      opts.Check,
+		Checkpoint: opts.Checkpoint,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		// Each bar() reports whether the barrier completed; a node whose
 		// barrier gave up stops iterating, leaving its progress visible in

@@ -32,6 +32,7 @@ func init() {
 				Faults:      spec.Faults,
 				WaitTimeout: spec.WaitTimeout,
 				Check:       spec.Check,
+				Checkpoint:  spec.Checkpoint,
 			})
 			return apprt.Summary{
 				App: "barrier", Net: spec.Net, Nodes: res.Nodes, Elapsed: res.Latency,

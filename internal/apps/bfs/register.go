@@ -23,6 +23,7 @@ func init() {
 				Seed:          spec.Seed,
 				CycleAccurate: spec.CycleAccurate,
 				Check:         spec.Check,
+				Checkpoint:    spec.Checkpoint,
 			}
 			res := Run(spec.Net, par)
 			var elapsed, edges int64

@@ -48,6 +48,9 @@ type Params struct {
 	IBAdaptive bool
 	// Check enables the invariant layer for the run.
 	Check *check.Config
+	// Checkpoint runs the app under the managed pump — periodic snapshots,
+	// budgets, replay-verified restore (see cluster.Checkpoint).
+	Checkpoint *cluster.Checkpoint
 }
 
 func (p *Params) defaults() {
@@ -138,6 +141,7 @@ func Run(net Net, par Params) Result {
 		CycleAccurate: par.CycleAccurate,
 		IBAdaptive:    par.IBAdaptive,
 		Check:         par.Check,
+		Checkpoint:    par.Checkpoint,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		out, d := runNode(n, be, net, par, n1, n2)
 		if par.KeepResult {

@@ -24,6 +24,7 @@ func init() {
 				CycleAccurate: spec.CycleAccurate,
 				IBAdaptive:    spec.IBAdaptive,
 				Check:         spec.Check,
+				Checkpoint:    spec.Checkpoint,
 			}
 			res := Run(spec.Net, par)
 			ref := SerialReference(par)

@@ -70,6 +70,9 @@ type Params struct {
 	WaitTimeout sim.Time
 	// Check enables the invariant layer for the run.
 	Check *check.Config
+	// Checkpoint runs the app under the managed pump — periodic snapshots,
+	// budgets, replay-verified restore (see cluster.Checkpoint).
+	Checkpoint *cluster.Checkpoint
 }
 
 func (p *Params) defaults() {
@@ -182,6 +185,7 @@ func Run(net Net, par Params) Result {
 		Trace:         par.Trace,
 		Obs:           par.Obs,
 		Check:         par.Check,
+		Checkpoint:    par.Checkpoint,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		table := make([]uint64, par.TableWordsNode)
 		var d sim.Time

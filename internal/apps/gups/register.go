@@ -30,6 +30,7 @@ func init() {
 				Trace:          spec.Trace,
 				Obs:            spec.Obs,
 				Check:          spec.Check,
+				Checkpoint:     spec.Checkpoint,
 			}
 			res := Run(spec.Net, par)
 			return apprt.Summary{

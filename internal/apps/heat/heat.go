@@ -60,6 +60,9 @@ type Params struct {
 	WaitTimeout sim.Time
 	// Check enables the invariant layer for the run.
 	Check *check.Config
+	// Checkpoint runs the app under the managed pump — periodic snapshots,
+	// budgets, replay-verified restore (see cluster.Checkpoint).
+	Checkpoint *cluster.Checkpoint
 }
 
 func (p *Params) defaults() {
@@ -152,6 +155,7 @@ func Run(net Net, par Params) Result {
 		WaitTimeout:   par.WaitTimeout,
 		Faults:        par.Faults,
 		Check:         par.Check,
+		Checkpoint:    par.Checkpoint,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		s := newSolver(n, be, par, px, py, pz)
 		d := s.run(net)

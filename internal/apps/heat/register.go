@@ -27,6 +27,7 @@ func init() {
 				Reliable:      spec.Reliable,
 				WaitTimeout:   spec.WaitTimeout,
 				Check:         spec.Check,
+				Checkpoint:    spec.Checkpoint,
 			}
 			res := Run(spec.Net, par)
 			return apprt.Summary{

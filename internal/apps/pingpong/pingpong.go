@@ -102,6 +102,9 @@ type Params struct {
 	Rails int
 	// Check enables the invariant layer for the run.
 	Check *check.Config
+	// Checkpoint runs the app under the managed pump — periodic snapshots,
+	// budgets, replay-verified restore (see cluster.Checkpoint).
+	Checkpoint *cluster.Checkpoint
 }
 
 // Run measures one configuration on a two-node cluster.
@@ -119,6 +122,7 @@ func Run(mode Mode, par Params) Result {
 		Seed:        par.Seed + 1,
 		VICsPerNode: par.Rails,
 		Check:       par.Check,
+		Checkpoint:  par.Checkpoint,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		var d sim.Time
 		if mode == MPIIB {

@@ -25,6 +25,7 @@ func init() {
 				Seed:          spec.Seed,
 				CycleAccurate: spec.CycleAccurate,
 				Check:         spec.Check,
+				Checkpoint:    spec.Checkpoint,
 			}
 			res := Run(spec.Net, par)
 			return apprt.Summary{

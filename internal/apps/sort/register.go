@@ -23,6 +23,7 @@ func init() {
 				KeepKeys:      true,
 				CycleAccurate: spec.CycleAccurate,
 				Check:         spec.Check,
+				Checkpoint:    spec.Checkpoint,
 			}
 			res := Run(spec.Net, par)
 			var bad, total int

@@ -24,6 +24,7 @@ func init() {
 				KeepVector:    true,
 				CycleAccurate: spec.CycleAccurate,
 				Check:         spec.Check,
+				Checkpoint:    spec.Checkpoint,
 			}
 			res := Run(spec.Net, par)
 			ref := SerialReference(par)

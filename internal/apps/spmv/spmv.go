@@ -55,6 +55,9 @@ type Params struct {
 	CycleAccurate bool
 	// Check enables the invariant layer for the run.
 	Check *check.Config
+	// Checkpoint runs the app under the managed pump — periodic snapshots,
+	// budgets, replay-verified restore (see cluster.Checkpoint).
+	Checkpoint *cluster.Checkpoint
 }
 
 func (p *Params) defaults() {
@@ -208,6 +211,7 @@ func Run(net Net, par Params) Result {
 		Seed:          par.Seed,
 		CycleAccurate: par.CycleAccurate,
 		Check:         par.Check,
+		Checkpoint:    par.Checkpoint,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		elapsed, ghost, x := runNode(n, be, net, par)
 		if n.ID == 0 {

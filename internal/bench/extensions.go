@@ -48,7 +48,7 @@ func ExtSwitchTraffic(opt Options) *Table {
 			pts = append(pts, point{pattern, load})
 		}
 	}
-	for _, row := range Sweep(opt.Jobs, len(pts), func(i int) []string {
+	for _, row := range SweepRows(opt, "extA", len(pts), func(i int) []string {
 		pt := pts[i]
 		st := runTraffic(pt.pattern, pt.load, cycles)
 		thr := float64(st.Delivered) / float64(cycles) / 32
@@ -57,6 +57,9 @@ func ExtSwitchTraffic(opt Options) *Table {
 			fmt.Sprintf("%d", st.LatencyPercentile(99)),
 			fmt.Sprintf("%.2f", st.MeanDeflections())}
 	}) {
+		if row == nil {
+			continue // canceled mid-sweep; finished points are journaled
+		}
 		t.AddRow(row...)
 	}
 	return t
@@ -130,7 +133,7 @@ func ExtScale(opt Options) *Table {
 	if opt.Small {
 		cycles = 2000
 	}
-	for _, row := range Sweep(opt.Jobs, len(heights), func(i int) []string {
+	for _, row := range SweepRows(opt, "extB", len(heights), func(i int) []string {
 		h := heights[i]
 		p := dvswitch.Params{Heights: h, Angles: 4}
 		c := dvswitch.NewCore(p)
@@ -151,6 +154,9 @@ func ExtScale(opt Options) *Table {
 			fmt.Sprintf("%.1f", st.MeanLatency()),
 			fmt.Sprintf("%.3f", float64(st.Delivered)/float64(cycles)/float64(ports))}
 	}) {
+		if row == nil {
+			continue // canceled mid-sweep; finished points are journaled
+		}
 		t.AddRow(row...)
 	}
 	return t
@@ -209,7 +215,7 @@ func ExtScaleApps(opt Options) *Table {
 	if opt.Small {
 		counts = []int{8, 16}
 	}
-	for _, row := range Sweep(opt.Jobs, 2*len(counts), func(i int) []string {
+	for _, row := range SweepRows(opt, "extD", 2*len(counts), func(i int) []string {
 		n := counts[i%len(counts)]
 		if i < len(counts) {
 			par := gups.Params{Nodes: n, TableWordsNode: 1 << 14, UpdatesPerNode: 1 << 12}
@@ -227,6 +233,9 @@ func ExtScaleApps(opt Options) *Table {
 			fmt.Sprintf("%.1f", ib.HarmonicMeanTEPS()/1e6),
 			fmt.Sprintf("%.2fx", dv.HarmonicMeanTEPS()/ib.HarmonicMeanTEPS())}
 	}) {
+		if row == nil {
+			continue // canceled mid-sweep; finished points are journaled
+		}
 		t.AddRow(row...)
 	}
 	return t
@@ -352,7 +361,7 @@ func ExtFaults(opt Options) *Table {
 		cycles = 1500
 	}
 	deads := []int{0, 1, 2, 4, 8}
-	for _, row := range Sweep(opt.Jobs, len(deads), func(i int) []string {
+	for _, row := range SweepRows(opt, "extH", len(deads), func(i int) []string {
 		dead := deads[i]
 		p := dvswitch.Params{Heights: 8, Angles: 4}
 		c := dvswitch.NewCore(p)
@@ -381,6 +390,9 @@ func ExtFaults(opt Options) *Table {
 			fmt.Sprintf("%.1f", st.MeanLatency()),
 			fmt.Sprintf("%d", st.LatencyPercentile(99))}
 	}) {
+		if row == nil {
+			continue // canceled mid-sweep; finished points are journaled
+		}
 		t.AddRow(row...)
 	}
 	return t
@@ -524,7 +536,7 @@ func ExtProvisioning(opt Options) *Table {
 		cycles = 2000
 	}
 	hs := []int{8, 16, 32}
-	for _, row := range Sweep(opt.Jobs, len(hs), func(i int) []string {
+	for _, row := range SweepRows(opt, "extL", len(hs), func(i int) []string {
 		p := dvswitch.Params{Heights: hs[i], Angles: 4}
 		c := dvswitch.NewCore(p)
 		c.Deliver = func(dvswitch.Packet, int64) {}
@@ -547,6 +559,9 @@ func ExtProvisioning(opt Options) *Table {
 			fmt.Sprintf("%.1f", st.MeanLatency()),
 			fmt.Sprintf("%d", st.LatencyPercentile(99))}
 	}) {
+		if row == nil {
+			continue // canceled mid-sweep; finished points are journaled
+		}
 		t.AddRow(row...)
 	}
 	return t

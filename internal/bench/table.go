@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -104,6 +105,13 @@ type Options struct {
 	// over (see Sweep). 0 or 1 means serial; values above runtime.NumCPU()
 	// are clamped. Results are identical at any setting.
 	Jobs int
+	// Journal, when non-nil, makes sweeps crash-resumable: each completed
+	// point and experiment is persisted before moving on, and a re-run with
+	// the same journal recomputes only what is missing (see Journal).
+	Journal *Journal
+	// Ctx, when non-nil, cancels sweeps cooperatively: once done, workers
+	// stop starting new points (in-flight points finish and are journaled).
+	Ctx context.Context
 }
 
 // nodeSweep returns the node counts of the paper's scaling figures.

@@ -111,6 +111,15 @@ type Config struct {
 	// in Report.Checks. Checking is pure observation and never changes a
 	// run's results.
 	Check *check.Config
+
+	// Checkpoint, when non-nil, runs the simulation under the managed pump:
+	// periodic full-state snapshots at every Checkpoint.Every of virtual
+	// time, wall-clock and virtual-time budgets that end the run with a
+	// final checkpoint and a partial Report instead of hanging, and
+	// replay-verified restore from a prior snapshot. A managed run fires
+	// exactly the event sequence an unmanaged run fires, so Reports are
+	// byte-identical. Outcome fields of the struct are filled in by Run.
+	Checkpoint *Checkpoint
 }
 
 // DefaultConfig returns the calibrated testbed configuration for n nodes
@@ -228,6 +237,12 @@ type Report struct {
 	// Omitted from JSON when checking was off so pinned golden reports are
 	// unchanged by the field's existence.
 	Checks *check.Result `json:",omitempty"`
+
+	// Partial marks a report cut short by a checkpoint budget
+	// (Config.Checkpoint.WallBudget / VirtualBudget): Elapsed is the virtual
+	// time reached, fabric telemetry reflects work done so far, and Checks
+	// is omitted (end-of-run invariants are meaningless mid-flight).
+	Partial bool `json:",omitempty"`
 }
 
 // Run executes body SPMD-style on every node and returns the report.
@@ -271,6 +286,8 @@ func Run(cfg Config, body func(n *Node)) *Report {
 		rails = 1
 	}
 	var fabric dvswitch.Fabric
+	var eng *dvswitch.Engine
+	var fm *dvswitch.FastModel
 	var vics []*vic.VIC
 	var stride int
 	if cfg.Stacks&StackDV != 0 {
@@ -284,7 +301,7 @@ func Run(cfg Config, body func(n *Node)) *Report {
 			ct = dvswitch.DefaultCycleTime
 		}
 		if cfg.CycleAccurate {
-			eng := dvswitch.NewEngine(k, geom, ct)
+			eng = dvswitch.NewEngine(k, geom, ct)
 			if cfg.DenseSwitch {
 				eng.Core().Dense = true
 			}
@@ -307,7 +324,7 @@ func Run(cfg Config, body func(n *Node)) *Report {
 				}
 			}
 		} else {
-			fm := dvswitch.NewFastModel(k, geom, ct, rng.Split())
+			fm = dvswitch.NewFastModel(k, geom, ct, rng.Split())
 			fm.ApplyPlan(cfg.Faults)
 			fm.SetObs(reg)
 			if chk != nil {
@@ -472,9 +489,11 @@ func Run(cfg Config, body func(n *Node)) *Report {
 
 	rep := &Report{NodeTimes: make([]sim.Time, cfg.Nodes)}
 	endpoints := make([][]*dv.Endpoint, cfg.Nodes)
+	nodeRNGs := make([]*sim.RNG, 0, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		i := i
 		nodeRNG := rng.Split()
+		nodeRNGs = append(nodeRNGs, nodeRNG)
 		k.Spawn(fmt.Sprintf("node%d", i), func(p *sim.Proc) {
 			n := &Node{ID: i, P: p, RNG: nodeRNG, CPU: cfg.CPU, Trace: cfg.Trace, met: met}
 			if vics != nil {
@@ -507,7 +526,16 @@ func Run(cfg Config, body func(n *Node)) *Report {
 		})
 	}
 	sampler.Start()
-	k.Run()
+	if cfg.Checkpoint != nil {
+		st := &runState{
+			k: k, cfg: &cfg, rootRNG: rng, nodeRNGs: nodeRNGs,
+			eng: eng, fm: fm, vics: vics, world: world, ends: endpoints,
+			reg: reg, sampler: sampler,
+		}
+		rep.Partial = st.runManaged()
+	} else {
+		k.Run()
+	}
 	// Final forced sample: the end-of-run row carries the exact cumulative
 	// totals, so the JSONL series closes on the same numbers as the Report.
 	sampler.SampleNow()
@@ -536,7 +564,12 @@ func Run(cfg Config, body func(n *Node)) *Report {
 		}
 		rep.Metrics = &obs.Metrics{Registry: reg, Series: sampler.Series(), Packets: packets}
 	}
-	if chk != nil {
+	if rep.Partial {
+		// The run was cut mid-flight: nodes have not finished, so Elapsed is
+		// the virtual time reached, and end-of-run invariants (conservation
+		// with packets still in flight) cannot be finalized.
+		rep.Elapsed = k.Now()
+	} else if chk != nil {
 		rep.Checks = chk.Finalize()
 	}
 	return rep

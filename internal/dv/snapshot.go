@@ -1,0 +1,34 @@
+// Checkpoint capture for the dv endpoint: symmetric allocator cursors plus
+// the reliable-delivery layer's sequence numbers, scratch carve, barrier
+// epoch, and telemetry — the retransmit state a resumed run must agree on
+// for exactly-once delivery to keep holding across the restore.
+
+package dv
+
+import "repro/internal/snapshot"
+
+// SnapshotTo serialises the endpoint's mutable state. In-flight chunk
+// verification is driven by the owning node's goroutine and is re-created by
+// deterministic replay; the per-destination sequence numbers and the scratch
+// layout captured here are what make the replayed retransmit protocol land
+// on identical wire traffic.
+func (e *Endpoint) SnapshotTo(enc *snapshot.Encoder) {
+	enc.U32(e.heapNext)
+	enc.Int(e.gcNext)
+	enc.Bool(e.rel != nil)
+	if e.rel == nil {
+		return
+	}
+	r := e.rel
+	enc.U32(r.limit)
+	enc.U32(r.verifyBase)
+	enc.U32(r.seqBase)
+	enc.U32(r.flagBase)
+	enc.U64s(r.seq)
+	enc.U64(r.epoch)
+	enc.I64(r.st.Writes)
+	enc.I64(r.st.Retransmits)
+	enc.I64(r.st.RetryRounds)
+	enc.I64(r.st.Failures)
+	enc.Time(r.st.RecoveryTime)
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"slices"
 )
 
 // event is a scheduled callback. Events at equal times fire in scheduling
@@ -263,6 +264,101 @@ func (k *Kernel) RunUntil(limit Time) Time {
 		k.now = e.at
 		k.fire(e)
 	}
+	return k.now
+}
+
+// RunUntilN is RunUntil with an event budget: it fires at most n events with
+// timestamps <= limit and returns how many it fired. A zero return means no
+// eligible event remains (the limit is reached, or only daemons survive).
+// The checkpoint layer uses it to poll a wall-clock budget between bounded
+// batches of work without giving up the deterministic event order.
+func (k *Kernel) RunUntilN(limit Time, n int) int {
+	fired := 0
+	for fired < n && k.nUser > 0 && k.events.Len() > 0 && k.events[0].at <= limit {
+		e := heap.Pop(&k.events).(*event)
+		k.now = e.at
+		k.fire(e)
+		fired++
+	}
+	return fired
+}
+
+// PendingUser returns the number of queued non-daemon events: zero means a
+// stepped run (RunUntil/RunUntilN) has finished all real work.
+func (k *Kernel) PendingUser() int { return k.nUser }
+
+// NextUserEvent returns the timestamp of the earliest queued non-daemon
+// event, and whether one exists. The checkpoint layer uses it to fast-forward
+// across idle stretches of the boundary grid.
+func (k *Kernel) NextUserEvent() (Time, bool) {
+	best, found := Time(0), false
+	for _, e := range k.events {
+		if e.daemon {
+			continue
+		}
+		if !found || e.at < best {
+			best, found = e.at, true
+		}
+	}
+	return best, found
+}
+
+// QueueFingerprint digests the pending event queue — each event's (at, seq,
+// daemon) triple in canonical (at, seq) order — into an FNV-1a hash, plus the
+// queue length. Event callbacks are closures and cannot be serialized;
+// because event sequence numbers are assigned deterministically, the
+// fingerprint still pins the queue's identity across a deterministic replay.
+func (k *Kernel) QueueFingerprint() (n int, fp uint64) {
+	evs := make([]*event, len(k.events))
+	copy(evs, k.events)
+	slices.SortFunc(evs, func(a, b *event) int {
+		if a.at != b.at {
+			if a.at < b.at {
+				return -1
+			}
+			return 1
+		}
+		if a.seq != b.seq {
+			if a.seq < b.seq {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	fp = offset64
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			fp ^= v & 0xff
+			fp *= prime64
+			v >>= 8
+		}
+	}
+	for _, e := range evs {
+		mix(uint64(e.at))
+		mix(e.seq)
+		if e.daemon {
+			mix(1)
+		} else {
+			mix(0)
+		}
+	}
+	return len(evs), fp
+}
+
+// Finish ends a stepped run: any still-queued events (user and daemon alike)
+// are discarded unfired and every parked process is aborted so its goroutine
+// exits. After Finish the kernel must not be pumped again. Callers must have
+// pumped at least one batch of events first (Spawn creates process goroutines
+// lazily inside a time-zero event; draining before that event has fired would
+// abort a process that never started).
+func (k *Kernel) Finish() Time {
+	k.discardDaemons()
+	k.drain()
 	return k.now
 }
 

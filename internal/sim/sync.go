@@ -127,6 +127,11 @@ func (q *Queue[T]) TryPop() (T, bool) {
 	return v, true
 }
 
+// Snapshot returns a copy of the queued items, head first (checkpointing).
+func (q *Queue[T]) Snapshot() []T {
+	return append([]T(nil), q.items...)
+}
+
 // Pop blocks p until an item is available, then removes and returns it.
 func (q *Queue[T]) Pop(p *Proc) T {
 	for {

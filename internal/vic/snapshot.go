@@ -1,0 +1,65 @@
+// Checkpoint capture for the VIC: DV Memory, group counters, the surprise
+// FIFO and host ring, PCIe/DMA link occupancy, and telemetry. DV Memory is
+// walked in ascending page order; pages materialise deterministically on
+// first touch, so the page set (not just its contents) replays exactly.
+
+package vic
+
+import (
+	"sort"
+
+	"repro/internal/snapshot"
+)
+
+// SnapshotTo serialises the VIC's complete mutable state. Parked host
+// processes (WaitGCZero waiters and host-FIFO poppers) are goroutine state
+// re-created by deterministic replay; only their counts are captured, as a
+// cross-check.
+func (v *VIC) SnapshotTo(e *snapshot.Encoder) {
+	// DV Memory: word count plus every materialised page, ascending.
+	e.Int(v.mem.words)
+	ids := make([]uint32, 0, len(v.mem.pages))
+	for id := range v.mem.pages {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	e.U32(uint32(len(ids)))
+	for _, id := range ids {
+		e.U32(id)
+		for _, w := range v.mem.pages[id] {
+			e.U64(w)
+		}
+	}
+	// Group counters, zero-notification state, and parked waiter counts.
+	e.I64s(v.gc)
+	for i := range v.gcZeroed {
+		e.Bool(v.gcZeroed[i])
+	}
+	for i := range v.gcGate {
+		e.Int(v.gcGate[i].Waiters())
+	}
+	// Surprise FIFO (on-VIC) and host ring buffer.
+	e.U64s(v.fifo)
+	e.U64s(v.hostFIFO.Snapshot())
+	e.Bool(v.drainArmed)
+	// PCIe lanes and DMA engines.
+	e.Time(v.pioWr.BusyUntil())
+	e.Time(v.pioWr.Busy)
+	e.Time(v.pioRd.BusyUntil())
+	e.Time(v.pioRd.Busy)
+	e.Time(v.dmaIn.BusyUntil())
+	e.Time(v.dmaIn.Busy)
+	e.Time(v.dmaOut.BusyUntil())
+	e.Time(v.dmaOut.Busy)
+	e.Int(v.barrierN)
+	// Telemetry.
+	e.I64(v.st.PktsSent)
+	e.I64(v.st.PktsReceived)
+	e.I64(v.st.PCIeBytesOut)
+	e.I64(v.st.PCIeBytesIn)
+	e.I64(v.st.FIFOPkts)
+	e.I64(v.st.FIFODropped)
+	e.I64(v.st.Barriers)
+	e.I64(v.st.CorruptDropped)
+	e.I64(v.st.DMAStalls)
+}
