@@ -1,0 +1,128 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMannWhitneyExactSeparated(t *testing.T) {
+	// Fully separated groups of 3: the observed assignment and its mirror
+	// are the only ones as extreme, so p = 2/C(6,3) = 0.1 exactly.
+	p := mannWhitneyP([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if math.Abs(p-0.1) > 1e-12 {
+		t.Fatalf("p = %v, want 0.1", p)
+	}
+	// count=6 fully separated: p = 2/C(12,6) = 2/924.
+	p = mannWhitneyP([]float64{1, 2, 3, 4, 5, 6}, []float64{7, 8, 9, 10, 11, 12})
+	if math.Abs(p-2.0/924) > 1e-12 {
+		t.Fatalf("p = %v, want %v", p, 2.0/924)
+	}
+}
+
+func TestMannWhitneyTiesAndSymmetry(t *testing.T) {
+	a := []float64{1, 1, 2, 3}
+	b := []float64{1, 2, 2, 3}
+	pab, pba := mannWhitneyP(a, b), mannWhitneyP(b, a)
+	if pab != pba {
+		t.Fatalf("asymmetric: p(a,b)=%v p(b,a)=%v", pab, pba)
+	}
+	if pab <= 0 || pab > 1 {
+		t.Fatalf("p out of range: %v", pab)
+	}
+	if p := mannWhitneyP([]float64{5, 5, 5}, []float64{5, 5, 5}); p != 1 {
+		t.Fatalf("identical samples: p = %v, want 1", p)
+	}
+}
+
+const benchTextOld = `goos: linux
+goarch: amd64
+pkg: repro/internal/dvswitch
+cpu: test cpu
+BenchmarkFoo 	 1000	 100.0 ns/op	 0 B/op	 0 allocs/op
+BenchmarkFoo 	 1000	 101.0 ns/op	 0 B/op	 0 allocs/op
+BenchmarkFoo 	 1000	 102.0 ns/op	 0 B/op	 0 allocs/op
+BenchmarkFoo 	 1000	 100.5 ns/op	 0 B/op	 0 allocs/op
+BenchmarkFoo 	 1000	 101.5 ns/op	 0 B/op	 0 allocs/op
+BenchmarkFoo 	 1000	 100.2 ns/op	 0 B/op	 0 allocs/op
+PASS
+`
+
+func writeBaseline(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := emitBenchJSON(strings.NewReader(benchTextOld), path, "test baseline"); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func freshText(ns string, allocs string) string {
+	var sb strings.Builder
+	for i := 0; i < 6; i++ {
+		sb.WriteString("BenchmarkFoo-4 \t 1000\t " + ns + " ns/op\t 0 B/op\t " + allocs + " allocs/op\n")
+	}
+	return sb.String()
+}
+
+func TestBenchGateVerdicts(t *testing.T) {
+	base := writeBaseline(t)
+	cases := []struct {
+		name   string
+		text   string
+		failed bool
+	}{
+		{"regression", freshText("150.0", "0"), true},
+		{"alloc regression", freshText("100.0", "2"), true},
+		{"improvement", freshText("50.0", "0"), false},
+		{"unchanged", benchTextOld, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			failed, err := runBenchGate(strings.NewReader(tc.text), base, 0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if failed != tc.failed {
+				t.Fatalf("failed = %v, want %v", failed, tc.failed)
+			}
+		})
+	}
+}
+
+func TestBenchGateTooFewSamples(t *testing.T) {
+	// 2-a-side can never reach alpha=0.05 exactly; the gate must not claim
+	// significance (and must not fail) on pure ns/op movement.
+	base := writeBaseline(t)
+	two := "BenchmarkFoo \t 10\t 500.0 ns/op\t 0 B/op\t 0 allocs/op\n" +
+		"BenchmarkFoo \t 10\t 501.0 ns/op\t 0 B/op\t 0 allocs/op\n"
+	failed, err := runBenchGate(strings.NewReader(two), base, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatal("gate failed on a sample count that cannot reach significance")
+	}
+}
+
+func TestEmitBenchJSONRoundTrip(t *testing.T) {
+	path := writeBaseline(t)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"note": "test baseline"`, `"cores":`, `"BenchmarkFoo"`, `"ns_per_op": 100.87`} {
+		if !strings.Contains(string(buf), want) {
+			t.Fatalf("baseline missing %q:\n%s", want, buf)
+		}
+	}
+	samples, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples["BenchmarkFoo"]) != 6 {
+		t.Fatalf("raw round trip lost samples: %d", len(samples["BenchmarkFoo"]))
+	}
+}

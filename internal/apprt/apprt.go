@@ -42,6 +42,10 @@ type RunSpec struct {
 	// DenseSwitch selects the dense full-fabric scan of the cycle-accurate
 	// core (cross-checking knob; bit-identical to the sparse stepper).
 	DenseSwitch bool
+	// ScalarBoundary routes VIC traffic over the legacy one-event-per-packet
+	// inject/eject boundary (cross-checking knob; bit-identical to the
+	// batched pipeline).
+	ScalarBoundary bool
 	// VICsPerNode attaches multiple Data Vortex rails per node.
 	VICsPerNode int
 	// IBAdaptive enables adaptive fat-tree routing for the MPI stack.
@@ -104,6 +108,7 @@ func Execute(spec RunSpec, kernel Kernel) Report {
 	cfg.Stacks = spec.Net.Stacks()
 	cfg.CycleAccurate = spec.CycleAccurate
 	cfg.DenseSwitch = spec.DenseSwitch
+	cfg.ScalarBoundary = spec.ScalarBoundary
 	cfg.VICsPerNode = spec.VICsPerNode
 	cfg.IB.Adaptive = spec.IBAdaptive
 	cfg.Faults = spec.Faults

@@ -1,0 +1,45 @@
+// End-to-end workload benchmarks at the conformance reference size: one
+// full harness run per iteration (cluster construction, SPMD kernels, fabric
+// traffic, report assembly). These are the numbers the VIC↔switch boundary
+// batching is judged by — microbenchmarks prove the seam is cheap, these
+// prove the win survives a whole irregular application.
+
+package apprt_test
+
+import (
+	"testing"
+
+	"repro/internal/apprt"
+	_ "repro/internal/apps/all"
+	"repro/internal/comm"
+)
+
+func benchApp(b *testing.B, name string, scalar bool) {
+	a, ok := apprt.Get(name)
+	if !ok {
+		b.Fatalf("%s not registered", name)
+	}
+	spec := confSpec(a, comm.DV, false)
+	spec.ScalarBoundary = scalar
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := a.Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppGUPS runs GUPS at its reference size on the Data Vortex
+// backend over the batched boundary (the default).
+func BenchmarkAppGUPS(b *testing.B) { benchApp(b, "gups", false) }
+
+// BenchmarkAppGUPSScalar is the same run over the legacy scalar boundary,
+// so the end-to-end effect of batching is one benchstat diff away.
+func BenchmarkAppGUPSScalar(b *testing.B) { benchApp(b, "gups", true) }
+
+// BenchmarkAppBFS runs BFS at its reference size (batched boundary).
+func BenchmarkAppBFS(b *testing.B) { benchApp(b, "bfs", false) }
+
+// BenchmarkAppBFSScalar is the scalar-boundary baseline for BFS.
+func BenchmarkAppBFSScalar(b *testing.B) { benchApp(b, "bfs", true) }

@@ -61,6 +61,9 @@ type Opts struct {
 	// forever and the run ends when the event queue drains, which Completed
 	// likewise exposes.
 	WaitTimeout sim.Time
+	// ScalarBoundary selects the legacy one-event-per-packet VIC boundary
+	// (cross-checking knob; bit-identical to the batched default).
+	ScalarBoundary bool
 	// Check enables the invariant layer for the run.
 	Check *check.Config
 	// Checkpoint runs the app under the managed pump — periodic snapshots,
@@ -102,11 +105,12 @@ func RunOpts(impl Impl, nodes, iters int, opts Opts) Result {
 	errs := 0
 	var total sim.Time
 	rep := apprt.Execute(apprt.RunSpec{
-		Net:        net,
-		Nodes:      nodes,
-		Faults:     opts.Faults,
-		Check:      opts.Check,
-		Checkpoint: opts.Checkpoint,
+		Net:            net,
+		Nodes:          nodes,
+		ScalarBoundary: opts.ScalarBoundary,
+		Faults:         opts.Faults,
+		Check:          opts.Check,
+		Checkpoint:     opts.Checkpoint,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		// Each bar() reports whether the barrier completed; a node whose
 		// barrier gave up stops iterating, leaving its progress visible in

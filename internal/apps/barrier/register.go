@@ -29,10 +29,11 @@ func init() {
 				impl = DVReliable
 			}
 			res := RunOpts(impl, spec.Nodes, 20, Opts{
-				Faults:      spec.Faults,
-				WaitTimeout: spec.WaitTimeout,
-				Check:       spec.Check,
-				Checkpoint:  spec.Checkpoint,
+				Faults:         spec.Faults,
+				WaitTimeout:    spec.WaitTimeout,
+				ScalarBoundary: spec.ScalarBoundary,
+				Check:          spec.Check,
+				Checkpoint:     spec.Checkpoint,
 			})
 			return apprt.Summary{
 				App: "barrier", Net: spec.Net, Nodes: res.Nodes, Elapsed: res.Latency,

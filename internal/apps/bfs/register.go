@@ -17,13 +17,14 @@ func init() {
 		RefNodes: 4,
 		Run: func(spec apprt.RunSpec) (apprt.Summary, error) {
 			par := Params{
-				Nodes:         spec.Nodes,
-				Scale:         8,
-				NRoots:        2,
-				Seed:          spec.Seed,
-				CycleAccurate: spec.CycleAccurate,
-				Check:         spec.Check,
-				Checkpoint:    spec.Checkpoint,
+				Nodes:          spec.Nodes,
+				Scale:          8,
+				NRoots:         2,
+				Seed:           spec.Seed,
+				CycleAccurate:  spec.CycleAccurate,
+				ScalarBoundary: spec.ScalarBoundary,
+				Check:          spec.Check,
+				Checkpoint:     spec.Checkpoint,
 			}
 			res := Run(spec.Net, par)
 			var elapsed, edges int64

@@ -44,6 +44,9 @@ type Params struct {
 	KeepResult bool
 	// CycleAccurate routes packets through the cycle-level switch.
 	CycleAccurate bool
+	// ScalarBoundary selects the legacy one-event-per-packet VIC boundary
+	// (cross-checking knob; bit-identical to the batched default).
+	ScalarBoundary bool
 	// IBAdaptive enables adaptive fat-tree routing for the MPI variant.
 	IBAdaptive bool
 	// Check enables the invariant layer for the run.
@@ -135,13 +138,14 @@ func Run(net Net, par Params) Result {
 		rows = make([][]complex128, par.Nodes)
 	}
 	rep := apprt.Execute(apprt.RunSpec{
-		Net:           net,
-		Nodes:         par.Nodes,
-		Seed:          par.Seed,
-		CycleAccurate: par.CycleAccurate,
-		IBAdaptive:    par.IBAdaptive,
-		Check:         par.Check,
-		Checkpoint:    par.Checkpoint,
+		Net:            net,
+		Nodes:          par.Nodes,
+		Seed:           par.Seed,
+		CycleAccurate:  par.CycleAccurate,
+		ScalarBoundary: par.ScalarBoundary,
+		IBAdaptive:     par.IBAdaptive,
+		Check:          par.Check,
+		Checkpoint:     par.Checkpoint,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		out, d := runNode(n, be, net, par, n1, n2)
 		if par.KeepResult {

@@ -17,14 +17,15 @@ func init() {
 		RefNodes: 4,
 		Run: func(spec apprt.RunSpec) (apprt.Summary, error) {
 			par := Params{
-				Nodes:         spec.Nodes,
-				LogN:          10,
-				Seed:          spec.Seed,
-				KeepResult:    true,
-				CycleAccurate: spec.CycleAccurate,
-				IBAdaptive:    spec.IBAdaptive,
-				Check:         spec.Check,
-				Checkpoint:    spec.Checkpoint,
+				Nodes:          spec.Nodes,
+				LogN:           10,
+				Seed:           spec.Seed,
+				KeepResult:     true,
+				CycleAccurate:  spec.CycleAccurate,
+				ScalarBoundary: spec.ScalarBoundary,
+				IBAdaptive:     spec.IBAdaptive,
+				Check:          spec.Check,
+				Checkpoint:     spec.Checkpoint,
 			}
 			res := Run(spec.Net, par)
 			ref := SerialReference(par)

@@ -50,6 +50,9 @@ type Params struct {
 	KeepTables bool
 	// CycleAccurate routes packets through the cycle-level switch.
 	CycleAccurate bool
+	// ScalarBoundary selects the legacy one-event-per-packet VIC boundary
+	// (cross-checking knob; bit-identical to the batched default).
+	ScalarBoundary bool
 	// Trace records execution states and messages (Figure 5).
 	Trace *trace.Recorder
 	// Obs enables the unified metrics layer for the run (series sampler,
@@ -174,18 +177,19 @@ func Run(net Net, par Params) Result {
 	}
 	var sentRemote, drained int64
 	rep := apprt.Execute(apprt.RunSpec{
-		Net:           net,
-		Nodes:         par.Nodes,
-		Seed:          par.Seed,
-		CycleAccurate: par.CycleAccurate,
-		IBAdaptive:    par.IBAdaptive,
-		Reliable:      par.Reliable,
-		WaitTimeout:   par.WaitTimeout,
-		Faults:        par.Faults,
-		Trace:         par.Trace,
-		Obs:           par.Obs,
-		Check:         par.Check,
-		Checkpoint:    par.Checkpoint,
+		Net:            net,
+		Nodes:          par.Nodes,
+		Seed:           par.Seed,
+		CycleAccurate:  par.CycleAccurate,
+		ScalarBoundary: par.ScalarBoundary,
+		IBAdaptive:     par.IBAdaptive,
+		Reliable:       par.Reliable,
+		WaitTimeout:    par.WaitTimeout,
+		Faults:         par.Faults,
+		Trace:          par.Trace,
+		Obs:            par.Obs,
+		Check:          par.Check,
+		Checkpoint:     par.Checkpoint,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		table := make([]uint64, par.TableWordsNode)
 		var d sim.Time

@@ -23,6 +23,7 @@ func init() {
 				Seed:           spec.Seed,
 				KeepTables:     true,
 				CycleAccurate:  spec.CycleAccurate,
+				ScalarBoundary: spec.ScalarBoundary,
 				IBAdaptive:     spec.IBAdaptive,
 				Faults:         spec.Faults,
 				Reliable:       spec.Reliable,

@@ -48,6 +48,9 @@ type Params struct {
 	KeepField bool
 	// CycleAccurate routes packets through the cycle-level switch.
 	CycleAccurate bool
+	// ScalarBoundary selects the legacy one-event-per-packet VIC boundary
+	// (cross-checking knob; bit-identical to the batched default).
+	ScalarBoundary bool
 
 	// Faults injects a fault plan into the run's fabrics (Ext N).
 	Faults *faultplan.Plan
@@ -147,15 +150,16 @@ func Run(net Net, par Params) Result {
 		res.Field = make([]float64, par.N*par.N*par.N)
 	}
 	rep := apprt.Execute(apprt.RunSpec{
-		Net:           net,
-		Nodes:         par.Nodes,
-		Seed:          par.Seed,
-		CycleAccurate: par.CycleAccurate,
-		Reliable:      par.Reliable,
-		WaitTimeout:   par.WaitTimeout,
-		Faults:        par.Faults,
-		Check:         par.Check,
-		Checkpoint:    par.Checkpoint,
+		Net:            net,
+		Nodes:          par.Nodes,
+		Seed:           par.Seed,
+		CycleAccurate:  par.CycleAccurate,
+		ScalarBoundary: par.ScalarBoundary,
+		Reliable:       par.Reliable,
+		WaitTimeout:    par.WaitTimeout,
+		Faults:         par.Faults,
+		Check:          par.Check,
+		Checkpoint:     par.Checkpoint,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		s := newSolver(n, be, par, px, py, pz)
 		d := s.run(net)

@@ -17,17 +17,18 @@ func init() {
 		Reliable: true,
 		Run: func(spec apprt.RunSpec) (apprt.Summary, error) {
 			par := Params{
-				Nodes:         spec.Nodes,
-				N:             12,
-				Steps:         6,
-				Seed:          spec.Seed,
-				KeepField:     true,
-				CycleAccurate: spec.CycleAccurate,
-				Faults:        spec.Faults,
-				Reliable:      spec.Reliable,
-				WaitTimeout:   spec.WaitTimeout,
-				Check:         spec.Check,
-				Checkpoint:    spec.Checkpoint,
+				Nodes:          spec.Nodes,
+				N:              12,
+				Steps:          6,
+				Seed:           spec.Seed,
+				KeepField:      true,
+				CycleAccurate:  spec.CycleAccurate,
+				ScalarBoundary: spec.ScalarBoundary,
+				Faults:         spec.Faults,
+				Reliable:       spec.Reliable,
+				WaitTimeout:    spec.WaitTimeout,
+				Check:          spec.Check,
+				Checkpoint:     spec.Checkpoint,
 			}
 			res := Run(spec.Net, par)
 			return apprt.Summary{

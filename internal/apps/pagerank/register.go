@@ -16,13 +16,14 @@ func init() {
 		RefNodes: 4,
 		Run: func(spec apprt.RunSpec) (apprt.Summary, error) {
 			par := Params{
-				Nodes:         spec.Nodes,
-				Scale:         8,
-				MaxIters:      8,
-				Seed:          spec.Seed,
-				CycleAccurate: spec.CycleAccurate,
-				Check:         spec.Check,
-				Checkpoint:    spec.Checkpoint,
+				Nodes:          spec.Nodes,
+				Scale:          8,
+				MaxIters:       8,
+				Seed:           spec.Seed,
+				CycleAccurate:  spec.CycleAccurate,
+				ScalarBoundary: spec.ScalarBoundary,
+				Check:          spec.Check,
+				Checkpoint:     spec.Checkpoint,
 			}
 			res := Run(spec.Net, par)
 			return apprt.Summary{

@@ -100,6 +100,9 @@ type Params struct {
 	// Rails stripes the transfer across multiple VICs per node (multi-rail
 	// Data Vortex; the paper notes nodes carry "at least one" VIC).
 	Rails int
+	// ScalarBoundary selects the legacy one-event-per-packet VIC boundary
+	// (cross-checking knob; bit-identical to the batched default).
+	ScalarBoundary bool
 	// Check enables the invariant layer for the run.
 	Check *check.Config
 	// Checkpoint runs the app under the managed pump — periodic snapshots,
@@ -117,12 +120,13 @@ func Run(mode Mode, par Params) Result {
 	}
 	var total sim.Time
 	rep := apprt.Execute(apprt.RunSpec{
-		Net:         mode.net(),
-		Nodes:       2,
-		Seed:        par.Seed + 1,
-		VICsPerNode: par.Rails,
-		Check:       par.Check,
-		Checkpoint:  par.Checkpoint,
+		Net:            mode.net(),
+		Nodes:          2,
+		Seed:           par.Seed + 1,
+		VICsPerNode:    par.Rails,
+		ScalarBoundary: par.ScalarBoundary,
+		Check:          par.Check,
+		Checkpoint:     par.Checkpoint,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		var d sim.Time
 		if mode == MPIIB {

@@ -16,16 +16,17 @@ func init() {
 		RefNodes: 4,
 		Run: func(spec apprt.RunSpec) (apprt.Summary, error) {
 			par := Params{
-				Nodes:         spec.Nodes,
-				NX:            8,
-				NY:            8,
-				NZ:            8,
-				ChunkX:        4,
-				MaxIters:      6,
-				Seed:          spec.Seed,
-				CycleAccurate: spec.CycleAccurate,
-				Check:         spec.Check,
-				Checkpoint:    spec.Checkpoint,
+				Nodes:          spec.Nodes,
+				NX:             8,
+				NY:             8,
+				NZ:             8,
+				ChunkX:         4,
+				MaxIters:       6,
+				Seed:           spec.Seed,
+				CycleAccurate:  spec.CycleAccurate,
+				ScalarBoundary: spec.ScalarBoundary,
+				Check:          spec.Check,
+				Checkpoint:     spec.Checkpoint,
 			}
 			res := Run(spec.Net, par)
 			return apprt.Summary{

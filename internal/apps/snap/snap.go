@@ -59,6 +59,9 @@ type Params struct {
 	KeepFlux bool
 	// CycleAccurate routes packets through the cycle-level switch.
 	CycleAccurate bool
+	// ScalarBoundary selects the legacy one-event-per-packet VIC boundary
+	// (cross-checking knob; bit-identical to the batched default).
+	ScalarBoundary bool
 	// Check enables the invariant layer for the run.
 	Check *check.Config
 	// Checkpoint runs the app under the managed pump — periodic snapshots,
@@ -188,12 +191,13 @@ func Run(net Net, par Params) Result {
 		res.Flux = make([]float64, par.Groups*par.NX*par.NY*par.NZ)
 	}
 	rep := apprt.Execute(apprt.RunSpec{
-		Net:           net,
-		Nodes:         par.Nodes,
-		Seed:          par.Seed,
-		CycleAccurate: par.CycleAccurate,
-		Check:         par.Check,
-		Checkpoint:    par.Checkpoint,
+		Net:            net,
+		Nodes:          par.Nodes,
+		Seed:           par.Seed,
+		CycleAccurate:  par.CycleAccurate,
+		ScalarBoundary: par.ScalarBoundary,
+		Check:          par.Check,
+		Checkpoint:     par.Checkpoint,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		s := newSolver(n, be, net, par, py, pz)
 		iters, err, bal := s.solve()

@@ -17,13 +17,14 @@ func init() {
 		RefNodes: 4,
 		Run: func(spec apprt.RunSpec) (apprt.Summary, error) {
 			par := Params{
-				Nodes:         spec.Nodes,
-				KeysPerNode:   1 << 10,
-				Seed:          spec.Seed,
-				KeepKeys:      true,
-				CycleAccurate: spec.CycleAccurate,
-				Check:         spec.Check,
-				Checkpoint:    spec.Checkpoint,
+				Nodes:          spec.Nodes,
+				KeysPerNode:    1 << 10,
+				Seed:           spec.Seed,
+				KeepKeys:       true,
+				CycleAccurate:  spec.CycleAccurate,
+				ScalarBoundary: spec.ScalarBoundary,
+				Check:          spec.Check,
+				Checkpoint:     spec.Checkpoint,
 			}
 			res := Run(spec.Net, par)
 			var bad, total int

@@ -17,14 +17,15 @@ func init() {
 		RefNodes: 4,
 		Run: func(spec apprt.RunSpec) (apprt.Summary, error) {
 			par := Params{
-				Nodes:         spec.Nodes,
-				Scale:         8,
-				Iters:         3,
-				Seed:          spec.Seed,
-				KeepVector:    true,
-				CycleAccurate: spec.CycleAccurate,
-				Check:         spec.Check,
-				Checkpoint:    spec.Checkpoint,
+				Nodes:          spec.Nodes,
+				Scale:          8,
+				Iters:          3,
+				Seed:           spec.Seed,
+				KeepVector:     true,
+				CycleAccurate:  spec.CycleAccurate,
+				ScalarBoundary: spec.ScalarBoundary,
+				Check:          spec.Check,
+				Checkpoint:     spec.Checkpoint,
 			}
 			res := Run(spec.Net, par)
 			ref := SerialReference(par)

@@ -53,6 +53,9 @@ type Params struct {
 	KeepVector bool
 	// CycleAccurate routes packets through the cycle-level switch.
 	CycleAccurate bool
+	// ScalarBoundary selects the legacy one-event-per-packet VIC boundary
+	// (cross-checking knob; bit-identical to the batched default).
+	ScalarBoundary bool
 	// Check enables the invariant layer for the run.
 	Check *check.Config
 	// Checkpoint runs the app under the managed pump — periodic snapshots,
@@ -206,12 +209,13 @@ func Run(net Net, par Params) Result {
 		res.Vector = make([]float64, int64(1)<<par.Scale)
 	}
 	rep := apprt.Execute(apprt.RunSpec{
-		Net:           net,
-		Nodes:         par.Nodes,
-		Seed:          par.Seed,
-		CycleAccurate: par.CycleAccurate,
-		Check:         par.Check,
-		Checkpoint:    par.Checkpoint,
+		Net:            net,
+		Nodes:          par.Nodes,
+		Seed:           par.Seed,
+		CycleAccurate:  par.CycleAccurate,
+		ScalarBoundary: par.ScalarBoundary,
+		Check:          par.Check,
+		Checkpoint:     par.Checkpoint,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		elapsed, ghost, x := runNode(n, be, net, par)
 		if n.ID == 0 {

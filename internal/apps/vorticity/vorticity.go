@@ -54,6 +54,9 @@ type Params struct {
 	KeepField bool
 	// CycleAccurate routes packets through the cycle-level switch.
 	CycleAccurate bool
+	// ScalarBoundary selects the legacy one-event-per-packet VIC boundary
+	// (cross-checking knob; bit-identical to the batched default).
+	ScalarBoundary bool
 	// Check enables the invariant layer for the run.
 	Check *check.Config
 	// Checkpoint runs the app under the managed pump — periodic snapshots,
@@ -129,12 +132,13 @@ func Run(net Net, par Params) Result {
 	energies := make([]float64, par.Nodes)
 	enstrophies := make([]float64, par.Nodes)
 	rep := apprt.Execute(apprt.RunSpec{
-		Net:           net,
-		Nodes:         par.Nodes,
-		Seed:          par.Seed,
-		CycleAccurate: par.CycleAccurate,
-		Check:         par.Check,
-		Checkpoint:    par.Checkpoint,
+		Net:            net,
+		Nodes:          par.Nodes,
+		Seed:           par.Seed,
+		CycleAccurate:  par.CycleAccurate,
+		ScalarBoundary: par.ScalarBoundary,
+		Check:          par.Check,
+		Checkpoint:     par.Checkpoint,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		s := newSolver(n, be, net, par)
 		d := s.run()

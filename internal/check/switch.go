@@ -122,6 +122,21 @@ func (c *Checker) WrapInject(fn func(dvswitch.Packet)) func(dvswitch.Packet) {
 	}
 }
 
+// WrapInjectBatch wraps a batched fabric injection function with the same
+// per-packet boundary accounting as WrapInject.
+func (c *Checker) WrapInjectBatch(fn func([]dvswitch.Packet)) func([]dvswitch.Packet) {
+	if !c.cfg.Switch {
+		return fn
+	}
+	return func(pkts []dvswitch.Packet) {
+		for i := range pkts {
+			c.res.PacketsTracked++
+			c.inFab[keyOf(pkts[i])]++
+		}
+		fn(pkts)
+	}
+}
+
 // WrapDeliver wraps a fabric delivery callback with boundary accounting:
 // a delivery with no matching injection outstanding is a duplication.
 func (c *Checker) WrapDeliver(fn func(dvswitch.Packet)) func(dvswitch.Packet) {

@@ -96,9 +96,9 @@ func (e *BudgetExceededError) Error() string {
 // instruments accumulate.
 func configDigest(cfg *Config) uint64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "nodes=%d seed=%d stacks=%d rails=%d cycle=%t dense=%t geom=%+v ct=%d",
+	fmt.Fprintf(h, "nodes=%d seed=%d stacks=%d rails=%d cycle=%t dense=%t scalar=%t geom=%+v ct=%d",
 		cfg.Nodes, cfg.Seed, cfg.Stacks, cfg.VICsPerNode, cfg.CycleAccurate,
-		cfg.DenseSwitch, cfg.SwitchGeom, cfg.CycleTime)
+		cfg.DenseSwitch, cfg.ScalarBoundary, cfg.SwitchGeom, cfg.CycleTime)
 	fmt.Fprintf(h, " vic=%+v ib=%+v mpi=%+v cpu=%+v", cfg.VIC, cfg.IB, cfg.MPI, cfg.CPU)
 	fmt.Fprintf(h, " check=%t", cfg.Check != nil)
 	if cfg.Obs != nil {

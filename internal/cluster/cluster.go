@@ -77,6 +77,11 @@ type Config struct {
 	// end-to-end cross-checks and perf comparisons. Only meaningful with
 	// CycleAccurate.
 	DenseSwitch bool
+	// ScalarBoundary runs the VICs on the legacy one-kernel-event-per-packet
+	// inject/eject boundary instead of the batched pipeline. The two are
+	// bit-identical in results (enforced by differential tests); this knob
+	// exists for end-to-end cross-checks and perf comparisons.
+	ScalarBoundary bool
 	// SwitchGeom overrides the switch geometry (default: smallest geometry
 	// with one port per node, as on the paper's fully-subscribed testbed).
 	SwitchGeom dvswitch.Params
@@ -349,14 +354,21 @@ func Run(cfg Config, body func(n *Node)) *Report {
 		}
 		stride = fabric.Ports() / total
 		inject := fabric.Inject
+		injectBatch := fabric.InjectBatch
 		if chk != nil {
 			inject = chk.WrapInject(inject)
+			injectBatch = chk.WrapInjectBatch(injectBatch)
 		}
 		vics = make([]*vic.VIC, total)
 		for r := 0; r < rails; r++ {
 			for i := 0; i < cfg.Nodes; i++ {
 				g := r*cfg.Nodes + i
 				v := vic.New(k, i, g*stride, vicPar, inject)
+				if cfg.ScalarBoundary {
+					v.SetScalarBoundary(true)
+				} else {
+					v.SetBatchInject(injectBatch)
+				}
 				base := r * cfg.Nodes
 				v.SetPortResolver(func(id int) int { return (base + id) * stride })
 				v.BarrierInit(cfg.Nodes)

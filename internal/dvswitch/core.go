@@ -20,7 +20,6 @@ package dvswitch
 import (
 	"fmt"
 	"math/bits"
-	"slices"
 
 	"repro/internal/sim"
 )
@@ -184,6 +183,67 @@ func (r *ring) pop() int32 {
 	return v
 }
 
+// grow pre-sizes the ring to hold at least n items without reallocating.
+func (r *ring) grow(n int) {
+	if n <= len(r.buf) {
+		return
+	}
+	sz := 8
+	for sz < n {
+		sz *= 2
+	}
+	nb := make([]int32, sz)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = nb, 0
+}
+
+// pflight is the hot in-flight state of one pooled packet: destination
+// coordinates (precomputed at alloc so routing never divides), the cycle the
+// packet was placed into the fabric, and its deflection count.
+//
+// The hop counter is gone: hops are derived. Every in-flight packet makes
+// exactly one angular move per step, and every exit (eject, drop on a dead
+// node, drop on a link fault) happens before that step's move, so
+//
+//	Hops = exit_step − entry_step − 1
+//
+// holds on all paths — including the legacy dead-deflection drop, whose
+// increment/decrement pair cancels. Deriving hops at eject/snapshot time
+// removes a read-modify-write from every ring move in the hot loop. entry is
+// a truncated cycle counter; the subtraction is wrap-safe because no flight
+// lasts 2^32 cycles.
+type pflight struct {
+	dh, da int32
+	entry  uint32 // uint32(cycle) at injectPhase placement
+	defl   uint32 // deflection-path traversals
+}
+
+// cellTab is the precomputed routing table for one switching node: the
+// neighbour cell indexes a packet can move to and the height bit this
+// cylinder resolves. Computing these once at construction removes every
+// division and modulo from the per-packet hot path (moveCell), which
+// profiling showed dominated Step at high occupancy.
+type cellTab struct {
+	next int32 // same-cylinder next-angle cell (output-ring circling)
+	desc int32 // descend target: (cyl+1, h, a+1); -1 on the output ring
+	defl int32 // deflection target: (cyl, h^bit, a+1); -1 on the output ring
+	da   int32 // this cell's angle (output-ring eject comparison)
+	hbit int32 // value of the resolved height bit at this cell
+
+	// Strided signal-bitmap bit indexes (see sigMask): this cell's own bit,
+	// the descend target's bit (read before descending), and the bits of the
+	// deflection/circling targets (written when moving within the cylinder).
+	sig     int32
+	descSig int32
+	deflSig int32
+	nextSig int32
+
+	cyl int16 // cylinder index (sparse-step bucketing)
+	bit uint8 // height bit resolved by this cylinder
+}
+
 // Core is the cycle-accurate switch simulator. It is driven by calling Step
 // once per switch cycle; it has no notion of wall time.
 //
@@ -196,21 +256,47 @@ func (r *ring) pop() int32 {
 type Core struct {
 	p      Params
 	levels int // L = log2(H); cylinder L is the output ring
+	cylN   int // nodes per cylinder (Heights × Angles)
 
 	pool []Packet // index-addressed packet pool (in-flight and queued)
 	free []int32  // reusable pool references
 
-	grid    []int32 // node occupancy, flattened [c][h][a]; pool ref or 0
-	next    []int32 // scratch: next node occupancy
-	sameCyl []bool  // scratch: node receives same-cylinder traffic this step
+	// Hot per-packet routing state, split from the pool: moveCell touches
+	// only these 16 bytes per packet per cycle instead of dragging the full
+	// Packet through the cache. pool[i] remains authoritative for identity
+	// fields (Src/Dst/Header/Payload/InjectCycle/Corrupt); hops and
+	// deflections live here for the packet's whole flight and are copied
+	// back into the Packet at eject/drop/snapshot time (packetAt).
+	pstate []pflight
 
-	active     []int32   // occupied node indexes of grid (unsorted)
-	nextActive []int32   // dirty list: cells of next written this step
-	sigDirty   []int32   // dirty list: sameCyl flags set this step
-	byCyl      [][]int32 // per-cylinder scratch for sorting the active list
+	tab      []cellTab // per-cell routing table, index-parallel with grid
+	portCell []int32   // port → cylinder-0 entry cell index
+	portPF   []pflight // port → fresh flight state (precomputed coordinates)
 
-	inq    []ring  // per-port injection queues (pool refs)
-	qports []int32 // ports with non-empty injection queues
+	grid []int32 // node occupancy, flattened [c][h][a]; pool ref or 0
+	next []int32 // scratch: next node occupancy
+
+	// Occupancy and scratch state are tracked as bitmaps, one bit per
+	// switching node. Iterating set bits (bits.TrailingZeros64) visits
+	// occupied cells in ascending index order for free, which is exactly the
+	// dense-scan order the golden differential tests pin — the sparse stepper
+	// needs no bucketing and no sorting. place and signal become single
+	// OR-stores, and end-of-step clearing touches a handful of words instead
+	// of walking per-cell dirty lists.
+	occMask []uint64 // occupancy bitmap of grid (bit set ⇔ grid[idx] != 0)
+	nxtMask []uint64 // scratch: occupancy bitmap of next
+	// sigMask holds the per-step same-cylinder deflection signals. Unlike
+	// occMask/nxtMask it is strided: each cylinder starts on its own 64-bit
+	// word boundary. A move pass over cylinder c writes signals only into
+	// cylinder c's words and reads only cylinder c+1's (processed in the
+	// previous pass), so no word is both read and written within one pass —
+	// without the padding, adjacent cylinders share words and every read
+	// store-forwards from the previous iteration's write, serialising the
+	// hot loop.
+	sigMask []uint64
+
+	inq   []ring   // per-port injection queues (pool refs)
+	qmask []uint64 // bitmap: ports with non-empty injection queues
 
 	cycle  int64
 	flying int
@@ -270,18 +356,79 @@ func NewCore(p Params) *Core {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
-	c := p.Cylinders()
-	n := c * p.Heights * p.Angles
-	return &Core{
+	cyl := p.Cylinders()
+	n := cyl * p.Heights * p.Angles
+	words := (n + 63) / 64
+	c := &Core{
 		p:       p,
-		levels:  c - 1,
+		levels:  cyl - 1,
+		cylN:    p.Heights * p.Angles,
 		pool:    make([]Packet, 0, p.Ports()),
+		pstate:  make([]pflight, 0, p.Ports()),
 		grid:    make([]int32, n),
 		next:    make([]int32, n),
-		sameCyl: make([]bool, n),
-		byCyl:   make([][]int32, c),
+		occMask: make([]uint64, words),
+		nxtMask: make([]uint64, words),
+		sigMask: make([]uint64, cyl*((p.Heights*p.Angles+63)/64)),
 		inq:     make([]ring, p.Ports()),
+		qmask:   make([]uint64, (p.Ports()+63)/64),
+		tab:     make([]cellTab, n),
 		Dense:   denseByDefault,
+	}
+	L := c.levels
+	for cl := 0; cl <= L; cl++ {
+		for h := 0; h < p.Heights; h++ {
+			for a := 0; a < p.Angles; a++ {
+				t := &c.tab[c.idx(cl, h, a)]
+				na := (a + 1) % p.Angles
+				t.cyl = int16(cl)
+				t.da = int32(a)
+				t.next = int32(c.idx(cl, h, na))
+				t.sig = c.sigBit(cl, h, a)
+				t.nextSig = c.sigBit(cl, h, na)
+				if cl == L {
+					t.desc, t.defl = -1, -1
+					t.descSig, t.deflSig = 0, 0
+					continue
+				}
+				bit := uint(L - 1 - cl)
+				t.bit = uint8(bit)
+				t.hbit = int32((h >> bit) & 1)
+				t.desc = int32(c.idx(cl+1, h, na))
+				t.descSig = c.sigBit(cl+1, h, na)
+				t.defl = int32(c.idx(cl, h^(1<<bit), na))
+				t.deflSig = c.sigBit(cl, h^(1<<bit), na)
+			}
+		}
+	}
+	c.portCell = make([]int32, p.Ports())
+	c.portPF = make([]pflight, p.Ports())
+	for port := range c.portCell {
+		h, a := p.PortCoord(port)
+		c.portCell[port] = int32(c.idx(0, h, a))
+		c.portPF[port] = pflight{dh: int32(h), da: int32(a)}
+	}
+	return c
+}
+
+// Prewarm grows the packet pool, free list, per-port injection rings, and
+// step scratch lists to hold n concurrently live packets (in flight plus
+// queued) without any further allocation. Steady-state traffic below that
+// high-water mark then runs with zero heap growth; benchmarks use it to
+// prove the hot path is 0 B/op. It is purely a capacity hint — no observable
+// state changes — and is safe to call at any point between Steps.
+func (c *Core) Prewarm(n int) {
+	if cap(c.pool) < n {
+		pool := make([]Packet, len(c.pool), n)
+		copy(pool, c.pool)
+		c.pool = pool
+		c.pstate = append(make([]pflight, 0, n), c.pstate...)
+	}
+	if cap(c.free) < n {
+		c.free = append(make([]int32, 0, n), c.free...)
+	}
+	for i := range c.inq {
+		c.inq[i].grow(n)
 	}
 }
 
@@ -301,16 +448,35 @@ func (c *Core) Busy() bool { return c.flying > 0 || c.queued > 0 }
 func (c *Core) QueueLen(port int) int { return c.inq[port].n }
 
 // alloc stores pkt in the pool and returns its reference (index+1),
-// reusing a freed slot when one exists.
+// reusing a freed slot when one exists. The hot struct-of-arrays columns
+// (destination coordinates, deflection counter) are populated here; the
+// telemetry in pool[ref-1] itself stays zeroed until eject/drop/snapshot
+// materialises the authoritative values via packetAt.
 func (c *Core) alloc(pkt Packet) int32 {
+	st := c.portPF[pkt.Dst]
 	if n := len(c.free); n > 0 {
 		ref := c.free[n-1]
 		c.free = c.free[:n-1]
 		c.pool[ref-1] = pkt
+		c.pstate[ref-1] = st
 		return ref
 	}
 	c.pool = append(c.pool, pkt)
+	c.pstate = append(c.pstate, st)
 	return int32(len(c.pool))
+}
+
+// packetAt materialises the full Packet for an in-flight pool reference,
+// folding the struct-of-arrays state back into the telemetry fields. It must
+// not be used for queued references (their entry cycle is not yet set);
+// queued packets are read straight from the pool, where Inject zeroed the
+// counters.
+func (c *Core) packetAt(ref int32) Packet {
+	pkt := c.pool[ref-1]
+	st := c.pstate[ref-1]
+	pkt.Hops = int(int32(uint32(c.cycle) - st.entry - 1))
+	pkt.Deflections = int(int32(st.defl))
+	return pkt
 }
 
 // release returns a pool slot to the free list. The caller must have copied
@@ -327,9 +493,7 @@ func (c *Core) Inject(pkt Packet) {
 	pkt.InjectCycle = c.cycle
 	pkt.Hops = 0
 	pkt.Deflections = 0
-	if c.inq[pkt.Src].n == 0 {
-		c.qports = append(c.qports, int32(pkt.Src))
-	}
+	c.qmask[pkt.Src>>6] |= 1 << (uint(pkt.Src) & 63)
 	c.inq[pkt.Src].push(c.alloc(pkt))
 	c.queued++
 	c.stats.Injected++
@@ -338,29 +502,46 @@ func (c *Core) Inject(pkt Packet) {
 	}
 }
 
+// InjectBatch queues a whole boundary batch, in order. It is semantically
+// identical to calling Inject per element — injection-queue occupancy and
+// RNG draw order are position-dependent, so the loop must stay strictly
+// in order.
+func (c *Core) InjectBatch(pkts []Packet) {
+	for i := range pkts {
+		c.Inject(pkts[i])
+	}
+}
+
 func (c *Core) idx(cyl, h, a int) int {
 	return (cyl*c.p.Heights+h)*c.p.Angles + a
 }
 
-// place writes a pool reference into the next-occupancy scratch, recording
-// the cell on the dirty list (which doubles as the next cycle's active list).
+// place writes a pool reference into the next-occupancy scratch and sets its
+// occupancy bit (next cycle's iteration source and clearing worklist).
 func (c *Core) place(idx int, ref int32) {
-	if c.next[idx] == 0 {
-		c.nextActive = append(c.nextActive, int32(idx))
-	}
 	c.next[idx] = ref
+	c.nxtMask[idx>>6] |= 1 << (uint(idx) & 63)
 }
 
-// signal asserts the same-cylinder deflection signal on a cell, recording it
-// for end-of-step clearing.
+// sigBit returns a cell's bit index into the strided signal bitmap.
+func (c *Core) sigBit(cl, h, a int) int32 {
+	stride := (c.cylN + 63) / 64
+	return int32(cl*stride*64 + h*c.p.Angles + a)
+}
+
+// signal asserts the same-cylinder deflection signal on a cell.
 func (c *Core) signal(idx int) {
 	if c.mut&MutDropDeflectSignal != 0 {
 		return
 	}
-	if !c.sameCyl[idx] {
-		c.sameCyl[idx] = true
-		c.sigDirty = append(c.sigDirty, int32(idx))
-	}
+	sb := c.tab[idx].sig
+	c.sigMask[sb>>6] |= 1 << (uint32(sb) & 63)
+}
+
+// sigSet reports whether a cell's deflection signal is asserted this step.
+func (c *Core) sigSet(idx int) bool {
+	sb := c.tab[idx].sig
+	return c.sigMask[sb>>6]>>(uint32(sb)&63)&1 != 0
 }
 
 // Step advances the fabric by one switch cycle: every in-flight packet moves
@@ -376,43 +557,273 @@ func (c *Core) Step() {
 		c.denseStep()
 		return
 	}
-	// Crossover: above ~half occupancy the bucket-and-sort bookkeeping costs
-	// more than just scanning every node (moveOne on an empty cell is a load
-	// and a branch). The dense scan visits nodes in exactly the order the
-	// sorted buckets produce, so switching keeps the step bit-identical.
-	if len(c.active)*2 >= len(c.grid) {
+	// Crossover: above ~half occupancy the bitmap walk saves nothing over
+	// just scanning every node (moveCell on an empty cell is a load and a
+	// branch). The dense scan visits nodes in exactly the order the bitmap
+	// iteration produces, so switching keeps the step bit-identical. flying
+	// equals the number of occupied cells (every in-flight packet occupies
+	// exactly one node).
+	if c.flying*2 >= len(c.grid) {
 		c.denseStep()
 		return
 	}
-	cylN := c.p.Heights * c.p.Angles
-	for i := range c.byCyl {
-		c.byCyl[i] = c.byCyl[i][:0]
-	}
-	for _, idx := range c.active {
-		cl := int(idx) / cylN
-		c.byCyl[cl] = append(c.byCyl[cl], idx)
-	}
 	// Inner cylinders first: their same-cylinder movements assert the
-	// deflection signals that outer cylinders must observe.
-	for cl := c.levels; cl >= 0; cl-- {
-		nodes := c.byCyl[cl]
-		slices.Sort(nodes)
-		for _, idx := range nodes {
-			c.moveOne(cl, int(idx))
+	// deflection signals that outer cylinders must observe. Within a
+	// cylinder, set bits come out in ascending cell order — the dense-scan
+	// order — with no bucketing or sorting.
+	if c.cleanPath() {
+		c.sparseMovesClean()
+	} else {
+		for cl := c.levels; cl >= 0; cl-- {
+			base := cl * c.cylN
+			end := base + c.cylN
+			for w := base >> 6; w<<6 < end; w++ {
+				wb := w << 6
+				mask := c.occMask[w]
+				if wb < base {
+					mask &^= 1<<uint(base-wb) - 1
+				}
+				if e := end - wb; e < 64 {
+					mask &= 1<<uint(e) - 1
+				}
+				for mask != 0 {
+					idx := wb + bits.TrailingZeros64(mask)
+					mask &= mask - 1
+					c.moveCell(idx, c.grid[idx])
+				}
+			}
 		}
 	}
 	c.injectPhase()
 	c.finishStep()
 }
 
-// moveOne advances the packet occupying node idx of cylinder cl by one
-// angle. It is the per-node routing logic shared by the sparse Step and the
-// dense reference scan; an empty node is a no-op.
+// cleanPath reports whether the hand-inlined move loops may be used: no
+// planted mutation, no dead nodes, no probabilistic link faults, and no
+// per-event instruments. The clean loops are line-for-line the same routing
+// decisions as moveCell with every fault/mutation/obs branch deleted, so the
+// choice is invisible in results — only in nanoseconds.
+func (c *Core) cleanPath() bool {
+	return c.mut == 0 && c.faulty == nil && c.frng == nil && c.obs == nil
+}
+
+// The clean move loops below hand-inline the routing decisions of moveCell
+// (the specification of what one move does) with every fault, mutation, and
+// obs branch deleted, the output ring split out of the inner-cylinder loop
+// (so the ring test is not re-asked per packet), and the descend-vs-deflect
+// choice made branchless: contention makes that branch a coin flip, and the
+// mispredict penalty was the single largest cost in the step profile. The
+// transformation is exact:
+//
+//	blocked = (bit mismatch) OR (deflection signal on the descend target)
+//	target  = blocked ? deflect-cell : descend-cell   (CMOV)
+//	defl   += blocked                                 (0 or 1)
+//	sigbit |= blocked << target-bit                   (OR of 0 is a no-op)
+//
+// Slice headers are held in locals so the stores do not force reloads of c's
+// fields each iteration; pstate is reloaded after every eject because
+// Deliver may Inject and grow the pool.
+
+// sparseMovesClean is the clean-path move phase over the occupancy bitmap.
+// The routing bodies are written out in place (the compiler's inlining
+// budget rejects them as a helper, and the call overhead is measurable at
+// this grain).
+func (c *Core) sparseMovesClean() {
+	grid := c.grid
+	next := c.next
+	nxtMask := c.nxtMask
+	sigMask := c.sigMask
+	pstate := c.pstate
+	tab := c.tab
+	occ := c.occMask
+	// Output ring (cylinder L): eject at the destination angle, else circle.
+	base := c.levels * c.cylN
+	end := base + c.cylN
+	for w := base >> 6; w<<6 < end; w++ {
+		wb := w << 6
+		mask := occ[w]
+		if wb < base {
+			mask &^= 1<<uint(base-wb) - 1
+		}
+		if e := end - wb; e < 64 {
+			mask &= 1<<uint(e) - 1
+		}
+		for mask != 0 {
+			idx := wb + bits.TrailingZeros64(mask)
+			mask &= mask - 1
+			ref := grid[idx]
+			t := &tab[idx]
+			if pstate[ref-1].da == t.da {
+				c.eject(ref)
+				pstate = c.pstate
+				continue
+			}
+			ni := t.next
+			next[ni] = ref
+			nxtMask[ni>>6] |= 1 << (uint32(ni) & 63)
+			ns := t.nextSig
+			sigMask[ns>>6] |= 1 << (uint32(ns) & 63)
+		}
+	}
+	// Inner cylinders: descend or deflect, branchless.
+	for cl := c.levels - 1; cl >= 0; cl-- {
+		base := cl * c.cylN
+		end := base + c.cylN
+		for w := base >> 6; w<<6 < end; w++ {
+			wb := w << 6
+			mask := occ[w]
+			if wb < base {
+				mask &^= 1<<uint(base-wb) - 1
+			}
+			if e := end - wb; e < 64 {
+				mask &= 1<<uint(e) - 1
+			}
+			for mask != 0 {
+				idx := wb + bits.TrailingZeros64(mask)
+				mask &= mask - 1
+				ref := grid[idx]
+				t := &tab[idx]
+				f := &pstate[ref-1]
+				d := t.desc
+				ds := t.descSig
+				blocked := uint64((f.dh>>t.bit)&1^t.hbit) | sigMask[ds>>6]>>(uint32(ds)&63)&1
+				ni := t.defl
+				if blocked == 0 {
+					ni = d
+				}
+				f.defl += uint32(blocked)
+				next[ni] = ref
+				nxtMask[ni>>6] |= 1 << (uint32(ni) & 63)
+				fs := t.deflSig
+				sigMask[fs>>6] |= blocked << (uint32(fs) & 63)
+			}
+		}
+	}
+}
+
+// denseMovesClean is the clean-path move phase over the full grid scan, with
+// the same in-place routing bodies as sparseMovesClean.
+func (c *Core) denseMovesClean() {
+	grid := c.grid
+	next := c.next
+	nxtMask := c.nxtMask
+	sigMask := c.sigMask
+	pstate := c.pstate
+	tab := c.tab
+	// Output ring (cylinder L): eject at the destination angle, else circle.
+	base := c.levels * c.cylN
+	for j, ref := range grid[base : base+c.cylN] {
+		if ref == 0 {
+			continue
+		}
+		t := &tab[base+j]
+		if pstate[ref-1].da == t.da {
+			c.eject(ref)
+			pstate = c.pstate
+			continue
+		}
+		ni := t.next
+		next[ni] = ref
+		nxtMask[ni>>6] |= 1 << (uint32(ni) & 63)
+		ns := t.nextSig
+		sigMask[ns>>6] |= 1 << (uint32(ns) & 63)
+	}
+	// Inner cylinders: descend or deflect, branchless.
+	for cl := c.levels - 1; cl >= 0; cl-- {
+		base := cl * c.cylN
+		for j, ref := range grid[base : base+c.cylN] {
+			if ref == 0 {
+				continue
+			}
+			t := &tab[base+j]
+			f := &pstate[ref-1]
+			d := t.desc
+			ds := t.descSig
+			blocked := uint64((f.dh>>t.bit)&1^t.hbit) | sigMask[ds>>6]>>(uint32(ds)&63)&1
+			ni := t.defl
+			if blocked == 0 {
+				ni = d
+			}
+			f.defl += uint32(blocked)
+			next[ni] = ref
+			nxtMask[ni>>6] |= 1 << (uint32(ni) & 63)
+			fs := t.deflSig
+			sigMask[fs>>6] |= blocked << (uint32(fs) & 63)
+		}
+	}
+}
+
+// moveCell advances the packet ref occupying node idx by one angle, using
+// the precomputed routing table — no division, no coordinate arithmetic,
+// and only the struct-of-arrays columns of the packet are touched. It is
+// the per-node routing logic shared by the sparse Step and the dense
+// reference scan, and is bit-identical to the legacy arithmetic path
+// (moveOne), which it delegates to when a routing mutation is planted.
+func (c *Core) moveCell(idx int, ref int32) {
+	if c.mut&(MutStickyOutputRing|MutBitOffByOne) != 0 {
+		c.moveOne(int(c.tab[idx].cyl), idx)
+		return
+	}
+	t := &c.tab[idx]
+	f := &c.pstate[ref-1]
+	if t.desc < 0 {
+		// Output ring: circle to the destination angle, then eject.
+		if f.da == t.da {
+			c.eject(ref)
+			return
+		}
+		ni := int(t.next)
+		if c.faulty != nil && c.faulty[ni] {
+			c.drop(ref)
+			return
+		}
+		if c.frng != nil && c.linkFault(ref) {
+			return
+		}
+		c.place(ni, ref)
+		c.signal(ni)
+		return
+	}
+	if c.frng != nil && c.linkFault(ref) {
+		return
+	}
+	if (f.dh>>t.bit)&1 == t.hbit {
+		d := int(t.desc)
+		if !c.sigSet(d) && (c.faulty == nil || !c.faulty[d]) {
+			// Descend: bit matches and no deflection signal.
+			c.place(d, ref)
+			return
+		}
+	}
+	// Deflect within the cylinder, toggling the bit under
+	// resolution (preserves the already-resolved prefix).
+	ni := int(t.defl)
+	if c.faulty != nil && c.faulty[ni] {
+		// Both legal moves are dead: the bufferless fabric
+		// cannot hold the packet.
+		c.drop(ref)
+		return
+	}
+	f.defl++
+	if c.obs != nil {
+		c.obs.Deflected.Inc()
+		c.obs.DeflectByCyl[t.cyl].Inc()
+	}
+	c.place(ni, ref)
+	c.signal(ni)
+}
+
+// moveOne is the legacy arithmetic routing path, kept verbatim (modulo the
+// struct-of-arrays counters) because the planted routing mutations
+// (MutBitOffByOne, MutStickyOutputRing) are expressed against it. Outside
+// mutation testing, moveCell is the only caller-facing path; the golden
+// differential tests pin the two bit-identical.
 func (c *Core) moveOne(cl, idx int) {
 	ref := c.grid[idx]
 	if ref == 0 {
 		return
 	}
+	st := &c.pstate[ref-1]
 	f := &c.pool[ref-1]
 	p := c.p
 	A := p.Angles
@@ -434,7 +845,6 @@ func (c *Core) moveOne(cl, idx int) {
 		if c.linkFault(ref) {
 			return
 		}
-		f.Hops++
 		ni := c.idx(cl, h, na)
 		c.place(ni, ref)
 		c.signal(ni)
@@ -447,8 +857,7 @@ func (c *Core) moveOne(cl, idx int) {
 	if c.linkFault(ref) {
 		return
 	}
-	f.Hops++
-	if (h>>bit)&1 == (dh>>bit)&1 && !c.sameCyl[c.idx(cl+1, h, na)] &&
+	if (h>>bit)&1 == (dh>>bit)&1 && !c.sigSet(c.idx(cl+1, h, na)) &&
 		!c.isFaulty(cl+1, h, na) {
 		// Descend: bit matches and no deflection signal.
 		c.place(c.idx(cl+1, h, na), ref)
@@ -460,11 +869,10 @@ func (c *Core) moveOne(cl, idx int) {
 	if c.isFaulty(cl, h2, na) {
 		// Both legal moves are dead: the bufferless fabric
 		// cannot hold the packet.
-		f.Hops--
 		c.drop(ref)
 		return
 	}
-	f.Deflections++
+	st.defl++
 	if c.obs != nil {
 		c.obs.Deflected.Inc()
 		c.obs.DeflectByCyl[cl].Inc()
@@ -475,29 +883,35 @@ func (c *Core) moveOne(cl, idx int) {
 }
 
 // injectPhase fills free entry nodes from the waiting ports, visited in
-// ascending port order (the dense scan order over cylinder 0).
+// ascending port order (the dense scan order over cylinder 0). The waiting
+// set is a bitmap, so the visit order is sorted for free; a port's bit stays
+// set while its queue is non-empty (busy entry node, or the node is down).
 func (c *Core) injectPhase() {
-	if len(c.qports) == 0 {
+	if c.queued == 0 {
 		return
 	}
-	slices.Sort(c.qports)
-	kept := c.qports[:0]
-	for _, port := range c.qports {
-		q := &c.inq[port]
-		h, a := c.p.PortCoord(int(port))
-		at := c.idx(0, h, a)
-		if q.n > 0 && c.next[at] == 0 && !c.isFaulty(0, h, a) {
-			ref := q.pop()
-			c.queued--
-			c.flying++
-			c.stats.QueuedCycles += c.cycle - c.pool[ref-1].InjectCycle
-			c.place(at, ref)
+	for w, mask := range c.qmask {
+		if mask == 0 {
+			continue
 		}
-		if q.n > 0 {
-			kept = append(kept, port) // busy, or the port's entry node is down
+		wb := w << 6
+		for m := mask; m != 0; m &= m - 1 {
+			port := wb + bits.TrailingZeros64(m)
+			q := &c.inq[port]
+			at := int(c.portCell[port])
+			if c.next[at] == 0 && (c.faulty == nil || !c.faulty[at]) {
+				ref := q.pop()
+				c.queued--
+				c.flying++
+				c.stats.QueuedCycles += c.cycle - c.pool[ref-1].InjectCycle
+				c.pstate[ref-1].entry = uint32(c.cycle)
+				c.place(at, ref)
+			}
+			if q.n == 0 {
+				c.qmask[w] &^= 1 << uint(port-wb)
+			}
 		}
 	}
-	c.qports = kept
 }
 
 // finishStep publishes the next occupancy and resets the scratch state by
@@ -505,15 +919,26 @@ func (c *Core) injectPhase() {
 func (c *Core) finishStep() {
 	c.grid, c.next = c.next, c.grid
 	// c.next now holds the pre-step occupancy; its stale cells are exactly
-	// the active list we just walked.
-	for _, idx := range c.active {
-		c.next[idx] = 0
+	// the set bits of the old occupancy mask. At high occupancy a wholesale
+	// memclr beats per-bit stores (the untouched cells are already zero, so
+	// clearing everything is idempotent); below that, clear bit by bit. The
+	// signal bitmap is a few words — always cleared wholesale.
+	if c.flying*4 >= len(c.next) {
+		clear(c.next)
+		clear(c.occMask)
+	} else {
+		for w, mask := range c.occMask {
+			if mask != 0 {
+				wb := w << 6
+				for ; mask != 0; mask &= mask - 1 {
+					c.next[wb+bits.TrailingZeros64(mask)] = 0
+				}
+				c.occMask[w] = 0
+			}
+		}
 	}
-	for _, idx := range c.sigDirty {
-		c.sameCyl[idx] = false
-	}
-	c.sigDirty = c.sigDirty[:0]
-	c.active, c.nextActive = c.nextActive, c.active[:0]
+	clear(c.sigMask)
+	c.occMask, c.nxtMask = c.nxtMask, c.occMask
 	c.cycle++
 	if c.CheckInvariants {
 		c.verifyPrefixInvariant()
@@ -530,11 +955,15 @@ func (c *Core) finishStep() {
 // differential tests (see diff_test.go) and as the dvswitch_dense build-tag
 // default.
 func (c *Core) denseStep() {
-	p := c.p
-	for cl := c.levels; cl >= 0; cl-- {
-		for h := 0; h < p.Heights; h++ {
-			for a := 0; a < p.Angles; a++ {
-				c.moveOne(cl, c.idx(cl, h, a))
+	if c.cleanPath() {
+		c.denseMovesClean()
+	} else {
+		for cl := c.levels; cl >= 0; cl-- {
+			base := cl * c.cylN
+			for j, ref := range c.grid[base : base+c.cylN] {
+				if ref != 0 {
+					c.moveCell(base+j, ref)
+				}
 			}
 		}
 	}
@@ -571,7 +1000,7 @@ func (c *Core) verifyPrefixInvariant() {
 }
 
 func (c *Core) eject(ref int32) {
-	pkt := c.pool[ref-1]
+	pkt := c.packetAt(ref)
 	c.release(ref)
 	c.flying--
 	lat := c.cycle + 1 - pkt.InjectCycle
@@ -607,7 +1036,7 @@ func (c *Core) isFaulty(cyl, h, a int) bool {
 
 // drop discards a packet lost to a fault.
 func (c *Core) drop(ref int32) {
-	pkt := c.pool[ref-1]
+	pkt := c.packetAt(ref)
 	c.release(ref)
 	c.flying--
 	if c.mut&MutSkipDropCount == 0 {
@@ -633,7 +1062,7 @@ func (c *Core) ForEachInFlight(fn func(id int32, cyl, h, a int, pkt Packet)) {
 		for h := 0; h < p.Heights; h++ {
 			for a := 0; a < p.Angles; a++ {
 				if ref := c.grid[c.idx(cl, h, a)]; ref != 0 {
-					fn(ref, cl, h, a, c.pool[ref-1])
+					fn(ref, cl, h, a, c.packetAt(ref))
 				}
 			}
 		}

@@ -15,6 +15,11 @@ type Fabric interface {
 	Ports() int
 	// Inject submits a packet at the current virtual time.
 	Inject(pkt Packet)
+	// InjectBatch submits a whole boundary batch at the current virtual
+	// time, in slice order — semantically identical to calling Inject per
+	// element, but letting the fabric amortize per-call work (the engine
+	// arms its pump once per batch instead of once per packet).
+	InjectBatch(pkts []Packet)
 	// OnDeliver installs the delivery callback (invoked in virtual time).
 	OnDeliver(fn func(pkt Packet))
 	// FabricStats returns aggregate telemetry.
@@ -67,6 +72,13 @@ func (e *Engine) OnDeliver(fn func(pkt Packet)) { e.fn = fn }
 // pump is armed at the next cycle boundary.
 func (e *Engine) Inject(pkt Packet) {
 	e.core.Inject(pkt)
+	e.arm()
+}
+
+// InjectBatch implements Fabric: every packet is queued at its source port,
+// then the pump is armed once.
+func (e *Engine) InjectBatch(pkts []Packet) {
+	e.core.InjectBatch(pkts)
 	e.arm()
 }
 
@@ -123,34 +135,55 @@ type FastModel struct {
 	DropHook func(pkt Packet)
 
 	// evFree pools delivery events so the Inject fast path schedules
-	// without allocating a closure (and packet copy) per packet.
+	// without allocating a closure (and packet copy) per packet; lastEv is
+	// the most recently scheduled, still-pending event, so a delivery burst
+	// landing on one ejection deadline rides a single kernel event.
 	evFree []*deliveryEvent
+	lastEv *deliveryEvent
+
+	// ftab memoises UnloadedFlightCycles per (src, dst): the function is
+	// pure in the port pair, and profiling showed its bit-walk dominating
+	// Inject. 0 means unset (a flight is never 0 cycles). nil when the
+	// geometry is too large to tabulate (see NewFastModel).
+	ftab   []int16
+	nports int
 }
 
-// deliveryEvent is the pooled payload of one scheduled packet delivery.
+// deliveryEvent is the pooled payload of one scheduled delivery batch: every
+// packet whose ejection completes at the same virtual time, in injection
+// order — which is exactly the order per-packet events with ascending
+// sequence numbers would have fired, so batching is invisible in results.
 type deliveryEvent struct {
-	m         *FastModel
-	pkt       Packet
-	done, now sim.Time
+	m    *FastModel
+	done sim.Time
+	pkts []Packet
+	nows []sim.Time // per-packet injection times (latency accounting)
 }
 
-// fireDelivery completes one FastModel delivery and recycles its event.
+// fireDelivery completes one FastModel delivery batch and recycles its event.
 // It is a package-level function (not a closure) so scheduling it via
 // Kernel.AtArg carries only the pooled payload pointer.
 func fireDelivery(a any) {
 	ev := a.(*deliveryEvent)
 	m := ev.m
-	m.st.Delivered++
-	lat := int64((ev.done - ev.now) / m.ct)
-	m.st.recordLatency(lat)
-	if m.obs != nil {
-		m.obs.Delivered.Inc()
-		m.obs.Latency.Observe(lat)
+	if m.lastEv == ev {
+		m.lastEv = nil
 	}
-	if m.fn != nil {
-		m.fn(ev.pkt)
+	for i := range ev.pkts {
+		m.st.Delivered++
+		lat := int64((ev.done - ev.nows[i]) / m.ct)
+		m.st.recordLatency(lat)
+		if m.obs != nil {
+			m.obs.Delivered.Inc()
+			m.obs.Latency.Observe(lat)
+		}
+		if m.fn != nil {
+			m.fn(ev.pkts[i])
+		}
 	}
-	ev.pkt = Packet{}
+	clear(ev.pkts)
+	ev.pkts = ev.pkts[:0]
+	ev.nows = ev.nows[:0]
 	m.evFree = append(m.evFree, ev)
 }
 
@@ -159,14 +192,36 @@ func NewFastModel(k *sim.Kernel, p Params, cycleTime sim.Time, rng *sim.RNG) *Fa
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
-	return &FastModel{
-		k:   k,
-		p:   p,
-		ct:  cycleTime,
-		in:  make([]sim.Pipe, p.Ports()),
-		out: make([]sim.Pipe, p.Ports()),
-		rng: rng,
+	m := &FastModel{
+		k:      k,
+		p:      p,
+		ct:     cycleTime,
+		in:     make([]sim.Pipe, p.Ports()),
+		out:    make([]sim.Pipe, p.Ports()),
+		rng:    rng,
+		nports: p.Ports(),
 	}
+	// Tabulate flight times unless the table would be large (quadratic in
+	// ports) or a flight could overflow the int16 slot; big sweeps fall back
+	// to computing per packet.
+	if n := p.Ports(); n <= 2048 && 2*p.Cylinders()+p.Angles < 1<<15 {
+		m.ftab = make([]int16, n*n)
+	}
+	return m
+}
+
+// flightCycles is UnloadedFlightCycles with per-(src, dst) memoisation.
+func (m *FastModel) flightCycles(src, dst int) int64 {
+	if m.ftab == nil {
+		return UnloadedFlightCycles(m.p, src, dst)
+	}
+	i := src*m.nports + dst
+	if v := m.ftab[i]; v != 0 {
+		return int64(v)
+	}
+	v := UnloadedFlightCycles(m.p, src, dst)
+	m.ftab[i] = int16(v)
+	return v
 }
 
 // Ports implements Fabric.
@@ -221,16 +276,19 @@ func (m *FastModel) Inject(pkt Packet) {
 	entered := m.in[pkt.Src].Reserve(m.k, m.ct)
 	// Contention: output backlog raises deflection probability. Each
 	// deflection costs two hops (one to leave the path, one to return).
-	backlog := float64(m.out[pkt.Dst].BusyUntil()-now) / float64(m.ct)
-	if backlog < 0 {
-		backlog = 0
+	// The clamp happens in integer time before the float conversion, and an
+	// idle output port skips the float math entirely; both give bit-identical
+	// pDefl (0.15*0/(0+8) is exactly 0).
+	pDefl := 0.05
+	if bl := m.out[pkt.Dst].BusyUntil() - now; bl > 0 {
+		backlog := float64(bl) / float64(m.ct)
+		pDefl = 0.05 + 0.15*backlog/(backlog+8)
 	}
-	pDefl := 0.05 + 0.15*backlog/(backlog+8)
 	defl := 0
 	for m.rng.Float64() < pDefl && defl < 8 {
 		defl++
 	}
-	flight := UnloadedFlightCycles(m.p, pkt.Src, pkt.Dst) + int64(2*defl)
+	flight := m.flightCycles(pkt.Src, pkt.Dst) + int64(2*defl)
 	if m.fpl != nil && m.fpl.Window.Contains(now) {
 		r := m.frng[pkt.Src]
 		if m.fpl.DropProb > 0 && r.Float64() < compound(m.fpl.DropProb, flight) {
@@ -259,6 +317,15 @@ func (m *FastModel) Inject(pkt Packet) {
 	if m.obs != nil {
 		m.obs.Deflected.Add(int64(defl))
 	}
+	// Join the pending batch when this packet's ejection lands on the same
+	// deadline as the last one scheduled; otherwise schedule a new batch
+	// event. Deadlines are in the future, so a pending batch can always
+	// still accept members.
+	if le := m.lastEv; le != nil && le.done == done {
+		le.pkts = append(le.pkts, pkt)
+		le.nows = append(le.nows, now)
+		return
+	}
 	var ev *deliveryEvent
 	if n := len(m.evFree); n > 0 {
 		ev = m.evFree[n-1]
@@ -266,6 +333,19 @@ func (m *FastModel) Inject(pkt Packet) {
 	} else {
 		ev = &deliveryEvent{m: m}
 	}
-	ev.pkt, ev.done, ev.now = pkt, done, now
+	ev.done = done
+	ev.pkts = append(ev.pkts, pkt)
+	ev.nows = append(ev.nows, now)
+	m.lastEv = ev
 	m.k.AtArg(done, fireDelivery, ev)
+}
+
+// InjectBatch implements Fabric. The fast model's per-packet work (pipe
+// reservations, the shared contention RNG draw) is order-sensitive, so the
+// batch is processed strictly in slice order — exactly what per-packet calls
+// would do.
+func (m *FastModel) InjectBatch(pkts []Packet) {
+	for i := range pkts {
+		m.Inject(pkts[i])
+	}
 }

@@ -55,7 +55,7 @@ func (c *Core) SnapshotTo(e *snapshot.Encoder) {
 	for idx, ref := range c.grid {
 		if ref != 0 {
 			e.U32(uint32(idx))
-			encodePacket(e, c.pool[ref-1])
+			encodePacket(e, c.packetAt(ref))
 		}
 	}
 	// Injection queues, ascending port order, FIFO order within a port.
@@ -64,6 +64,9 @@ func (c *Core) SnapshotTo(e *snapshot.Encoder) {
 		e.U32(uint32(q.n))
 		for i := 0; i < q.n; i++ {
 			ref := q.buf[(q.head+i)&(len(q.buf)-1)]
+			// Queued packets are read straight from the pool: Inject zeroed
+			// their counters, and packetAt's derived hop count only applies
+			// once a packet has been placed into the fabric.
 			encodePacket(e, c.pool[ref-1])
 		}
 	}

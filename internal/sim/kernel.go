@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"slices"
 )
@@ -21,24 +20,75 @@ type event struct {
 	arg    any
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// heapEnt is one heap slot: the event's ordering key cached inline, so sift
+// comparisons read the (mostly resident) heap array instead of chasing a
+// pointer per compare.
+type heapEnt struct {
+	at  Time
+	seq uint64
+	e   *event
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// entLess orders entries by (at, seq); the pair is unique per event, so the
+// order is total and the heap's pop sequence is fully determined — any
+// correct heap yields the same sequence.
+func entLess(a, b heapEnt) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a binary min-heap ordered by entLess. The sift loops are
+// hand-rolled (rather than container/heap) because the scheduler push/pop pair
+// is the per-event cost floor of every hot path — FastModel deliveries, VIC
+// injections, engine pump cycles — and the interface dispatch of
+// heap.Interface roughly triples it.
+type eventHeap []heapEnt
+
+func (h *eventHeap) push(e *event) {
+	ent := heapEnt{e.at, e.seq, e}
+	s := append(*h, ent)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !entLess(ent, s[p]) {
+			break
+		}
+		s[i] = s[p]
+		i = p
+	}
+	s[i] = ent
+	*h = s
+}
+
+func (h *eventHeap) pop() *event {
+	s := *h
+	top := s[0].e
+	n := len(s) - 1
+	last := s[n]
+	s[n] = heapEnt{}
+	s = s[:n]
+	*h = s
+	if n > 0 {
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= n {
+				break
+			}
+			if r := c + 1; r < n && entLess(s[r], s[c]) {
+				c = r
+			}
+			if !entLess(s[c], last) {
+				break
+			}
+			s[i] = s[c]
+			i = c
+		}
+		s[i] = last
+	}
+	return top
 }
 
 // Kernel is the discrete-event scheduler. It is not safe for concurrent use:
@@ -106,7 +156,7 @@ func (k *Kernel) At(t Time, fn func()) {
 	e := k.newEvent(t)
 	e.fn = fn
 	k.nUser++
-	heap.Push(&k.events, e)
+	k.events.push(e)
 }
 
 // AtDaemon schedules fn at absolute time t like At, but the event does not
@@ -118,7 +168,7 @@ func (k *Kernel) AtDaemon(t Time, fn func()) {
 	e := k.newEvent(t)
 	e.fn = fn
 	e.daemon = true
-	heap.Push(&k.events, e)
+	k.events.push(e)
 }
 
 // AtArg schedules fn(arg) at absolute time t (>= now). Unlike At, the
@@ -129,7 +179,7 @@ func (k *Kernel) AtArg(t Time, fn func(any), arg any) {
 	e := k.newEvent(t)
 	e.fnArg, e.arg = fn, arg
 	k.nUser++
-	heap.Push(&k.events, e)
+	k.events.push(e)
 }
 
 // After schedules fn to run d from now.
@@ -221,8 +271,17 @@ func (p *Proc) Wait(d Time) {
 		return
 	}
 	k := p.k
-	k.At(k.now+d, func() { k.resumeProc(p, true) })
+	k.AtArg(k.now+d, fireResume, p)
 	p.park()
+}
+
+// fireResume is the pooled wake-up payload for Wait/Yield: scheduling the
+// parked Proc itself through AtArg keeps the single hottest blocking
+// primitive in the simulator closure-free (one heap closure per Wait adds
+// up to the dominant allocation in traffic-heavy runs).
+func fireResume(a any) {
+	p := a.(*Proc)
+	p.k.resumeProc(p, true)
 }
 
 // WaitUntil blocks the process until absolute time t (no-op if in the past).
@@ -237,7 +296,7 @@ func (p *Proc) WaitUntil(t Time) {
 // event already queued for this instant run first.
 func (p *Proc) Yield() {
 	k := p.k
-	k.At(k.now, func() { k.resumeProc(p, true) })
+	k.AtArg(k.now, fireResume, p)
 	p.park()
 }
 
@@ -246,7 +305,7 @@ func (p *Proc) Yield() {
 // queue are discarded unfired. It returns the final virtual time.
 func (k *Kernel) Run() Time {
 	for k.nUser > 0 {
-		e := heap.Pop(&k.events).(*event)
+		e := k.events.pop()
 		k.now = e.at
 		k.fire(e)
 	}
@@ -259,8 +318,8 @@ func (k *Kernel) Run() Time {
 // queued. Processes stay parked (no drain) so the run can continue. Like Run,
 // it stops early once only daemon events remain (leaving them queued).
 func (k *Kernel) RunUntil(limit Time) Time {
-	for k.nUser > 0 && k.events.Len() > 0 && k.events[0].at <= limit {
-		e := heap.Pop(&k.events).(*event)
+	for k.nUser > 0 && len(k.events) > 0 && k.events[0].at <= limit {
+		e := k.events.pop()
 		k.now = e.at
 		k.fire(e)
 	}
@@ -274,8 +333,8 @@ func (k *Kernel) RunUntil(limit Time) Time {
 // batches of work without giving up the deterministic event order.
 func (k *Kernel) RunUntilN(limit Time, n int) int {
 	fired := 0
-	for fired < n && k.nUser > 0 && k.events.Len() > 0 && k.events[0].at <= limit {
-		e := heap.Pop(&k.events).(*event)
+	for fired < n && k.nUser > 0 && len(k.events) > 0 && k.events[0].at <= limit {
+		e := k.events.pop()
 		k.now = e.at
 		k.fire(e)
 		fired++
@@ -292,12 +351,12 @@ func (k *Kernel) PendingUser() int { return k.nUser }
 // across idle stretches of the boundary grid.
 func (k *Kernel) NextUserEvent() (Time, bool) {
 	best, found := Time(0), false
-	for _, e := range k.events {
-		if e.daemon {
+	for i := range k.events {
+		if k.events[i].e.daemon {
 			continue
 		}
-		if !found || e.at < best {
-			best, found = e.at, true
+		if at := k.events[i].at; !found || at < best {
+			best, found = at, true
 		}
 	}
 	return best, found
@@ -310,7 +369,9 @@ func (k *Kernel) NextUserEvent() (Time, bool) {
 // fingerprint still pins the queue's identity across a deterministic replay.
 func (k *Kernel) QueueFingerprint() (n int, fp uint64) {
 	evs := make([]*event, len(k.events))
-	copy(evs, k.events)
+	for i := range k.events {
+		evs[i] = k.events[i].e
+	}
 	slices.SortFunc(evs, func(a, b *event) int {
 		if a.at != b.at {
 			if a.at < b.at {
@@ -365,8 +426,8 @@ func (k *Kernel) Finish() Time {
 // discardDaemons empties the queue of the daemon events that survived the
 // last non-daemon event, returning them to the pool unfired.
 func (k *Kernel) discardDaemons() {
-	for k.events.Len() > 0 {
-		e := heap.Pop(&k.events).(*event)
+	for len(k.events) > 0 {
+		e := k.events.pop()
 		e.fn, e.fnArg, e.arg = nil, nil, nil
 		k.freeEv = append(k.freeEv, e)
 	}

@@ -4,9 +4,34 @@ package sim
 // so timeouts can withdraw a waiter without racing its wakeup.
 type gateWaiter struct {
 	p     *Proc
-	woken bool // a wake event has been scheduled for this waiter
-	fired bool // set by whichever of wake/timeout wins
-	timed bool // true if the waiter timed out
+	g     *Gate // owning gate, so a pooled timeout event can withdraw w
+	woken bool  // a wake event has been scheduled for this waiter
+	fired bool  // set by whichever of wake/timeout wins
+	timed bool  // true if the waiter timed out
+}
+
+// fireGateWake and fireGateTimeout are the pooled event payloads for gate
+// wakeups: scheduling the waiter itself through AtArg/AfterArg avoids one
+// heap closure per Signal/Broadcast/WaitTimeout on the wait-heavy paths
+// (queue pops, reliable-delivery completion waits).
+func fireGateWake(a any) {
+	w := a.(*gateWaiter)
+	if w.fired {
+		return
+	}
+	w.fired = true
+	w.p.k.resumeProc(w.p, true)
+}
+
+func fireGateTimeout(a any) {
+	w := a.(*gateWaiter)
+	if w.fired || w.woken {
+		return // signal already won
+	}
+	w.fired = true
+	w.timed = true
+	w.g.remove(w)
+	w.p.k.resumeProc(w.p, true)
 }
 
 // Gate is a virtual-time condition variable. Processes park on it with Wait
@@ -34,18 +59,9 @@ func (g *Gate) WaitTimeout(p *Proc, d Time) bool {
 		g.Wait(p)
 		return true
 	}
-	w := &gateWaiter{p: p}
+	w := &gateWaiter{p: p, g: g}
 	g.waiters = append(g.waiters, w)
-	k := p.k
-	k.After(d, func() {
-		if w.fired || w.woken {
-			return // signal already won
-		}
-		w.fired = true
-		w.timed = true
-		g.remove(w)
-		k.resumeProc(p, true)
-	})
+	p.k.AfterArg(d, fireGateTimeout, w)
 	p.park()
 	return !w.timed
 }
@@ -69,13 +85,7 @@ func (g *Gate) Signal(k *Kernel) {
 			continue
 		}
 		w.woken = true
-		k.At(k.now, func() {
-			if w.fired {
-				return
-			}
-			w.fired = true
-			k.resumeProc(w.p, true)
-		})
+		k.AtArg(k.now, fireGateWake, w)
 		return
 	}
 }
@@ -89,47 +99,59 @@ func (g *Gate) Broadcast(k *Kernel) {
 			continue
 		}
 		w.woken = true
-		w := w
-		k.At(k.now, func() {
-			if w.fired {
-				return
-			}
-			w.fired = true
-			k.resumeProc(w.p, true)
-		})
+		k.AtArg(k.now, fireGateWake, w)
 	}
 }
 
 // Queue is an unbounded virtual-time FIFO. Push never blocks; Pop blocks the
-// calling process until an item is available.
+// calling process until an item is available. Storage is a power-of-two ring
+// that is retained at its high-water capacity, so a queue in steady state
+// (e.g. the VIC's host-side surprise ring) never allocates: the previous
+// slice-backed FIFO re-allocated its tail every time the head chased it.
 type Queue[T any] struct {
-	items []T
-	gate  Gate
+	buf  []T
+	head int
+	n    int
+	gate Gate
 }
 
 // Len returns the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.n }
 
 // Push appends v and wakes one waiter.
 func (q *Queue[T]) Push(k *Kernel, v T) {
-	q.items = append(q.items, v)
+	if q.n == len(q.buf) {
+		nb := make([]T, max(8, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+		}
+		q.buf, q.head = nb, 0
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = v
+	q.n++
 	q.gate.Signal(k)
 }
 
 // TryPop removes and returns the head item without blocking.
 func (q *Queue[T]) TryPop() (T, bool) {
 	var zero T
-	if len(q.items) == 0 {
+	if q.n == 0 {
 		return zero, false
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
+	v := q.buf[q.head]
+	q.buf[q.head] = zero // release references for GC
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
 	return v, true
 }
 
 // Snapshot returns a copy of the queued items, head first (checkpointing).
 func (q *Queue[T]) Snapshot() []T {
-	return append([]T(nil), q.items...)
+	out := make([]T, q.n)
+	for i := 0; i < q.n; i++ {
+		out[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	return out
 }
 
 // Pop blocks p until an item is available, then removes and returns it.

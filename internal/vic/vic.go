@@ -70,12 +70,13 @@ type Stats struct {
 // the owning node's simulated process and advance virtual time; the receive
 // path runs inside fabric delivery events.
 type VIC struct {
-	ID     int
-	Port   int
-	par    Params
-	k      *sim.Kernel
-	inject func(pkt dvswitch.Packet)
-	portOf func(vicID int) int // VIC id → fabric port (identity when nil)
+	ID      int
+	Port    int
+	par     Params
+	k       *sim.Kernel
+	inject  func(pkt dvswitch.Packet)
+	injectB func(pkts []dvswitch.Packet) // batched fabric entry (SetBatchInject)
+	portOf  func(vicID int) int          // VIC id → fabric port (identity when nil)
 
 	// mem is the DV Memory: globally addressable single-word slots where
 	// only the last-written value is visible (per the paper).
@@ -104,7 +105,108 @@ type VIC struct {
 	// mut plants deliberate defects for checker validation (SetMutation).
 	mut Mutation
 
+	// scalar selects the legacy one-kernel-event-per-packet boundary instead
+	// of the batched pipeline (SetScalarBoundary). The two are bit-identical
+	// in results — pinned by differential tests — so the scalar path survives
+	// only as the executable reference the batched path is checked against.
+	scalar bool
+
+	// Pooled payloads for the batched boundary: send batches, receive
+	// executions, and FIFO-drain completions recycle through free lists so
+	// the steady-state hot path schedules kernel events without allocating.
+	batchFree []*injectBatch
+	rxFree    []*rxEvent
+	drainFree []*drainEvent
+	fifoSpare []uint64 // drained buffer awaiting reuse (double-buffering)
+
 	st Stats
+}
+
+// injectBatch carries every packet of one boundary crossing — a DMA chunk
+// landing, a PIO word, or a query reply — into a single kernel event. The
+// packets are injected in slice order, which is exactly the order the legacy
+// per-packet events (same timestamp, consecutive sequence numbers) fired in,
+// so batching is invisible in results.
+type injectBatch struct {
+	v    *VIC
+	pkts []dvswitch.Packet
+	dsts []int // destination VIC ids; resolved to ports at fire time
+}
+
+// fireInjectBatch injects a batch into the fabric and recycles the payload.
+// Package-level (not a closure) so Kernel.AtArg carries only the pointer.
+func fireInjectBatch(a any) {
+	b := a.(*injectBatch)
+	v := b.v
+	pkts, dsts := b.pkts, b.dsts
+	for i := range pkts {
+		if v.portOf == nil {
+			pkts[i].Dst = dsts[i]
+		} else {
+			pkts[i].Dst = v.portOf(dsts[i])
+		}
+	}
+	if v.injectB != nil {
+		v.injectB(pkts)
+	} else {
+		for i := range pkts {
+			v.inject(pkts[i])
+		}
+	}
+	b.pkts = pkts[:0]
+	b.dsts = dsts[:0]
+	v.batchFree = append(v.batchFree, b)
+}
+
+// newBatch returns a pooled (or fresh) empty inject batch.
+func (v *VIC) newBatch() *injectBatch {
+	if n := len(v.batchFree); n > 0 {
+		b := v.batchFree[n-1]
+		v.batchFree = v.batchFree[:n-1]
+		return b
+	}
+	return &injectBatch{v: v}
+}
+
+// rxEvent is the pooled payload of one deferred receive execution.
+type rxEvent struct {
+	v   *VIC
+	pkt dvswitch.Packet
+}
+
+// fireReceive runs one deferred packet execution and recycles the payload.
+func fireReceive(a any) {
+	e := a.(*rxEvent)
+	v, pkt := e.v, e.pkt
+	e.pkt = dvswitch.Packet{}
+	v.rxFree = append(v.rxFree, e)
+	v.execute(pkt)
+}
+
+// drainEvent is the pooled payload of one FIFO-drain completion: the batch
+// of words whose DMA transfer into the host ring just finished.
+type drainEvent struct {
+	v     *VIC
+	batch []uint64
+}
+
+// fireDrain lands one drained batch in the host ring, recycles the buffer
+// into the double-buffer spare, and re-arms the drain if more words arrived
+// while the DMA was in flight.
+func fireDrain(a any) {
+	d := a.(*drainEvent)
+	v, batch := d.v, d.batch
+	d.batch = nil
+	v.drainFree = append(v.drainFree, d)
+	for _, w := range batch {
+		v.hostFIFO.Push(v.k, w)
+	}
+	v.fifoSpare = batch[:0]
+	if len(v.fifo) > 0 {
+		v.k.After(v.par.FIFODrainDelay, v.drainFIFO)
+	} else {
+		v.drainArmed = false
+	}
 }
 
 // New builds a VIC. inject delivers a packet into the fabric at the current
@@ -159,10 +261,17 @@ func (v *VIC) HostSend(p *sim.Proc, mode SendMode, words []Word) {
 	switch mode {
 	case PIO, PIOCached:
 		// Doorbell, then each packet crosses the PCIe lane back to back.
+		// Words cross one at a time, so each needs its own injection event
+		// (the completion times differ); the batched path pools the event
+		// payloads where the scalar path allocates a closure per word.
 		p.Wait(v.par.PIOLatency)
 		for _, w := range words {
 			done := v.pioWr.Occupy(p, sim.BytesAt(bytesPer, v.par.PIOWriteBW))
-			v.injectAt(done, w)
+			if v.scalar {
+				v.injectAt(done, w)
+			} else {
+				v.injectBatchAt(done, w)
+			}
 		}
 	case DMA, DMACached:
 		p.Wait(v.par.PIOLatency)
@@ -181,13 +290,36 @@ func (v *VIC) HostSend(p *sim.Proc, mode SendMode, words []Word) {
 			}
 			n := end - base
 			done := v.dmaIn.Occupy(p, sim.BytesAt(n*bytesPer, v.par.DMABW))
-			for _, w := range words[base:end] {
-				v.injectAt(done, w)
+			if v.scalar {
+				// Legacy boundary: one kernel event (and closure) per word.
+				for _, w := range words[base:end] {
+					v.injectAt(done, w)
+				}
+			} else {
+				// Batched boundary: the whole chunk lands on one kernel
+				// event. The legacy events all carried the same timestamp
+				// with consecutive sequence numbers, so injecting the chunk
+				// in order from a single event fires identically.
+				b := v.newBatch()
+				for _, w := range words[base:end] {
+					b.pkts = append(b.pkts, dvswitch.Packet{Src: v.Port, Header: w.header(), Payload: w.Val})
+					b.dsts = append(b.dsts, w.Dst)
+				}
+				v.k.AtArg(done+v.par.ProcDelay, fireInjectBatch, b)
 			}
 		}
 	default:
 		panic(fmt.Sprintf("vic: unknown send mode %d", mode))
 	}
+}
+
+// injectBatchAt schedules a single-packet pooled batch at time t (plus the
+// VIC's processing delay): injectAt without the per-word closure allocation.
+func (v *VIC) injectBatchAt(t sim.Time, w Word) {
+	b := v.newBatch()
+	b.pkts = append(b.pkts, dvswitch.Packet{Src: v.Port, Header: w.header(), Payload: w.Val})
+	b.dsts = append(b.dsts, w.Dst)
+	v.k.AtArg(t+v.par.ProcDelay, fireInjectBatch, b)
 }
 
 func maxInt(a, b int) int {
@@ -218,6 +350,17 @@ func (v *VIC) injectNow(pkt dvswitch.Packet, dstVIC int) {
 // SetPortResolver installs the VIC-id→fabric-port mapping, used when
 // endpoints are spread across a switch with more ports than nodes.
 func (v *VIC) SetPortResolver(fn func(vicID int) int) { v.portOf = fn }
+
+// SetBatchInject installs the batched fabric entry point: one call injects a
+// whole boundary batch, in order, instead of one inject call per packet. When
+// unset, batch events fall back to per-packet calls of the scalar inject.
+func (v *VIC) SetBatchInject(fn func(pkts []dvswitch.Packet)) { v.injectB = fn }
+
+// SetScalarBoundary selects the legacy one-kernel-event-per-packet boundary
+// (true) instead of the batched pipeline (false, the default). Results are
+// bit-identical either way — the scalar path is kept as the executable
+// reference for the boundary differential tests.
+func (v *VIC) SetScalarBoundary(scalar bool) { v.scalar = scalar }
 
 // DMARead pulls n words starting at addr from DV Memory into host memory,
 // blocking until the DMA completes. It returns a copy of the words.
@@ -431,10 +574,18 @@ func (v *VIC) pushSurprise(src int, val uint64) {
 }
 
 // drainFIFO is the background DMA process moving surprise packets into the
-// host-side circular buffer.
+// host-side circular buffer. The whole backlog crosses as one amortized DMA
+// transfer (one reservation, one completion event, one PCIe accounting line),
+// and on the batched boundary the on-VIC buffer double-buffers with the
+// previously drained one so steady-state draining never allocates.
 func (v *VIC) drainFIFO() {
 	batch := v.fifo
-	v.fifo = nil
+	if v.scalar {
+		v.fifo = nil
+	} else {
+		v.fifo = v.fifoSpare[:0]
+		v.fifoSpare = nil
+	}
 	if len(batch) == 0 {
 		v.drainArmed = false
 		return
@@ -449,16 +600,32 @@ func (v *VIC) drainFIFO() {
 			batch[i], batch[j] = batch[j], batch[i]
 		}
 	}
-	v.k.At(done, func() {
-		for _, w := range batch {
-			v.hostFIFO.Push(v.k, w)
-		}
-		if len(v.fifo) > 0 {
-			v.k.After(v.par.FIFODrainDelay, v.drainFIFO)
-		} else {
-			v.drainArmed = false
-		}
-	})
+	if v.scalar {
+		v.k.At(done, func() {
+			for _, w := range batch {
+				v.hostFIFO.Push(v.k, w)
+			}
+			if len(v.fifo) > 0 {
+				v.k.After(v.par.FIFODrainDelay, v.drainFIFO)
+			} else {
+				v.drainArmed = false
+			}
+		})
+		return
+	}
+	d := v.newDrain()
+	d.batch = batch
+	v.k.AtArg(done, fireDrain, d)
+}
+
+// newDrain returns a pooled (or fresh) drain-completion payload.
+func (v *VIC) newDrain() *drainEvent {
+	if n := len(v.drainFree); n > 0 {
+		d := v.drainFree[n-1]
+		v.drainFree = v.drainFree[:n-1]
+		return d
+	}
+	return &drainEvent{v: v}
 }
 
 // ---------------------------------------------------------------------------
@@ -480,7 +647,23 @@ func (v *VIC) Receive(pkt dvswitch.Packet) {
 		}
 		return
 	}
-	v.k.After(v.par.ProcDelay, func() { v.execute(pkt) })
+	if v.scalar {
+		v.k.After(v.par.ProcDelay, func() { v.execute(pkt) })
+		return
+	}
+	e := v.newRx()
+	e.pkt = pkt
+	v.k.AfterArg(v.par.ProcDelay, fireReceive, e)
+}
+
+// newRx returns a pooled (or fresh) receive-execution payload.
+func (v *VIC) newRx() *rxEvent {
+	if n := len(v.rxFree); n > 0 {
+		e := v.rxFree[n-1]
+		v.rxFree = v.rxFree[:n-1]
+		return e
+	}
+	return &rxEvent{v: v}
 }
 
 // StallDMA wedges both DMA engines for d starting at time at (clamped to the
@@ -526,7 +709,14 @@ func (v *VIC) execute(pkt dvswitch.Packet) {
 		// reply payload. The reply VIC need not be the querying VIC.
 		reply := dvswitch.Packet{Src: v.Port, Header: pkt.Payload, Payload: v.mem.read(addr)}
 		dstVIC, _, _, _ := DecodeHeader(pkt.Payload)
-		v.k.After(v.par.ProcDelay, func() { v.injectNow(reply, dstVIC) })
+		if v.scalar {
+			v.k.After(v.par.ProcDelay, func() { v.injectNow(reply, dstVIC) })
+			return
+		}
+		b := v.newBatch()
+		b.pkts = append(b.pkts, reply)
+		b.dsts = append(b.dsts, dstVIC)
+		v.k.AfterArg(v.par.ProcDelay, fireInjectBatch, b)
 	default:
 		panic(fmt.Sprintf("vic %d: unknown opcode %d", v.ID, op))
 	}
