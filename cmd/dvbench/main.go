@@ -12,7 +12,8 @@
 //	dvbench -app gups       # one registered app, both backends
 //	dvbench -jobs 4         # fan independent sweep points over 4 workers
 //	dvbench -trace out.csv  # where fig5 writes its trace
-//	dvbench -metrics m      # observability reference run -> m.jsonl m.prom m.trace.json
+//	dvbench -metrics m      # observability reference run -> m.jsonl m.prom
+//	                        # m.trace.json + stage-attribution summary table
 //	dvbench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 //	go test -run=NONE -bench . -count=6 ./internal/dvswitch |
@@ -128,7 +129,7 @@ func main() {
 		"worker count for independent sweep points (results identical at any value)")
 	tracePath := flag.String("trace", "gups_trace.csv", "output file for the fig5 trace CSV")
 	metricsBase := flag.String("metrics", "",
-		"run the observability reference run and write <base>.jsonl, <base>.prom and <base>.trace.json")
+		"run the observability reference run: write <base>.jsonl, <base>.prom and <base>.trace.json, and print the stage-attribution summary")
 	jsonPath := flag.String("json", "", "also write results as JSON to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -502,7 +503,9 @@ func runApp(r appRun) error {
 
 // runMetrics executes the observability reference run and writes its three
 // exports next to each other: <base>.jsonl (time series), <base>.prom
-// (Prometheus text dump), <base>.trace.json (Chrome/Perfetto trace).
+// (Prometheus text dump), <base>.trace.json (Chrome/Perfetto trace). The
+// run also traces every flow through the attribution layer, and the stage
+// and per-node latency-decomposition tables print after the summary table.
 func runMetrics(opt bench.Options, base string) error {
 	paths := []string{base + ".jsonl", base + ".prom", base + ".trace.json"}
 	files := make([]*os.File, len(paths))
@@ -514,11 +517,15 @@ func runMetrics(opt bench.Options, base string) error {
 		defer f.Close()
 		files[i] = f
 	}
-	tab, err := bench.Metrics(opt, files[0], files[1], files[2])
+	tab, attrSum, err := bench.Metrics(opt, files[0], files[1], files[2])
 	if err != nil {
 		return err
 	}
 	tab.Fprint(os.Stdout)
+	fmt.Println()
+	if err := bench.WriteAttrSummary(os.Stdout, attrSum); err != nil {
+		return err
+	}
 	fmt.Printf("metrics written to %s, %s, %s\n", paths[0], paths[1], paths[2])
 	return nil
 }

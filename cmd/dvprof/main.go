@@ -1,0 +1,212 @@
+// Command dvprof is the latency-attribution profiler: it runs a registered
+// workload with causal flow tracing enabled and reports where every
+// microsecond of end-to-end packet latency went — per pipeline stage (host
+// TX, SRAM, inject wait, fabric, eject, drain), per source node, per
+// operation kind — plus the run's critical path, the top-K slowest flows,
+// and (cycle-accurate runs) the cylinder×angle deflection congestion map.
+// Stage sums provably equal end-to-end latency (the run executes under the
+// invariant layer), and all output is byte-deterministic for a fixed
+// configuration, so profiles diff cleanly across code or parameter changes.
+//
+// Usage:
+//
+//	dvprof -list
+//	dvprof [-app gups] [-net dv|ib] [-nodes N] [-seed S] [-cycle] [-dense]
+//	       [-sample N] [-topk K] [-per-node] [-critpath] [-json]
+//	       [-heatmap heat.svg] [-trace flows.trace.json]
+//
+// Examples:
+//
+//	dvprof -app gups                         # stage breakdown, slowest flows
+//	dvprof -app gups -cycle -heatmap h.svg   # + deflection heatmap (SVG)
+//	dvprof -app sort -net ib                 # MPI baseline attribution
+//	dvprof -app gups -trace flows.json       # Chrome/Perfetto flow trace
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/apprt"
+	_ "repro/internal/apps/all"
+	"repro/internal/check"
+	"repro/internal/cluster"
+	"repro/internal/comm"
+	"repro/internal/obs"
+	"repro/internal/obs/attr"
+	"repro/internal/plot"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dvprof: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func listApps(w io.Writer) {
+	apps := apprt.Apps()
+	sort.Slice(apps, func(i, j int) bool { return apps[i].Name < apps[j].Name })
+	fmt.Fprintf(w, "%-10s %-8s %s\n", "app", "nodes", "description")
+	for _, a := range apps {
+		fmt.Fprintf(w, "%-10s %-8d %s\n", a.Name, a.RefNodes, a.Desc)
+	}
+}
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list registered workloads and exit")
+		appName = flag.String("app", "gups", "workload to profile (see -list)")
+		netStr  = flag.String("net", "dv", "network under test: dv or ib")
+		nodes   = flag.Int("nodes", 0, "cluster nodes (0 = app reference size)")
+		seed    = flag.Uint64("seed", 7, "run seed (pins traffic and sampling)")
+		cycle   = flag.Bool("cycle", false, "cycle-accurate switch core (enables the deflection heatmap)")
+		dense   = flag.Bool("dense", false, "dense full-fabric scan (with -cycle)")
+		sample  = flag.Uint64("sample", 1, "trace 1-in-N flows (1 = every flow)")
+		topK    = flag.Int("topk", 16, "slowest-flow drill-down depth")
+		perNode = flag.Bool("per-node", true, "print the per-source-node table")
+		critp   = flag.Bool("critpath", true, "print the run's critical path")
+		jsonOut = flag.Bool("json", false, "emit the attribution summary as JSON instead of tables")
+		heatSVG = flag.String("heatmap", "", "write the cylinder-x-angle deflection heatmap SVG here (needs -cycle)")
+		trOut   = flag.String("trace", "", "write a Chrome/Perfetto trace with per-flow spans and flow-binding events here")
+	)
+	flag.Parse()
+	if *list {
+		listApps(os.Stdout)
+		return
+	}
+	app, ok := apprt.Get(*appName)
+	if !ok {
+		fail("unknown app %q (try -list)", *appName)
+	}
+	net, err := comm.ParseNet(*netStr)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *heatSVG != "" && !*cycle {
+		fail("-heatmap needs the cycle-accurate core (-cycle): the fast model has no per-node deflection census")
+	}
+
+	n := *nodes
+	if n <= 0 {
+		n = app.RefNodes
+	}
+	spec := apprt.RunSpec{
+		Net: net, Nodes: n, Seed: *seed,
+		CycleAccurate: *cycle, DenseSwitch: *dense,
+		Trace: trace.New(),
+		Check: check.All(),
+		Attr:  &attr.Config{Sample: *sample, TopK: *topK, Chrome: *trOut != ""},
+	}
+	if *trOut != "" {
+		// Flow spans ride the Metrics packet exporter.
+		spec.Obs = &obs.Config{Every: 100 * sim.Microsecond}
+	}
+	sum, err := app.Run(spec)
+	if err != nil {
+		fail("run failed: %v", err)
+	}
+	rep := sum.Cluster
+	if rep.Checks != nil {
+		if err := rep.Checks.Err(); err != nil {
+			fail("attribution invariant violated: %v", err)
+		}
+	}
+	a := rep.Attr
+	if a == nil {
+		fail("run produced no attribution summary")
+	}
+
+	if *jsonOut {
+		b, err := json.MarshalIndent(a, "", "  ")
+		if err != nil {
+			fail("%v", err)
+		}
+		os.Stdout.Write(b)
+		fmt.Println()
+	} else {
+		fmt.Printf("%s on %s, %d nodes, seed %d: elapsed %.3f us\n\n",
+			app.Name, net, n, *seed, float64(sum.Elapsed)/float64(sim.Microsecond))
+		if err := a.WriteTable(os.Stdout); err != nil {
+			fail("%v", err)
+		}
+		if *perNode {
+			fmt.Println()
+			if err := a.WriteNodeTable(os.Stdout); err != nil {
+				fail("%v", err)
+			}
+		}
+		fmt.Println()
+		if err := a.WriteSlowest(os.Stdout); err != nil {
+			fail("%v", err)
+		}
+		if *critp {
+			fmt.Println()
+			if err := attr.WriteCritPath(os.Stdout, a.CritPath); err != nil {
+				fail("%v", err)
+			}
+		}
+		if a.Heat != nil {
+			fmt.Println()
+			if err := a.WriteHeat(os.Stdout); err != nil {
+				fail("%v", err)
+			}
+		}
+	}
+
+	if *heatSVG != "" {
+		if a.Heat == nil {
+			fail("no heatmap data (fabric idle?)")
+		}
+		if err := writeHeatSVG(*heatSVG, app.Name, a.Heat); err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "dvprof: heatmap written to %s\n", *heatSVG)
+	}
+	if *trOut != "" {
+		if err := writeChrome(*trOut, rep); err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "dvprof: Chrome trace written to %s (load in Perfetto or chrome://tracing)\n", *trOut)
+	}
+}
+
+// writeHeatSVG renders the deflection census as an SVG heatmap.
+func writeHeatSVG(path, appName string, h *attr.Heat) error {
+	hm := plot.Heatmap{
+		Title:  fmt.Sprintf("Deflection congestion: %s (cylinder x angle)", appName),
+		XLabel: "angle",
+		YLabel: "cylinder",
+		Rows:   h.Cylinders,
+		Cols:   h.Angles,
+		Cells:  make([]float64, len(h.Cells)),
+	}
+	for i, v := range h.Cells {
+		hm.Cells[i] = float64(v)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return hm.RenderSVG(f, 900, 120+40*h.Cylinders)
+}
+
+// writeChrome exports the run's Metrics packets — which include the per-flow
+// stage spans and s/f flow-binding pairs when Attr.Chrome is on — as Chrome
+// trace-event JSON.
+func writeChrome(path string, rep *cluster.Report) error {
+	if rep.Metrics == nil {
+		return fmt.Errorf("no metrics collected")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return rep.Metrics.WriteChromeTrace(f)
+}

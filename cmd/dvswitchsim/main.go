@@ -9,6 +9,11 @@
 //	            [-load 0.5] [-cycles 20000] [-dense]
 //	            [-droprate 1e-4] [-corruptrate 1e-5] [-faultwindow 1000:5000]
 //	            [-metrics out.prom]
+//
+// With -metrics the run also traces every packet through the attribution
+// layer and prints the stage-latency breakdown (queue wait vs fabric
+// transit, at the 1818 ps default cycle period) and the cylinder×angle
+// deflection census alongside the Prometheus dump.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"repro/internal/dvswitch"
 	"repro/internal/faultplan"
 	"repro/internal/obs"
+	"repro/internal/obs/attr"
 	"repro/internal/sim"
 )
 
@@ -58,7 +64,8 @@ func main() {
 	corruptrate := flag.Float64("corruptrate", 0, "per-link-traversal payload-corruption probability")
 	faultwindow := flag.String("faultwindow", "", "cycle window start:end for link faults (default: whole run)")
 	dense := flag.Bool("dense", false, "step with the dense full-fabric scan instead of the sparse active list (bit-identical; for perf comparison)")
-	metricsPath := flag.String("metrics", "", "write a Prometheus text dump of the run's instruments to this file ('-' for stdout)")
+	metricsPath := flag.String("metrics", "",
+		"write a Prometheus text dump of the run's instruments to this file ('-' for stdout) and print the stage-attribution summary")
 	budgetWall := flag.Duration("budget-wall", 0,
 		"wall-clock budget; on expiry stop at a cycle boundary and report partial stats (exit 3)")
 	flag.Parse()
@@ -72,9 +79,28 @@ func main() {
 	c.Dense = *dense
 	c.Deliver = func(dvswitch.Packet, int64) {}
 	var reg *obs.Registry
+	var tracer *attr.Tracer
+	// Timebase for the attribution stamps: the fleet-wide default cycle
+	// period, so stage durations read in the same units as cluster runs.
+	const ct = dvswitch.DefaultCycleTime
 	if *metricsPath != "" {
 		reg = obs.NewRegistry()
 		c.SetObs(reg)
+		// Standalone attribution: Begin at injection, inject_wait while the
+		// packet sits in its port queue, fabric from the cycle it enters the
+		// mesh (one pump per hop, delivered the cycle after its last hop, so
+		// entry = eject − (hops+1) cycles — the same derivation the cluster
+		// uses). The host-side stages don't exist here and stay zero.
+		tracer = attr.NewTracer(&attr.Config{Sample: 1, Seed: *seed})
+		c.SetHeat(tracer.HeatGrid(p.Cylinders(), p.Angles))
+		c.Deliver = func(pkt dvswitch.Packet, cycle int64) {
+			if pkt.Flow != 0 {
+				eject := sim.Time(cycle) * ct
+				entry := eject - sim.Time(pkt.Hops+1)*ct
+				tracer.StampFabric(pkt.Flow, entry, eject, pkt.Hops, pkt.Deflections)
+				tracer.Complete(pkt.Flow, eject)
+			}
+		}
 	}
 	rng := sim.NewRNG(*seed)
 	for k := 0; k < *faults; k++ {
@@ -140,7 +166,9 @@ func main() {
 				fmt.Fprintf(os.Stderr, "dvswitchsim: unknown pattern %q\n", *pattern)
 				os.Exit(2)
 			}
-			c.Inject(dvswitch.Packet{Src: src, Dst: dst})
+			pkt := dvswitch.Packet{Src: src, Dst: dst}
+			pkt.Flow = tracer.Begin(src, dst, attr.KindWrite, sim.Time(cy)*ct)
+			c.Inject(pkt)
 		}
 		c.Step()
 	}
@@ -191,6 +219,21 @@ func main() {
 		}
 		if *metricsPath != "-" {
 			fmt.Printf("  metrics        written to %s\n", *metricsPath)
+		}
+	}
+	if tracer != nil {
+		sum := tracer.Finalize()
+		fmt.Println()
+		if err := sum.WriteTable(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "dvswitchsim: %v\n", err)
+			os.Exit(1)
+		}
+		if sum.Heat.Total() > 0 {
+			fmt.Println()
+			if err := sum.WriteHeat(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "dvswitchsim: %v\n", err)
+				os.Exit(1)
+			}
 		}
 	}
 	if budgetHit {

@@ -21,6 +21,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/faultplan"
 	"repro/internal/obs"
+	"repro/internal/obs/attr"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -65,6 +66,11 @@ type RunSpec struct {
 	// Check enables the invariant layer for the run; results land in
 	// Report.Cluster.Checks. Checking never alters a run's results.
 	Check *check.Config
+	// Attr enables causal flow tracing and stage-level latency attribution;
+	// the per-stage/per-node decomposition, slowest-flow drill-down, and
+	// critical path land in Report.Cluster.Attr. Attribution never alters a
+	// run's results (golden-pinned).
+	Attr *attr.Config
 	// Checkpoint runs the workload under the managed pump: periodic
 	// full-state snapshots, wall/virtual budgets, and replay-verified
 	// restore (see cluster.Checkpoint). Execute fills in the Net identity
@@ -115,6 +121,7 @@ func Execute(spec RunSpec, kernel Kernel) Report {
 	cfg.Trace = spec.Trace
 	cfg.Obs = spec.Obs
 	cfg.Check = spec.Check
+	cfg.Attr = spec.Attr
 	if spec.Checkpoint != nil {
 		if spec.Checkpoint.Net == "" {
 			spec.Checkpoint.Net = spec.Net.String()

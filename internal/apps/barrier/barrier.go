@@ -17,6 +17,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/faultplan"
+	"repro/internal/obs/attr"
 	"repro/internal/sim"
 )
 
@@ -66,6 +67,9 @@ type Opts struct {
 	ScalarBoundary bool
 	// Check enables the invariant layer for the run.
 	Check *check.Config
+	// Attr enables causal flow tracing and stage-level latency attribution
+	// for the run; the summary lands in the cluster Report's Attr field.
+	Attr *attr.Config
 	// Checkpoint runs the app under the managed pump — periodic snapshots,
 	// budgets, replay-verified restore (see cluster.Checkpoint).
 	Checkpoint *cluster.Checkpoint
@@ -110,6 +114,7 @@ func RunOpts(impl Impl, nodes, iters int, opts Opts) Result {
 		ScalarBoundary: opts.ScalarBoundary,
 		Faults:         opts.Faults,
 		Check:          opts.Check,
+		Attr:           opts.Attr,
 		Checkpoint:     opts.Checkpoint,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		// Each bar() reports whether the barrier completed; a node whose

@@ -33,6 +33,7 @@ func init() {
 				WaitTimeout:    spec.WaitTimeout,
 				ScalarBoundary: spec.ScalarBoundary,
 				Check:          spec.Check,
+				Attr:           spec.Attr,
 				Checkpoint:     spec.Checkpoint,
 			})
 			return apprt.Summary{

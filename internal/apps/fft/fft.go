@@ -19,6 +19,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/fftkernel"
+	"repro/internal/obs/attr"
 	"repro/internal/sim"
 )
 
@@ -51,6 +52,9 @@ type Params struct {
 	IBAdaptive bool
 	// Check enables the invariant layer for the run.
 	Check *check.Config
+	// Attr enables causal flow tracing and stage-level latency attribution
+	// for the run; the summary lands in the cluster Report's Attr field.
+	Attr *attr.Config
 	// Checkpoint runs the app under the managed pump — periodic snapshots,
 	// budgets, replay-verified restore (see cluster.Checkpoint).
 	Checkpoint *cluster.Checkpoint
@@ -145,6 +149,7 @@ func Run(net Net, par Params) Result {
 		ScalarBoundary: par.ScalarBoundary,
 		IBAdaptive:     par.IBAdaptive,
 		Check:          par.Check,
+		Attr:           par.Attr,
 		Checkpoint:     par.Checkpoint,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		out, d := runNode(n, be, net, par, n1, n2)

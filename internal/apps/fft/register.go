@@ -25,6 +25,7 @@ func init() {
 				ScalarBoundary: spec.ScalarBoundary,
 				IBAdaptive:     spec.IBAdaptive,
 				Check:          spec.Check,
+				Attr:           spec.Attr,
 				Checkpoint:     spec.Checkpoint,
 			}
 			res := Run(spec.Net, par)

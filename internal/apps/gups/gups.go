@@ -22,6 +22,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/faultplan"
 	"repro/internal/obs"
+	"repro/internal/obs/attr"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -73,6 +74,9 @@ type Params struct {
 	WaitTimeout sim.Time
 	// Check enables the invariant layer for the run.
 	Check *check.Config
+	// Attr enables causal flow tracing and stage-level latency attribution
+	// for the run; the summary lands in the cluster Report's Attr field.
+	Attr *attr.Config
 	// Checkpoint runs the app under the managed pump — periodic snapshots,
 	// budgets, replay-verified restore (see cluster.Checkpoint).
 	Checkpoint *cluster.Checkpoint
@@ -189,6 +193,7 @@ func Run(net Net, par Params) Result {
 		Trace:          par.Trace,
 		Obs:            par.Obs,
 		Check:          par.Check,
+		Attr:           par.Attr,
 		Checkpoint:     par.Checkpoint,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		table := make([]uint64, par.TableWordsNode)

@@ -31,6 +31,7 @@ func init() {
 				Trace:          spec.Trace,
 				Obs:            spec.Obs,
 				Check:          spec.Check,
+				Attr:           spec.Attr,
 				Checkpoint:     spec.Checkpoint,
 			}
 			res := Run(spec.Net, par)

@@ -20,6 +20,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/faultplan"
+	"repro/internal/obs/attr"
 	"repro/internal/sim"
 )
 
@@ -63,6 +64,9 @@ type Params struct {
 	WaitTimeout sim.Time
 	// Check enables the invariant layer for the run.
 	Check *check.Config
+	// Attr enables causal flow tracing and stage-level latency attribution
+	// for the run; the summary lands in the cluster Report's Attr field.
+	Attr *attr.Config
 	// Checkpoint runs the app under the managed pump — periodic snapshots,
 	// budgets, replay-verified restore (see cluster.Checkpoint).
 	Checkpoint *cluster.Checkpoint
@@ -159,6 +163,7 @@ func Run(net Net, par Params) Result {
 		WaitTimeout:    par.WaitTimeout,
 		Faults:         par.Faults,
 		Check:          par.Check,
+		Attr:           par.Attr,
 		Checkpoint:     par.Checkpoint,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		s := newSolver(n, be, par, px, py, pz)

@@ -28,6 +28,7 @@ func init() {
 				Reliable:       spec.Reliable,
 				WaitTimeout:    spec.WaitTimeout,
 				Check:          spec.Check,
+				Attr:           spec.Attr,
 				Checkpoint:     spec.Checkpoint,
 			}
 			res := Run(spec.Net, par)

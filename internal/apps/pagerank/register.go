@@ -23,6 +23,7 @@ func init() {
 				CycleAccurate:  spec.CycleAccurate,
 				ScalarBoundary: spec.ScalarBoundary,
 				Check:          spec.Check,
+				Attr:           spec.Attr,
 				Checkpoint:     spec.Checkpoint,
 			}
 			res := Run(spec.Net, par)

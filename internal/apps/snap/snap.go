@@ -23,6 +23,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/dv"
+	"repro/internal/obs/attr"
 	"repro/internal/sim"
 )
 
@@ -64,6 +65,9 @@ type Params struct {
 	ScalarBoundary bool
 	// Check enables the invariant layer for the run.
 	Check *check.Config
+	// Attr enables causal flow tracing and stage-level latency attribution
+	// for the run; the summary lands in the cluster Report's Attr field.
+	Attr *attr.Config
 	// Checkpoint runs the app under the managed pump — periodic snapshots,
 	// budgets, replay-verified restore (see cluster.Checkpoint).
 	Checkpoint *cluster.Checkpoint
@@ -197,6 +201,7 @@ func Run(net Net, par Params) Result {
 		CycleAccurate:  par.CycleAccurate,
 		ScalarBoundary: par.ScalarBoundary,
 		Check:          par.Check,
+		Attr:           par.Attr,
 		Checkpoint:     par.Checkpoint,
 	}, func(n *cluster.Node, be comm.Backend) sim.Time {
 		s := newSolver(n, be, net, par, py, pz)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/apps/gups"
 	"repro/internal/faultplan"
 	"repro/internal/obs"
+	"repro/internal/obs/attr"
 	"repro/internal/sim"
 )
 
@@ -30,6 +31,9 @@ func MetricsRun(opt Options) gups.Result {
 			PacketSample: 8,
 			Seed:         9,
 		},
+		// Full flow attribution: with loss and retransmissions in the plan,
+		// the summary exercises lost flows and retransmit epochs too.
+		Attr: &attr.Config{Sample: 1},
 	}
 	if opt.Small {
 		par.UpdatesPerNode = 1 << 9
@@ -41,26 +45,27 @@ func MetricsRun(opt Options) gups.Result {
 // Prometheus text dump, Chrome trace JSON — to the given writers (any may be
 // nil to skip). The returned table summarises the run from the metrics
 // registry itself, so a discrepancy between instruments and the run report
-// shows up as a wrong table.
-func Metrics(opt Options, jsonl, prom, chrome io.Writer) (*Table, error) {
+// shows up as a wrong table; the attribution summary is returned alongside
+// for the driver's stage-breakdown output.
+func Metrics(opt Options, jsonl, prom, chrome io.Writer) (*Table, *attr.Summary, error) {
 	r := MetricsRun(opt)
 	m := r.Report.Metrics
 	if m == nil {
-		return nil, fmt.Errorf("bench: metrics run produced no metrics")
+		return nil, nil, fmt.Errorf("bench: metrics run produced no metrics")
 	}
 	if jsonl != nil {
 		if err := m.WriteJSONL(jsonl); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if prom != nil {
 		if err := m.WritePrometheus(prom); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if chrome != nil {
 		if err := m.WriteChromeTrace(chrome); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	t := &Table{
@@ -84,5 +89,21 @@ func Metrics(opt Options, jsonl, prom, chrome io.Writer) (*Table, error) {
 		fmt.Sprintf("%d", m.Registry.CounterValue("rel_retry_rounds_total")))
 	t.AddRow("series_rows", fmt.Sprintf("%d", len(m.Series.Rows)))
 	t.AddRow("trace_events", fmt.Sprintf("%d", len(m.Packets)))
-	return t, nil
+	if a := rep.Attr; a != nil {
+		t.AddRow("attr_flows", fmt.Sprintf("%d", a.Begun))
+		t.AddRow("attr_completed", fmt.Sprintf("%d", a.Completed))
+		t.AddRow("attr_lost", fmt.Sprintf("%d", a.Lost))
+		t.AddRow("attr_retransmit_epochs", fmt.Sprintf("%d", a.RetransmitEpochs))
+	}
+	return t, rep.Attr, nil
+}
+
+// WriteAttrSummary re-runs nothing: it renders the attribution summary of a
+// finished metrics run (stage, kind, and per-node tables) for the -metrics
+// driver output. A nil summary prints the disabled marker.
+func WriteAttrSummary(w io.Writer, a *attr.Summary) error {
+	if err := a.WriteTable(w); err != nil {
+		return err
+	}
+	return a.WriteNodeTable(w)
 }

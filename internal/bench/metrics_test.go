@@ -12,9 +12,12 @@ import (
 func TestMetricsDeterministicExports(t *testing.T) {
 	dump := func() (string, string, string, *Table) {
 		var j, p, c strings.Builder
-		tab, err := Metrics(Options{Small: true}, &j, &p, &c)
+		tab, attrSum, err := Metrics(Options{Small: true}, &j, &p, &c)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if attrSum == nil || attrSum.Completed == 0 {
+			t.Fatal("reference run produced no attribution summary")
 		}
 		return j.String(), p.String(), c.String(), tab
 	}

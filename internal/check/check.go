@@ -16,6 +16,8 @@ package check
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/obs/attr"
 )
 
 // Config selects which invariant families a Checker enforces. The zero value
@@ -31,6 +33,10 @@ type Config struct {
 	// Reliable enables the reliable-layer invariants: exactly-once delivery
 	// and monotone chunk sequence numbers.
 	Reliable bool
+	// Attr enables the attribution invariant: every completed traced flow's
+	// per-stage durations are non-negative and sum exactly to its
+	// end-to-end latency (checked at Finalize over the attached tracer).
+	Attr bool
 
 	// MaxAge bounds a packet's in-fabric age in cycles before it is declared
 	// livelocked. 0 derives a bound from the switch geometry.
@@ -45,7 +51,7 @@ type Config struct {
 
 // All returns a Config with every invariant family enabled and automatic
 // bounds.
-func All() *Config { return &Config{Switch: true, VIC: true, Reliable: true} }
+func All() *Config { return &Config{Switch: true, VIC: true, Reliable: true, Attr: true} }
 
 // Violation is one detected invariant breach.
 type Violation struct {
@@ -81,6 +87,9 @@ type Result struct {
 	// ChunksChecked counts reliable chunks verified for exactly-once
 	// delivery.
 	ChunksChecked int64
+	// FlowsChecked counts completed attribution flows whose stage sums were
+	// verified against end-to-end latency.
+	FlowsChecked int64
 }
 
 // Ok reports whether no invariant was violated.
@@ -128,6 +137,10 @@ type Checker struct {
 	seqs    map[endpointKey]uint64
 	resolve map[endpointID]resolver
 
+	// attrTracer is the attribution tracer under verification (AttachAttr);
+	// nil when attribution is off or the family is disabled.
+	attrTracer *attr.Tracer
+
 	finalized bool
 }
 
@@ -172,6 +185,7 @@ func (c *Checker) Finalize() *Result {
 		c.finalized = true
 		c.finalizeFabric()
 		c.finalizeVICs()
+		c.finalizeAttr()
 	}
 	return &c.res
 }

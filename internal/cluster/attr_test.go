@@ -1,0 +1,352 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/obs/attr"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+	"repro/internal/trace"
+	"repro/internal/vic"
+)
+
+// attrWorkload exercises every flow kind across both stacks: counted writes,
+// surprise-FIFO pushes, group-counter control packets, queries, the barrier,
+// and MPI traffic.
+func attrWorkload(n *Node) {
+	if n.DV != nil {
+		gc := n.DV.AllocGC()
+		buf := n.DV.Alloc(8)
+		n.DV.ArmGC(gc, 8)
+		n.DV.Barrier()
+		dst := (n.ID + 1) % n.DV.Size()
+		n.DV.Put(vic.PIO, dst, buf, gc, []uint64{1, 2, 3, 4})
+		n.DV.Put(vic.DMACached, dst, buf+4, gc, []uint64{5, 6, 7, 8})
+		n.DV.FIFOPut(vic.PIO, dst, []uint64{100, 101})
+		n.DV.WaitGC(gc, sim.Second)
+		n.DV.Barrier()
+		ans := n.DV.Alloc(1)
+		qgc := n.DV.AllocGC()
+		n.DV.ArmGC(qgc, 1)
+		n.DV.Barrier()
+		n.DV.Query(vic.PIO, dst, buf, n.ID, ans, qgc)
+		n.DV.WaitGC(qgc, sim.Second)
+		for {
+			if _, ok := n.DV.TryPopFIFO(); !ok {
+				break
+			}
+		}
+		n.DV.Barrier()
+	}
+	if n.MPI != nil {
+		n.MPI.Barrier()
+		if n.ID == 0 {
+			n.MPI.Send(1, 7, []byte{1, 2, 3})
+		}
+		if n.ID == 1 {
+			n.MPI.Recv(0, 7)
+		}
+		n.MPI.Barrier()
+	}
+}
+
+// TestAttrStageSumInvariant runs the full workload with Sample=1 under the
+// check layer's stage-sum invariant on every engine variant. A wrong stamp
+// anywhere — including a wrong fabric-entry constant in the cycle-accurate
+// deliver wrapper — breaks the telescoping sum and fails here.
+func TestAttrStageSumInvariant(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		cycle bool
+		dense bool
+	}{
+		{"fast", false, false},
+		{"cycle-sparse", true, false},
+		{"cycle-dense", true, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(4)
+			cfg.CycleAccurate = tc.cycle
+			cfg.DenseSwitch = tc.dense
+			cfg.Attr = &attr.Config{Sample: 1}
+			cfg.Check = check.All()
+			rep := Run(cfg, attrWorkload)
+			if rep.Checks == nil || !rep.Checks.Ok() {
+				t.Fatalf("invariant violations: %v", rep.Checks.Err())
+			}
+			if rep.Checks.FlowsChecked == 0 {
+				t.Fatal("no flows checked")
+			}
+			if rep.Attr == nil {
+				t.Fatal("Report.Attr not populated")
+			}
+			if rep.Attr.Completed == 0 {
+				t.Fatal("no flows completed")
+			}
+			if rep.Attr.Lost != 0 {
+				t.Fatalf("%d flows lost in a fault-free run", rep.Attr.Lost)
+			}
+			// Every DV flow must have crossed the fabric.
+			if rep.Attr.Stages[attr.StageFabric].Total <= 0 {
+				t.Fatal("no fabric time attributed")
+			}
+			if tc.cycle && rep.Attr.Heat == nil {
+				t.Fatal("cycle-accurate run has no deflection heatmap")
+			}
+		})
+	}
+}
+
+// TestAttrMutationsCaught proves the stage-sum invariant actually detects
+// broken stamping: each planted mutation must produce violations.
+func TestAttrMutationsCaught(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  attr.Mutation
+	}{
+		{"double-fabric", attr.MutDoubleFabric},
+		{"skip-drain", attr.MutSkipDrain},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(4)
+			cfg.Stacks = StackDV
+			cfg.Attr = &attr.Config{Sample: 1, Mutate: tc.mut}
+			cfg.Check = check.All()
+			rep := Run(cfg, attrWorkload)
+			if rep.Checks == nil {
+				t.Fatal("no check result")
+			}
+			if rep.Checks.Ok() {
+				t.Fatalf("mutation %s not caught by stage-sum invariant", tc.name)
+			}
+			for _, v := range rep.Checks.Violations {
+				if v.Layer != "attr" {
+					t.Fatalf("unexpected violation layer %q: %s", v.Layer, v)
+				}
+			}
+		})
+	}
+}
+
+// TestAttrPureObservation is the golden-diff proof in miniature: a run with
+// attribution on must produce a Report that is byte-identical (modulo the
+// Attr field itself) to the same run with attribution off.
+func TestAttrPureObservation(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		cycle bool
+	}{{"fast", false}, {"cycle", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(on bool) []byte {
+				cfg := DefaultConfig(4)
+				cfg.CycleAccurate = tc.cycle
+				if on {
+					cfg.Attr = &attr.Config{Sample: 1}
+				}
+				rep := Run(cfg, attrWorkload)
+				rep.Attr = nil // the only field allowed to differ
+				b, err := json.MarshalIndent(rep, "", " ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				return b
+			}
+			off, on := run(false), run(true)
+			if !bytes.Equal(off, on) {
+				t.Fatalf("attribution changed the run:\noff: %s\non:  %s", off, on)
+			}
+		})
+	}
+}
+
+// TestAttrDeterministic pins byte-for-byte reproducibility of the summary.
+func TestAttrDeterministic(t *testing.T) {
+	run := func() []byte {
+		cfg := DefaultConfig(4)
+		cfg.Attr = &attr.Config{Sample: 1, TopK: 8}
+		cfg.Trace = trace.New()
+		rep := Run(cfg, attrWorkload)
+		b, err := json.Marshal(rep.Attr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("attribution summary not deterministic across identical runs")
+	}
+	var sum attr.Summary
+	if err := json.Unmarshal(a, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.CritPath) == 0 {
+		t.Fatal("no critical path computed with tracing on")
+	}
+}
+
+// TestAttrSampling checks that sampling reduces traced flows deterministically.
+func TestAttrSampling(t *testing.T) {
+	count := func(sample uint64) int64 {
+		cfg := DefaultConfig(4)
+		cfg.Stacks = StackDV
+		cfg.Attr = &attr.Config{Sample: sample}
+		rep := Run(cfg, attrWorkload)
+		return rep.Attr.Begun
+	}
+	all := count(1)
+	some := count(4)
+	if all == 0 {
+		t.Fatal("no flows traced at Sample=1")
+	}
+	if some >= all {
+		t.Fatalf("Sample=4 traced %d flows, Sample=1 traced %d; sampling had no effect", some, all)
+	}
+	if again := count(4); again != some {
+		t.Fatalf("sampling not deterministic: %d vs %d", some, again)
+	}
+}
+
+// decodeAttrSection walks the snapshot "attr" section and returns the flow
+// count and how many of those flows were still open (not Done) at capture.
+// The field walk mirrors Tracer.SnapshotTo exactly; a format drift surfaces
+// here as a decoder error.
+func decodeAttrSection(t *testing.T, b []byte) (flows, open int) {
+	t.Helper()
+	d := snapshot.NewDecoder(b)
+	if !d.Bool() {
+		t.Fatal("attr section has absent marker despite attribution on")
+	}
+	d.U64() // seq
+	d.I64() // completed
+	d.I64() // dropped
+	d.I64() // overflow
+	d.I64() // epochEvents
+	flows = int(d.U32())
+	for i := 0; i < flows; i++ {
+		d.U32()  // ID
+		d.Int()  // Src
+		d.Int()  // Dst
+		d.U8()   // Kind
+		d.U32()  // Epoch
+		d.Time() // Issue
+		d.Time() // End
+		for s := 0; s < attr.NumStages; s++ {
+			d.Time()
+		}
+		d.U32() // Hops
+		d.U32() // Deflections
+		if !d.Bool() {
+			open++
+		}
+		d.Time() // last
+	}
+	if d.Err() != nil {
+		t.Fatalf("attr section decode: %v", d.Err())
+	}
+	return flows, open
+}
+
+// attrCkptBody keeps long-lived flows in flight across checkpoint
+// boundaries: wide DMA puts serialise on the TX FIFO, so at almost any
+// instant some flow is mid-pipeline.
+func attrCkptBody(n *Node) {
+	words := make([]uint64, 24)
+	for r := 0; r < 30; r++ {
+		dst := (n.ID + 1 + r%3) % 4
+		for i := range words {
+			words[i] = uint64(r)<<16 | uint64(n.ID)<<8 | uint64(i)
+		}
+		n.DV.Put(vic.DMACached, dst, uint32(64+32*(r%8)), vic.NoGC, words)
+		n.Compute(150 * sim.Nanosecond)
+		if r%10 == 9 {
+			n.MPI.Barrier()
+		}
+	}
+	n.MPI.Barrier()
+}
+
+// TestAttrAcrossCheckpoint covers the observation layers under managed runs:
+// snapshots carry the tracer state (including flows still open at the
+// boundary), a resumed run finishes with attribution byte-identical to the
+// straight-through run, and the trace a resumed run re-records from replay
+// matches the straight run's byte for byte.
+func TestAttrAcrossCheckpoint(t *testing.T) {
+	mk := func(tr *trace.Recorder, cp *Checkpoint) Config {
+		cfg := DefaultConfig(4)
+		cfg.Check = check.All()
+		cfg.Attr = &attr.Config{Sample: 1, TopK: 8}
+		cfg.Trace = tr
+		cfg.Checkpoint = cp
+		return cfg
+	}
+	straightTrace := trace.New()
+	base := Run(mk(straightTrace, nil), attrCkptBody)
+	if !base.Checks.Ok() {
+		t.Fatalf("straight run invariants: %v", base.Checks.Err())
+	}
+	if base.Attr == nil || base.Attr.Completed == 0 {
+		t.Fatal("straight run has no attribution")
+	}
+	baseJSON := reportJSON(t, base)
+	var baseCSV bytes.Buffer
+	if err := straightTrace.WriteCSV(&baseCSV); err != nil {
+		t.Fatal(err)
+	}
+
+	var snaps []*snapshot.Snapshot
+	cp := &Checkpoint{App: "attr-ckpt", Net: "both", Every: sim.Microsecond,
+		Sink: func(s *snapshot.Snapshot) error { snaps = append(snaps, s); return nil }}
+	rep := Run(mk(trace.New(), cp), attrCkptBody)
+	if cp.Err != nil {
+		t.Fatalf("managed run error: %v", cp.Err)
+	}
+	if got := reportJSON(t, rep); got != baseJSON {
+		t.Errorf("managed Report (attr on) differs from unmanaged:\n got %s\nwant %s", got, baseJSON)
+	}
+	if len(snaps) < 2 {
+		t.Fatalf("expected >=2 snapshots, got %d", len(snaps))
+	}
+	anyOpen, lastFlows := false, 0
+	for i, s := range snaps {
+		sec, ok := s.Section("attr")
+		if !ok {
+			t.Fatalf("snapshot %d has no attr section", i)
+		}
+		flows, open := decodeAttrSection(t, sec)
+		if flows < lastFlows {
+			t.Fatalf("snapshot %d retains %d flows, previous had %d", i, flows, lastFlows)
+		}
+		lastFlows = flows
+		if open > 0 {
+			anyOpen = true
+		}
+	}
+	if !anyOpen {
+		t.Error("no snapshot captured an in-flight flow; boundary grid never hit an open stamp")
+	}
+
+	// Resume from the middle: restore replays from t=0 and byte-verifies
+	// every section (attr included) against the stored image, then the
+	// finished Report — attribution and all — must match the straight run.
+	mid := len(snaps) / 2
+	resumedTrace := trace.New()
+	rcp := &Checkpoint{App: "attr-ckpt", Net: "both", Resume: snaps[mid]}
+	rrep := Run(mk(resumedTrace, rcp), attrCkptBody)
+	if rcp.Err != nil {
+		t.Fatalf("resume error: %v", rcp.Err)
+	}
+	if got := reportJSON(t, rrep); got != baseJSON {
+		t.Errorf("resumed Report differs from straight run:\n got %s\nwant %s", got, baseJSON)
+	}
+	var resumedCSV bytes.Buffer
+	if err := resumedTrace.WriteCSV(&resumedCSV); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(baseCSV.Bytes(), resumedCSV.Bytes()) {
+		t.Error("trace re-recorded across restore differs from the straight run")
+	}
+}

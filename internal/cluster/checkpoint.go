@@ -23,6 +23,7 @@ import (
 	"repro/internal/dvswitch"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/obs/attr"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
 	"repro/internal/vic"
@@ -104,6 +105,9 @@ func configDigest(cfg *Config) uint64 {
 	if cfg.Obs != nil {
 		fmt.Fprintf(h, " obs=%+v", *cfg.Obs)
 	}
+	if cfg.Attr != nil {
+		fmt.Fprintf(h, " attr=%+v", *cfg.Attr)
+	}
 	return h.Sum64()
 }
 
@@ -128,6 +132,7 @@ type runState struct {
 	ends     [][]*dv.Endpoint
 	reg      *obs.Registry
 	sampler  *obs.Sampler
+	tracer   *attr.Tracer
 }
 
 // capture builds one complete snapshot of the current simulator state. It is
@@ -200,6 +205,11 @@ func (st *runState) capture(at sim.Time, seq uint64) *snapshot.Snapshot {
 		st.reg.SnapshotTo(e)
 		st.sampler.SnapshotTo(e)
 		s.Add("obs", e.Bytes())
+	}
+	if st.tracer != nil {
+		e = snapshot.NewEncoder()
+		st.tracer.SnapshotTo(e)
+		s.Add("attr", e.Bytes())
 	}
 	return s
 }

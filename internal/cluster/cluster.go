@@ -16,6 +16,7 @@ import (
 	"repro/internal/ib"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/obs/attr"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vic"
@@ -116,6 +117,16 @@ type Config struct {
 	// in Report.Checks. Checking is pure observation and never changes a
 	// run's results.
 	Check *check.Config
+
+	// Attr, when non-nil, enables causal flow tracing: sampled packets are
+	// stamped with per-stage virtual timestamps (host TX, SRAM, inject wait,
+	// fabric, eject, drain) as they cross each subsystem, and a per-stage /
+	// per-node / per-kind latency decomposition lands in Report.Attr. The
+	// stage sums of every traced flow provably equal its end-to-end latency
+	// (enforced when Check.Attr is on). Attribution is pure observation:
+	// enabling it never changes a run's results, and nil costs one pointer
+	// test per seam.
+	Attr *attr.Config
 
 	// Checkpoint, when non-nil, runs the simulation under the managed pump:
 	// periodic full-state snapshots at every Checkpoint.Every of virtual
@@ -243,6 +254,13 @@ type Report struct {
 	// unchanged by the field's existence.
 	Checks *check.Result `json:",omitempty"`
 
+	// Attr holds the stage-level latency attribution when Config.Attr was
+	// set: per-stage/per-node/per-kind decompositions, the slowest flows,
+	// the deflection heatmap (cycle-accurate runs), and the run's critical
+	// path (when tracing was also on). Omitted from JSON when attribution
+	// was off so pinned golden reports are unchanged.
+	Attr *attr.Summary `json:",omitempty"`
+
 	// Partial marks a report cut short by a checkpoint budget
 	// (Config.Checkpoint.WallBudget / VirtualBudget): Elapsed is the virtual
 	// time reached, fabric telemetry reflects work done so far, and Checks
@@ -261,6 +279,17 @@ func Run(cfg Config, body func(n *Node)) *Report {
 	var chk *check.Checker
 	if cfg.Check != nil {
 		chk = check.New(cfg.Check)
+	}
+
+	// Flow attribution: one tracer per run, shared by every seam. All tracer
+	// methods no-op on a nil receiver, so the disabled path costs one pointer
+	// test per site.
+	var tracer *attr.Tracer
+	if cfg.Attr != nil {
+		tracer = attr.NewTracer(cfg.Attr)
+		if chk != nil {
+			chk.AttachAttr(tracer)
+		}
 	}
 
 	// Observability: one registry and sampler per run (the kernel is
@@ -312,6 +341,10 @@ func Run(cfg Config, body func(n *Node)) *Report {
 			}
 			eng.ApplyPlan(cfg.Faults)
 			eng.SetObs(reg)
+			if tracer != nil {
+				// Per-deflection congestion counts on the cylinder×angle grid.
+				eng.SetHeat(tracer.HeatGrid(geom.Cylinders(), geom.Angles))
+			}
 			if chk != nil {
 				chk.AttachCore(eng.Core())
 			}
@@ -332,6 +365,11 @@ func Run(cfg Config, body func(n *Node)) *Report {
 			fm = dvswitch.NewFastModel(k, geom, ct, rng.Split())
 			fm.ApplyPlan(cfg.Faults)
 			fm.SetObs(reg)
+			if tracer != nil {
+				// The fast model stamps inject-wait and fabric stages itself:
+				// both are fully determined when Inject returns.
+				fm.SetAttr(tracer)
+			}
 			if chk != nil {
 				fm.DropHook = chk.FabricDrop
 			}
@@ -359,6 +397,26 @@ func Run(cfg Config, body func(n *Node)) *Report {
 			inject = chk.WrapInject(inject)
 			injectBatch = chk.WrapInjectBatch(injectBatch)
 		}
+		if tracer != nil {
+			// The SRAM stage closes when the packet leaves the VIC's staging
+			// SRAM and enters the switch inject queue — i.e. at this call.
+			innerInject, innerBatch := inject, injectBatch
+			inject = func(pkt dvswitch.Packet) {
+				if pkt.Flow != 0 {
+					tracer.Stamp(pkt.Flow, attr.StageSRAM, k.Now())
+				}
+				innerInject(pkt)
+			}
+			injectBatch = func(pkts []dvswitch.Packet) {
+				now := k.Now()
+				for i := range pkts {
+					if pkts[i].Flow != 0 {
+						tracer.Stamp(pkts[i].Flow, attr.StageSRAM, now)
+					}
+				}
+				innerBatch(pkts)
+			}
+		}
 		vics = make([]*vic.VIC, total)
 		for r := 0; r < rails; r++ {
 			for i := 0; i < cfg.Nodes; i++ {
@@ -373,6 +431,9 @@ func Run(cfg Config, body func(n *Node)) *Report {
 				v.SetPortResolver(func(id int) int { return (base + id) * stride })
 				v.BarrierInit(cfg.Nodes)
 				v.SetObs(vicObs)
+				if tracer != nil {
+					v.SetAttr(tracer)
+				}
 				if chk != nil {
 					chk.AttachVIC(v)
 				}
@@ -452,6 +513,21 @@ func Run(cfg Config, body func(n *Node)) *Report {
 				inner(pkt)
 			}
 		}
+		if tracer != nil && cfg.CycleAccurate {
+			// The cycle engine delivers one pump after the last hop; each hop
+			// is one cycle and the packet spends one cycle entering, so the
+			// fabric-entry pump is (Hops+1) cycles before delivery. The fast
+			// model stamps at Inject instead (both stages are known there).
+			inner := deliver
+			deliver = func(pkt dvswitch.Packet) {
+				if pkt.Flow != 0 {
+					now := k.Now()
+					entry := now - sim.Time(pkt.Hops+1)*ct
+					tracer.StampFabric(pkt.Flow, entry, now, pkt.Hops, pkt.Deflections)
+				}
+				inner(pkt)
+			}
+		}
 		if chk != nil {
 			deliver = chk.WrapDeliver(deliver)
 		}
@@ -492,9 +568,15 @@ func Run(cfg Config, body func(n *Node)) *Report {
 				return float64(reg.CounterValue("ib_flap_recoveries_total"))
 			})
 		}
-		if cfg.Trace.Enabled() {
+		if cfg.Trace.Enabled() || tracer != nil {
+			// mpi.World takes a single message callback; compose the trace
+			// record and the attribution flow into one closure.
+			traceOn := cfg.Trace.Enabled()
 			world.OnMessage(func(src, dst int, t0, t1 sim.Time, bytes int) {
-				cfg.Trace.Message(src, dst, t0, t1, bytes)
+				if traceOn {
+					cfg.Trace.Message(src, dst, t0, t1, bytes)
+				}
+				tracer.MPIFlow(src, dst, t0, t1)
 			})
 		}
 	}
@@ -513,6 +595,9 @@ func Run(cfg Config, body func(n *Node)) *Report {
 					e := dv.NewEndpoint(vics[r*cfg.Nodes+i], i, cfg.Nodes)
 					e.Bind(p)
 					e.SetObs(relObs)
+					if tracer != nil {
+						e.SetAttr(tracer)
+					}
 					if chk != nil {
 						base := r * cfg.Nodes
 						chk.BindEndpoint(e, func(dst int) *vic.VIC {
@@ -542,7 +627,7 @@ func Run(cfg Config, body func(n *Node)) *Report {
 		st := &runState{
 			k: k, cfg: &cfg, rootRNG: rng, nodeRNGs: nodeRNGs,
 			eng: eng, fm: fm, vics: vics, world: world, ends: endpoints,
-			reg: reg, sampler: sampler,
+			reg: reg, sampler: sampler, tracer: tracer,
 		}
 		rep.Partial = st.runManaged()
 	} else {
@@ -574,6 +659,9 @@ func Run(cfg Config, body func(n *Node)) *Report {
 		if met != nil {
 			packets = append(packets, met.phases...)
 		}
+		if tracer != nil && cfg.Attr.Chrome {
+			packets = append(packets, tracer.ChromeEvents()...)
+		}
 		rep.Metrics = &obs.Metrics{Registry: reg, Series: sampler.Series(), Packets: packets}
 	}
 	if rep.Partial {
@@ -583,6 +671,16 @@ func Run(cfg Config, body func(n *Node)) *Report {
 		rep.Elapsed = k.Now()
 	} else if chk != nil {
 		rep.Checks = chk.Finalize()
+	}
+	if tracer != nil {
+		// Finalize after the invariant layer so stage-sum violations (if any)
+		// are already recorded; the summary itself is valid even for partial
+		// runs — it only aggregates flows completed so far.
+		sum := tracer.Finalize()
+		if cfg.Trace.Enabled() {
+			sum.CritPath = attr.CriticalPath(cfg.Trace)
+		}
+		rep.Attr = sum
 	}
 	return rep
 }

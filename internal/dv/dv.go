@@ -15,6 +15,7 @@ package dv
 import (
 	"math"
 
+	"repro/internal/obs/attr"
 	"repro/internal/sim"
 	"repro/internal/vic"
 )
@@ -44,7 +45,17 @@ type Endpoint struct {
 	chk Checker
 	// mut plants deliberate defects for checker validation (SetMutation).
 	mut Mutation
+
+	// attr is the attribution tracer (SetAttr); the reliable layer brackets
+	// retransmission rounds with it so re-sent flows carry their retransmit
+	// epoch. Nil when flow tracing is disabled.
+	attr *attr.Tracer
 }
+
+// SetAttr attaches (or with nil detaches) the attribution tracer to the
+// endpoint's reliable layer. The VIC-level stamps are attached separately
+// (vic.SetAttr); this seam only tags retransmit epochs.
+func (e *Endpoint) SetAttr(t *attr.Tracer) { e.attr = t }
 
 // NewEndpoint wraps a VIC as rank's endpoint in a size-node program.
 func NewEndpoint(v *vic.VIC, rank, size int) *Endpoint {

@@ -296,6 +296,9 @@ func (e *Endpoint) reliableChunk(words []vic.Word) error {
 			if e.obs != nil {
 				e.obs.Retransmits.Add(int64(len(pending)))
 			}
+			// Attribution: flows issued during a retransmission round carry
+			// the round number as their retransmit epoch.
+			e.attr.SetEpoch(e.rank, attempt-1)
 		}
 		e.Scatter(o.Mode, data)
 		if o.QueryDelay > 0 {
@@ -308,6 +311,9 @@ func (e *Endpoint) reliableChunk(words []vic.Word) error {
 			queries[j] = vic.Word{Dst: w.Dst, Op: vic.OpQuery, GC: vic.NoGC, Addr: w.Addr, Val: ret}
 		}
 		e.Scatter(o.Mode, queries)
+		if attempt > 1 {
+			e.attr.SetEpoch(e.rank, 0)
+		}
 		acked := e.WaitGC(ack, timeout)
 		if e.obs != nil {
 			if !acked {

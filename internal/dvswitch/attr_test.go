@@ -1,0 +1,95 @@
+package dvswitch
+
+import (
+	"testing"
+
+	"repro/internal/obs/attr"
+	"repro/internal/sim"
+)
+
+// TestCoreStepZeroAllocWithAttrCompiledIn is the attribution half of the
+// zero-cost claim: with the heat-census hook compiled into the deflection
+// path but no census attached (the default), a steady-state Step performs
+// zero allocations. The committed BENCH_core.json baseline bounds the time
+// cost; this catches the allocation half without needing a quiet machine.
+func TestCoreStepZeroAllocWithAttrCompiledIn(t *testing.T) {
+	p := Params{Heights: 8, Angles: 4}
+	c := NewCore(p)
+	rng := sim.NewRNG(7)
+	ports := p.Ports()
+	c.Deliver = func(pkt Packet, _ int64) {
+		c.Inject(Packet{Src: pkt.Dst, Dst: rng.Intn(ports)})
+	}
+	for i := 0; i < 2; i++ {
+		c.Inject(Packet{Src: rng.Intn(ports), Dst: rng.Intn(ports)})
+	}
+	for i := 0; i < 512; i++ {
+		c.Step() // reach steady state: pool and rings at final size
+	}
+	if got := testing.AllocsPerRun(2000, func() { c.Step() }); got != 0 {
+		t.Errorf("Step allocates %v times per op with attr disabled, want 0", got)
+	}
+}
+
+// TestFastModelInjectZeroAllocWithAttrCompiledIn pins the same property for
+// the analytic model's injection path: the attr seam is one pointer test
+// when no tracer is attached.
+func TestFastModelInjectZeroAllocWithAttrCompiledIn(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewFastModel(k, Params{Heights: 8, Angles: 4}, DefaultCycleTime, sim.NewRNG(3))
+	m.OnDeliver(func(Packet) {})
+	rng := sim.NewRNG(5)
+	ports := m.Ports()
+	// Warm the pooled delivery events past the largest burst the measured
+	// loop will issue (random destinations skew the in-flight peak).
+	for w := 0; w < 32; w++ {
+		for i := 0; i < 64; i++ {
+			m.Inject(Packet{Src: rng.Intn(ports), Dst: rng.Intn(ports)})
+		}
+		k.RunUntil(1 << 40)
+	}
+	got := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 64; i++ {
+			m.Inject(Packet{Src: rng.Intn(ports), Dst: rng.Intn(ports)})
+		}
+		k.RunUntil(1 << 40)
+	})
+	if got != 0 {
+		t.Errorf("FastModel inject+drain allocates %v times per burst with attr disabled, want 0", got)
+	}
+}
+
+// TestHeatCensusMatchesStats cross-checks the two deflection accountings:
+// with the census attached, the summed heat cells must equal the stats
+// counter once every packet has drained (both count deflection-path
+// traversals; neither samples).
+func TestHeatCensusMatchesStats(t *testing.T) {
+	p := Params{Heights: 8, Angles: 4}
+	for _, dense := range []bool{false, true} {
+		c := NewCore(p)
+		c.Dense = dense
+		c.Deliver = func(Packet, int64) {}
+		h := &attr.Heat{Cylinders: p.Cylinders(), Angles: p.Angles,
+			Cells: make([]int64, p.Cylinders()*p.Angles)}
+		c.SetHeat(h)
+		rng := sim.NewRNG(11)
+		ports := p.Ports()
+		for cy := 0; cy < 400; cy++ {
+			for src := 0; src < ports; src++ {
+				if rng.Float64() < 0.6 {
+					c.Inject(Packet{Src: src, Dst: rng.Intn(ports)})
+				}
+			}
+			c.Step()
+		}
+		c.RunUntilIdle(1 << 20)
+		st := c.Stats()
+		if st.TotalDeflected == 0 {
+			t.Fatalf("dense=%v: no deflections at 0.6 load; traffic too light to test", dense)
+		}
+		if h.Total() != st.TotalDeflected {
+			t.Errorf("dense=%v: heat census total %d != stats deflections %d",
+				dense, h.Total(), st.TotalDeflected)
+		}
+	}
+}

@@ -93,6 +93,11 @@ func TestLog2BucketBoundaries(t *testing.T) {
 // the same bucket-boundary bound for the same observations, including at
 // exact powers of two.
 func TestLog2PercentileAgreement(t *testing.T) {
+	// This test pins bit-agreement with Stats.LatencyPercentile, which
+	// reports bucket upper bounds; use the histogram's legacy estimate.
+	defer func(old bool) { obs.InterpolateQuantiles = old }(obs.InterpolateQuantiles)
+	obs.InterpolateQuantiles = false
+
 	vals := []int64{1, 2, 3, 4, 7, 8, 9, 15, 16, 17, 1023, 1024, 1025}
 	var s Stats
 	h := obs.NewRegistry().Histogram("p")

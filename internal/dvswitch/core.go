@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"repro/internal/obs/attr"
 	"repro/internal/sim"
 )
 
@@ -41,6 +42,11 @@ type Packet struct {
 	// Corrupt marks a payload damaged by an injected link fault. The switch
 	// still delivers the packet; the receiving VIC's CRC model discards it.
 	Corrupt bool
+
+	// Flow is the attribution flow id stamped by the issuing VIC (0 =
+	// untraced). Opaque to the switch: routing never reads it. Packs into
+	// the struct's existing padding, so Packet stays 64 bytes.
+	Flow uint32
 }
 
 // WireBytes is the size of a packet on the wire: 64-bit header + 64-bit
@@ -348,6 +354,12 @@ type Core struct {
 	obs *SwitchObs
 
 	stats Stats
+
+	// heat is the attribution layer's cylinder×angle deflection census
+	// (SetHeat); nil when attribution is disabled. Like obs it forces the
+	// instrumented move loops, so cleanPath gates on it. Kept after stats
+	// so the hot counters keep their field offsets.
+	heat *attr.Heat
 }
 
 // NewCore builds a cycle-accurate switch. It panics on invalid Params
@@ -604,7 +616,7 @@ func (c *Core) Step() {
 // decisions as moveCell with every fault/mutation/obs branch deleted, so the
 // choice is invisible in results — only in nanoseconds.
 func (c *Core) cleanPath() bool {
-	return c.mut == 0 && c.faulty == nil && c.frng == nil && c.obs == nil
+	return c.mut == 0 && c.faulty == nil && c.frng == nil && c.obs == nil && c.heat == nil
 }
 
 // The clean move loops below hand-inline the routing decisions of moveCell
@@ -809,6 +821,7 @@ func (c *Core) moveCell(idx int, ref int32) {
 		c.obs.Deflected.Inc()
 		c.obs.DeflectByCyl[t.cyl].Inc()
 	}
+	c.heat.Add(int(t.cyl), idx%c.p.Angles)
 	c.place(ni, ref)
 	c.signal(ni)
 }
@@ -877,6 +890,7 @@ func (c *Core) moveOne(cl, idx int) {
 		c.obs.Deflected.Inc()
 		c.obs.DeflectByCyl[cl].Inc()
 	}
+	c.heat.Add(cl, a)
 	ni := c.idx(cl, h2, na)
 	c.place(ni, ref)
 	c.signal(ni)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/faultplan"
+	"repro/internal/obs/attr"
 	"repro/internal/sim"
 )
 
@@ -123,6 +124,10 @@ type FastModel struct {
 	fn  func(pkt Packet)
 	st  Stats
 	obs *SwitchObs // registry-backed instruments (SetObs); nil when disabled
+
+	// attr is the attribution tracer (SetAttr); nil when flow tracing is
+	// disabled, costing one pointer test in Inject.
+	attr *attr.Tracer
 
 	// fpl/frng configure probabilistic per-packet faults (ApplyPlan):
 	// the plan plus one independent RNG stream per source port.
@@ -296,6 +301,9 @@ func (m *FastModel) Inject(pkt Packet) {
 			if m.obs != nil {
 				m.obs.Dropped.Inc()
 			}
+			if m.attr != nil {
+				m.attr.Drop(pkt.Flow)
+			}
 			if m.DropHook != nil {
 				m.DropHook(pkt)
 			}
@@ -316,6 +324,11 @@ func (m *FastModel) Inject(pkt Packet) {
 	m.st.TotalDeflected += int64(defl)
 	if m.obs != nil {
 		m.obs.Deflected.Add(int64(defl))
+	}
+	// Attribution: the packet's whole fabric life is determined here —
+	// entered closes the injection wait, done closes the fabric stage.
+	if m.attr != nil && pkt.Flow != 0 {
+		m.attr.StampFabric(pkt.Flow, entered, done, int(flight), defl)
 	}
 	// Join the pending batch when this packet's ejection lands on the same
 	// deadline as the last one scheduled; otherwise schedule a new batch

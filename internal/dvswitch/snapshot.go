@@ -17,6 +17,7 @@ func encodePacket(e *snapshot.Encoder, pkt Packet) {
 	e.Int(pkt.Hops)
 	e.Int(pkt.Deflections)
 	e.Bool(pkt.Corrupt)
+	e.U32(pkt.Flow)
 }
 
 func encodeStats(e *snapshot.Encoder, st Stats) {

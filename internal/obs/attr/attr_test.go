@@ -1,0 +1,402 @@
+package attr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+	"repro/internal/trace"
+)
+
+const usT = sim.Microsecond
+
+// TestStampTelescoping pins the core property: stage durations are adjacent
+// differences of one monotone clock, so they sum to end-to-end latency.
+func TestStampTelescoping(t *testing.T) {
+	tr := NewTracer(&Config{})
+	id := tr.Begin(0, 3, KindWrite, 10*usT)
+	if id == 0 {
+		t.Fatal("flow not traced at Sample=0")
+	}
+	tr.Stamp(id, StageHostTx, 12*usT)
+	tr.Stamp(id, StageSRAM, 13*usT)
+	tr.StampFabric(id, 15*usT, 19*usT, 4, 1)
+	tr.Stamp(id, StageEject, 20*usT)
+	tr.Complete(id, 22*usT)
+
+	f := &tr.Flows()[0]
+	if !f.Done {
+		t.Fatal("flow not done")
+	}
+	want := [NumStages]sim.Time{2 * usT, 1 * usT, 2 * usT, 4 * usT, 1 * usT, 2 * usT}
+	if f.Dur != want {
+		t.Fatalf("stage durations = %v, want %v", f.Dur, want)
+	}
+	var sum sim.Time
+	for _, d := range f.Dur {
+		sum += d
+	}
+	if sum != f.E2E() || f.E2E() != 12*usT {
+		t.Fatalf("stage sum %v != e2e %v", sum, f.E2E())
+	}
+	if f.Hops != 4 || f.Deflections != 1 {
+		t.Fatalf("hops/deflections = %d/%d", f.Hops, f.Deflections)
+	}
+}
+
+// TestCompleteIdempotent: double completion must not double-count.
+func TestCompleteIdempotent(t *testing.T) {
+	tr := NewTracer(&Config{})
+	id := tr.Begin(0, 1, KindFIFO, 0)
+	tr.Complete(id, 5*usT)
+	tr.Complete(id, 9*usT)
+	s := tr.Finalize()
+	if s.Completed != 1 {
+		t.Fatalf("completed = %d", s.Completed)
+	}
+	if got := tr.Flows()[0].End; got != 5*usT {
+		t.Fatalf("End moved on re-completion: %v", got)
+	}
+}
+
+// TestNilSafety: every method on a nil tracer must be a no-op.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer enabled")
+	}
+	if id := tr.Begin(0, 1, KindWrite, 0); id != 0 {
+		t.Fatal("nil Begin returned a flow")
+	}
+	tr.Stamp(1, StageSRAM, 0)
+	tr.StampFabric(1, 0, 0, 0, 0)
+	tr.Complete(1, 0)
+	tr.Drop(1)
+	tr.SetEpoch(0, 1)
+	tr.MPIFlow(0, 1, 0, 1)
+	tr.SetMutation(MutSkipDrain)
+	if tr.Flows() != nil || tr.Finalize() != nil || tr.HeatGrid(2, 2) != nil {
+		t.Fatal("nil tracer returned state")
+	}
+	var h *Heat
+	h.Add(0, 0) // must not panic
+	if h.Total() != 0 || h.Max() != 0 {
+		t.Fatal("nil heat returned counts")
+	}
+}
+
+// TestSampling pins the hash-based sampler: deterministic for a fixed
+// (Seed, Sample), roughly 1-in-N, and different seeds select different sets.
+func TestSampling(t *testing.T) {
+	pick := func(seed uint64) []uint64 {
+		tr := NewTracer(&Config{Sample: 8, Seed: seed})
+		var kept []uint64
+		for i := uint64(0); i < 4096; i++ {
+			if tr.Begin(0, 1, KindWrite, 0) != 0 {
+				kept = append(kept, i)
+			}
+		}
+		return kept
+	}
+	a, b := pick(1), pick(1)
+	if len(a) != len(b) {
+		t.Fatalf("sampling not deterministic: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+	// 4096/8 = 512 expected; allow generous slack for the hash.
+	if len(a) < 256 || len(a) > 768 {
+		t.Fatalf("kept %d of 4096 at 1-in-8", len(a))
+	}
+	c := pick(2)
+	same := 0
+	for i := 0; i < len(a) && i < len(c); i++ {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if len(c) > 0 && same == len(c) && len(a) == len(c) {
+		t.Fatal("different seeds selected identical flow sets")
+	}
+}
+
+// TestMaxFlowsOverflow: flows past the cap are counted, not retained.
+func TestMaxFlowsOverflow(t *testing.T) {
+	tr := NewTracer(&Config{MaxFlows: 2})
+	for i := 0; i < 5; i++ {
+		tr.Begin(0, 1, KindWrite, 0)
+	}
+	s := tr.Finalize()
+	if s.Begun != 2 || s.Overflow != 3 {
+		t.Fatalf("begun=%d overflow=%d, want 2/3", s.Begun, s.Overflow)
+	}
+}
+
+// TestEpochs pins retransmit-epoch bracketing: flows begun inside a bracket
+// carry the epoch; the first entry into an epoch is counted once.
+func TestEpochs(t *testing.T) {
+	tr := NewTracer(&Config{})
+	a := tr.Begin(2, 0, KindWrite, 0)
+	tr.SetEpoch(2, 1)
+	b := tr.Begin(2, 0, KindWrite, 0)
+	tr.SetEpoch(2, 2)
+	c := tr.Begin(2, 0, KindWrite, 0)
+	tr.SetEpoch(2, 0)
+	d := tr.Begin(2, 0, KindWrite, 0)
+	fl := tr.Flows()
+	for i, want := range map[uint32]uint16{a: 0, b: 1, c: 2, d: 0} {
+		if got := fl[i-1].Epoch; got != want {
+			t.Fatalf("flow %d epoch = %d, want %d", i, got, want)
+		}
+	}
+	if tr.epochEvents != 1 {
+		t.Fatalf("epochEvents = %d, want 1 (re-entry within a round is one event)", tr.epochEvents)
+	}
+}
+
+// TestMutations: planted defects must break the telescoping sum.
+func TestMutations(t *testing.T) {
+	for _, mut := range []Mutation{MutDoubleFabric, MutSkipDrain} {
+		tr := NewTracer(&Config{Mutate: mut})
+		id := tr.Begin(0, 1, KindWrite, 0)
+		tr.Stamp(id, StageHostTx, 1*usT)
+		tr.StampFabric(id, 2*usT, 5*usT, 3, 0)
+		tr.Complete(id, 7*usT)
+		f := &tr.Flows()[0]
+		var sum sim.Time
+		for _, d := range f.Dur {
+			sum += d
+		}
+		if sum == f.E2E() {
+			t.Fatalf("mutation %d left stage sum intact", mut)
+		}
+	}
+}
+
+// TestSummaryAggregation checks the per-stage/per-node/per-kind rollups and
+// the slowest-flow ordering.
+func TestSummaryAggregation(t *testing.T) {
+	tr := NewTracer(&Config{TopK: 2})
+	// Node 1, write, e2e 4us.
+	a := tr.Begin(1, 0, KindWrite, 0)
+	tr.StampFabric(a, 1*usT, 3*usT, 2, 0)
+	tr.Complete(a, 4*usT)
+	// Node 0, fifo, e2e 9us (slowest).
+	b := tr.Begin(0, 1, KindFIFO, 0)
+	tr.StampFabric(b, 2*usT, 6*usT, 4, 2)
+	tr.Complete(b, 9*usT)
+	// Node 0, lost flow.
+	tr.Begin(0, 1, KindWrite, 0)
+	tr.Drop(3)
+
+	s := tr.Finalize()
+	if s.Begun != 3 || s.Completed != 2 || s.Lost != 1 {
+		t.Fatalf("begun/completed/lost = %d/%d/%d", s.Begun, s.Completed, s.Lost)
+	}
+	if s.E2EMax != 9*usT || s.E2ETotal != 13*usT {
+		t.Fatalf("e2e total/max = %v/%v", s.E2ETotal, s.E2EMax)
+	}
+	if s.Hops != 6 || s.Deflections != 2 {
+		t.Fatalf("hops/deflections = %d/%d", s.Hops, s.Deflections)
+	}
+	if s.Stages[StageFabric].Total != 6*usT || s.Stages[StageFabric].Max != 4*usT {
+		t.Fatalf("fabric agg = %+v", s.Stages[StageFabric])
+	}
+	if len(s.PerNode) != 2 || s.PerNode[0].Node != 0 || s.PerNode[1].Node != 1 {
+		t.Fatalf("per-node rows not sorted: %+v", s.PerNode)
+	}
+	if len(s.PerKind) != 2 || s.PerKind[0].Kind != "write" || s.PerKind[1].Kind != "fifo" {
+		t.Fatalf("per-kind rows not in kind order: %+v", s.PerKind)
+	}
+	if len(s.Slowest) != 2 || s.Slowest[0].ID != b || s.Slowest[1].ID != a {
+		t.Fatalf("slowest order wrong: %+v", s.Slowest)
+	}
+
+	// Rendering is byte-deterministic and mentions every stage.
+	var b1, b2 bytes.Buffer
+	if err := s.WriteTable(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteTable(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("WriteTable not deterministic")
+	}
+	for i := 0; i < NumStages; i++ {
+		if !strings.Contains(b1.String(), Stage(i).Name()) {
+			t.Fatalf("table missing stage %s:\n%s", Stage(i).Name(), b1.String())
+		}
+	}
+	var nb bytes.Buffer
+	if err := s.WriteNodeTable(&nb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(nb.String(), "fabric_us") {
+		t.Fatalf("node table malformed:\n%s", nb.String())
+	}
+	var sb bytes.Buffer
+	if err := s.WriteSlowest(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fifo") {
+		t.Fatalf("slowest table missing slowest flow:\n%s", sb.String())
+	}
+}
+
+// TestHeat checks the census grid and its rendering.
+func TestHeat(t *testing.T) {
+	tr := NewTracer(&Config{})
+	h := tr.HeatGrid(2, 3)
+	h.Add(0, 1)
+	h.Add(1, 2)
+	h.Add(1, 2)
+	if h.Total() != 3 || h.Max() != 2 || h.At(1, 2) != 2 || h.At(0, 0) != 0 {
+		t.Fatalf("heat counts wrong: %+v", h)
+	}
+	if g := tr.HeatGrid(2, 3); g != h {
+		t.Fatal("HeatGrid not stable for same geometry")
+	}
+	s := tr.Finalize()
+	if s.Heat != h {
+		t.Fatal("summary does not carry the heat grid")
+	}
+	var b bytes.Buffer
+	if err := s.WriteHeat(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "total 3") {
+		t.Fatalf("heat render wrong:\n%s", b.String())
+	}
+}
+
+// TestCriticalPath walks a hand-built three-node trace: node 2 finishes last
+// after waiting on a message from node 1, which waited on node 0.
+func TestCriticalPath(t *testing.T) {
+	r := trace.New()
+	r.State(0, "compute", 0, 5*usT)
+	r.Message(0, 1, 5*usT, 7*usT, 64)
+	r.State(1, "compute", 7*usT, 12*usT)
+	r.Message(1, 2, 12*usT, 15*usT, 64)
+	r.State(2, "compute", 15*usT, 20*usT)
+	// A red herring: an early message into node 2 that is not the bottleneck.
+	r.Message(0, 2, 1*usT, 2*usT, 8)
+
+	steps := CriticalPath(r)
+	if len(steps) != 5 {
+		t.Fatalf("got %d steps: %+v", len(steps), steps)
+	}
+	wantKinds := []string{"local", "msg", "local", "msg", "local"}
+	wantNodes := []int{0, 1, 1, 2, 2}
+	for i, st := range steps {
+		if st.Kind != wantKinds[i] || st.Node != wantNodes[i] {
+			t.Fatalf("step %d = %+v, want kind %s node %d", i, st, wantKinds[i], wantNodes[i])
+		}
+	}
+	// Chronological and contiguous: each step starts where the previous ended.
+	for i := 1; i < len(steps); i++ {
+		if steps[i].T0 != steps[i-1].T1 {
+			t.Fatalf("path not contiguous at step %d: %+v", i, steps)
+		}
+	}
+	if steps[4].T1 != 20*usT || steps[0].T0 != 0 {
+		t.Fatalf("path does not span the run: %+v", steps)
+	}
+	var b bytes.Buffer
+	if err := WriteCritPath(&b, steps); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "critical path: 5 steps") {
+		t.Fatalf("render wrong:\n%s", b.String())
+	}
+}
+
+// TestCriticalPathZeroLength: DV packet records have T0 == T1; the strict
+// progress rule must still terminate and rewind through them.
+func TestCriticalPathZeroLength(t *testing.T) {
+	r := trace.New()
+	r.Message(0, 1, 3*usT, 3*usT, 16)
+	r.Message(1, 0, 3*usT, 3*usT, 16) // same-instant back-and-forth
+	r.State(1, "compute", 3*usT, 8*usT)
+	steps := CriticalPath(r)
+	if len(steps) == 0 {
+		t.Fatal("no path")
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i].T0 < steps[i-1].T0 {
+			t.Fatalf("path not chronological: %+v", steps)
+		}
+	}
+}
+
+// TestMPIFlow checks the single-stage baseline flow.
+func TestMPIFlow(t *testing.T) {
+	tr := NewTracer(&Config{})
+	tr.MPIFlow(0, 3, 2*usT, 9*usT)
+	s := tr.Finalize()
+	if s.Completed != 1 {
+		t.Fatalf("completed = %d", s.Completed)
+	}
+	f := tr.Flows()[0]
+	if f.Kind != KindMPI || f.E2E() != 7*usT || f.Dur[StageFabric] != 7*usT {
+		t.Fatalf("mpi flow wrong: %+v", f)
+	}
+}
+
+// TestSnapshotDeterministic: identical tracer state encodes identically, and
+// any state difference changes the encoding.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func(extra bool) []byte {
+		tr := NewTracer(&Config{})
+		id := tr.Begin(0, 1, KindWrite, 0)
+		tr.Stamp(id, StageHostTx, 1*usT)
+		tr.SetEpoch(3, 2)
+		tr.HeatGrid(2, 2).Add(1, 1)
+		if extra {
+			tr.Complete(id, 2*usT)
+		}
+		e := snapshot.NewEncoder()
+		tr.SnapshotTo(e)
+		return e.Bytes()
+	}
+	a, b := build(false), build(false)
+	if !bytes.Equal(a, b) {
+		t.Fatal("snapshot not deterministic")
+	}
+	if bytes.Equal(a, build(true)) {
+		t.Fatal("snapshot blind to state change")
+	}
+}
+
+// TestChromeEvents checks span emission and flow binding.
+func TestChromeEvents(t *testing.T) {
+	tr := NewTracer(&Config{})
+	id := tr.Begin(0, 2, KindWrite, 10*usT)
+	tr.Stamp(id, StageHostTx, 12*usT)
+	tr.StampFabric(id, 12*usT, 14*usT, 2, 0)
+	tr.Complete(id, 15*usT)
+	evs := tr.ChromeEvents()
+	var spans, starts, finishes int
+	for _, ev := range evs {
+		switch ev.Ph {
+		case "X":
+			spans++
+		case "s":
+			starts++
+			if ev.ID != uint64(id) {
+				t.Fatalf("flow start id = %d", ev.ID)
+			}
+		case "f":
+			finishes++
+		}
+	}
+	// host_tx, fabric, eject (inject_wait and sram are zero-width, drain 1us).
+	if spans == 0 || starts != 1 || finishes != 1 {
+		t.Fatalf("spans/starts/finishes = %d/%d/%d", spans, starts, finishes)
+	}
+}

@@ -1,0 +1,23 @@
+package attr
+
+// Mutation plants a deliberate attribution defect, used to validate that the
+// internal/check attribution invariant actually detects broken stamping —
+// the same discipline the PR 5 mutation suite applies to the switch and VIC
+// invariants. Mutations exist only for tests; production paths never set one.
+type Mutation uint32
+
+const (
+	// MutDoubleFabric charges the fabric stage twice per traversal, so the
+	// stage sum exceeds end-to-end latency.
+	MutDoubleFabric Mutation = 1 << iota
+	// MutSkipDrain zeroes the drain stage at completion, so flows with a
+	// non-zero drain stage under-sum.
+	MutSkipDrain
+)
+
+// SetMutation plants (or clears, with 0) attribution defects. Nil-safe.
+func (t *Tracer) SetMutation(m Mutation) {
+	if t != nil {
+		t.mut = m
+	}
+}

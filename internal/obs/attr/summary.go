@@ -1,0 +1,307 @@
+package attr
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// StageAgg is the aggregate of one stage over every completed flow.
+type StageAgg struct {
+	Stage string
+	Total sim.Time
+	Max   sim.Time
+}
+
+// NodeAgg is the aggregate of completed flows issued by one source node.
+type NodeAgg struct {
+	Node   int
+	Flows  int64
+	Total  sim.Time // summed end-to-end latency
+	Max    sim.Time
+	Fabric sim.Time // summed fabric-stage time
+}
+
+// KindAgg is the aggregate of completed flows of one operation kind.
+type KindAgg struct {
+	Kind  string
+	Flows int64
+	Total sim.Time
+}
+
+// SlowFlow is one entry of the slowest-flow drill-down.
+type SlowFlow struct {
+	ID          uint32
+	Src         int
+	Dst         int
+	Kind        string
+	Epoch       int
+	Issue       sim.Time
+	E2E         sim.Time
+	Stages      [NumStages]sim.Time
+	Hops        int
+	Deflections int
+}
+
+// Summary is the attribution result attached to a cluster Report. All
+// aggregation is deterministic: flows are visited in id (creation) order,
+// per-node and per-kind rows are sorted, and rendering uses fmt only.
+type Summary struct {
+	// Begun counts traced flows; Completed those that finished; Lost those
+	// that did not (fabric drop, CRC discard, FIFO overflow, or still in
+	// flight at a partial-run cut); Overflow sampled flows past MaxFlows.
+	Begun     int64
+	Completed int64
+	Lost      int64
+	Overflow  int64
+
+	E2ETotal sim.Time
+	E2EMax   sim.Time
+
+	Hops             int64
+	Deflections      int64
+	RetransmitEpochs int64
+
+	Stages  [NumStages]StageAgg
+	PerNode []NodeAgg
+	PerKind []KindAgg
+	Slowest []SlowFlow
+
+	// Heat is the cylinder×angle deflection census (cycle-accurate runs).
+	Heat *Heat `json:",omitempty"`
+	// CritPath is the run's critical path when a trace recorder was
+	// attached (see CriticalPath).
+	CritPath []CritStep `json:",omitempty"`
+}
+
+// Finalize aggregates the tracer's flows into a Summary. Call once the
+// simulation is idle; open flows are reported as lost. Nil-safe (returns
+// nil).
+func (t *Tracer) Finalize() *Summary {
+	if t == nil {
+		return nil
+	}
+	s := &Summary{
+		Begun:            int64(len(t.flows)),
+		Completed:        t.completed,
+		Lost:             int64(len(t.flows)) - t.completed,
+		Overflow:         t.overflow,
+		RetransmitEpochs: t.epochEvents,
+		Heat:             t.heat,
+	}
+	for i := range s.Stages {
+		s.Stages[i].Stage = Stage(i).Name()
+	}
+	nodes := make(map[int]*NodeAgg)
+	kinds := make(map[Kind]*KindAgg)
+	for i := range t.flows {
+		f := &t.flows[i]
+		if !f.Done {
+			continue
+		}
+		e2e := f.E2E()
+		s.E2ETotal += e2e
+		if e2e > s.E2EMax {
+			s.E2EMax = e2e
+		}
+		s.Hops += int64(f.Hops)
+		s.Deflections += int64(f.Deflections)
+		for st := 0; st < NumStages; st++ {
+			s.Stages[st].Total += f.Dur[st]
+			if f.Dur[st] > s.Stages[st].Max {
+				s.Stages[st].Max = f.Dur[st]
+			}
+		}
+		na := nodes[f.Src]
+		if na == nil {
+			na = &NodeAgg{Node: f.Src}
+			nodes[f.Src] = na
+		}
+		na.Flows++
+		na.Total += e2e
+		na.Fabric += f.Dur[StageFabric]
+		if e2e > na.Max {
+			na.Max = e2e
+		}
+		ka := kinds[f.Kind]
+		if ka == nil {
+			ka = &KindAgg{Kind: f.Kind.Name()}
+			kinds[f.Kind] = ka
+		}
+		ka.Flows++
+		ka.Total += e2e
+	}
+	for _, na := range nodes {
+		s.PerNode = append(s.PerNode, *na)
+	}
+	sort.Slice(s.PerNode, func(i, j int) bool { return s.PerNode[i].Node < s.PerNode[j].Node })
+	for k := Kind(0); k < numKinds; k++ {
+		if ka := kinds[k]; ka != nil {
+			s.PerKind = append(s.PerKind, *ka)
+		}
+	}
+	s.Slowest = t.slowest(t.cfg.TopK)
+	return s
+}
+
+// slowest returns the k slowest completed flows, ordered by end-to-end
+// latency descending with flow id as the deterministic tiebreak.
+func (t *Tracer) slowest(k int) []SlowFlow {
+	idx := make([]int, 0, len(t.flows))
+	for i := range t.flows {
+		if t.flows[i].Done {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		fa, fb := &t.flows[idx[a]], &t.flows[idx[b]]
+		if ea, eb := fa.E2E(), fb.E2E(); ea != eb {
+			return ea > eb
+		}
+		return fa.ID < fb.ID
+	})
+	if len(idx) > k {
+		idx = idx[:k]
+	}
+	out := make([]SlowFlow, len(idx))
+	for i, j := range idx {
+		f := &t.flows[j]
+		out[i] = SlowFlow{
+			ID: f.ID, Src: f.Src, Dst: f.Dst, Kind: f.Kind.Name(),
+			Epoch: int(f.Epoch), Issue: f.Issue, E2E: f.E2E(), Stages: f.Dur,
+			Hops: int(f.Hops), Deflections: int(f.Deflections),
+		}
+	}
+	return out
+}
+
+// us renders a virtual duration in microseconds with fixed precision.
+func us(t sim.Time) float64 { return float64(t) / float64(sim.Microsecond) }
+
+// WriteTable renders the stage-attribution summary as fixed-width text
+// tables. Output is byte-deterministic (fmt only, pre-sorted rows).
+func (s *Summary) WriteTable(w io.Writer) error {
+	if s == nil {
+		_, err := fmt.Fprintln(w, "attr: disabled")
+		return err
+	}
+	meanE2E := 0.0
+	if s.Completed > 0 {
+		meanE2E = us(s.E2ETotal) / float64(s.Completed)
+	}
+	if _, err := fmt.Fprintf(w,
+		"flow attribution: %d flows traced, %d completed, %d lost, %d past cap\n"+
+			"  mean e2e %.3f us   max e2e %.3f us   hops %d   deflections %d   retransmit epochs %d\n",
+		s.Begun, s.Completed, s.Lost, s.Overflow,
+		meanE2E, us(s.E2EMax), s.Hops, s.Deflections, s.RetransmitEpochs); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-12s %14s %8s %12s %12s\n",
+		"stage", "total_us", "%e2e", "mean_us", "max_us"); err != nil {
+		return err
+	}
+	for i := range s.Stages {
+		st := &s.Stages[i]
+		pct, mean := 0.0, 0.0
+		if s.E2ETotal > 0 {
+			pct = 100 * float64(st.Total) / float64(s.E2ETotal)
+		}
+		if s.Completed > 0 {
+			mean = us(st.Total) / float64(s.Completed)
+		}
+		if _, err := fmt.Fprintf(w, "%-12s %14.3f %7.1f%% %12.4f %12.3f\n",
+			st.Stage, us(st.Total), pct, mean, us(st.Max)); err != nil {
+			return err
+		}
+	}
+	if len(s.PerKind) > 0 {
+		if _, err := fmt.Fprintf(w, "%-12s %8s %14s %12s\n", "kind", "flows", "total_us", "mean_us"); err != nil {
+			return err
+		}
+		for _, ka := range s.PerKind {
+			mean := 0.0
+			if ka.Flows > 0 {
+				mean = us(ka.Total) / float64(ka.Flows)
+			}
+			if _, err := fmt.Fprintf(w, "%-12s %8d %14.3f %12.4f\n",
+				ka.Kind, ka.Flows, us(ka.Total), mean); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteNodeTable renders the per-source-node decomposition.
+func (s *Summary) WriteNodeTable(w io.Writer) error {
+	if s == nil || len(s.PerNode) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "%-6s %8s %12s %12s %12s %8s\n",
+		"node", "flows", "mean_us", "max_us", "fabric_us", "fab%"); err != nil {
+		return err
+	}
+	for _, na := range s.PerNode {
+		mean, fabPct := 0.0, 0.0
+		if na.Flows > 0 {
+			mean = us(na.Total) / float64(na.Flows)
+		}
+		if na.Total > 0 {
+			fabPct = 100 * float64(na.Fabric) / float64(na.Total)
+		}
+		if _, err := fmt.Fprintf(w, "%-6d %8d %12.4f %12.3f %12.3f %7.1f%%\n",
+			na.Node, na.Flows, mean, us(na.Max), us(na.Fabric), fabPct); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSlowest renders the top-K slowest-flow drill-down.
+func (s *Summary) WriteSlowest(w io.Writer) error {
+	if s == nil || len(s.Slowest) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "%-8s %-6s %4s %4s %5s %10s %10s  %s\n",
+		"flow", "kind", "src", "dst", "epoch", "issue_us", "e2e_us", "stage_us (tx/sram/wait/fab/eject/drain) hops defl"); err != nil {
+		return err
+	}
+	for _, f := range s.Slowest {
+		if _, err := fmt.Fprintf(w,
+			"%-8d %-6s %4d %4d %5d %10.3f %10.3f  %.3f/%.3f/%.3f/%.3f/%.3f/%.3f %d %d\n",
+			f.ID, f.Kind, f.Src, f.Dst, f.Epoch, us(f.Issue), us(f.E2E),
+			us(f.Stages[0]), us(f.Stages[1]), us(f.Stages[2]),
+			us(f.Stages[3]), us(f.Stages[4]), us(f.Stages[5]),
+			f.Hops, f.Deflections); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteHeat renders the cylinder×angle deflection census as a text matrix.
+func (s *Summary) WriteHeat(w io.Writer) error {
+	if s == nil || s.Heat == nil {
+		return nil
+	}
+	h := s.Heat
+	if _, err := fmt.Fprintf(w, "deflection heat (cylinder x angle), total %d:\n", h.Total()); err != nil {
+		return err
+	}
+	for c := 0; c < h.Cylinders; c++ {
+		if _, err := fmt.Fprintf(w, "  cyl%-2d", c); err != nil {
+			return err
+		}
+		for a := 0; a < h.Angles; a++ {
+			if _, err := fmt.Fprintf(w, " %8d", h.At(c, a)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

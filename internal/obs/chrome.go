@@ -13,11 +13,12 @@ import (
 type TraceEvent struct {
 	Name string  // event name, e.g. "packet" or "phase:updates"
 	Cat  string  // category, e.g. "net", "phase"
-	Ph   string  // phase type: "X" span, "i" instant
+	Ph   string  // phase type: "X" span, "i" instant, "s"/"f" flow start/finish
 	TS   float64 // start, microseconds
 	Dur  float64 // duration, microseconds (span events)
 	PID  int     // process id lane (we use: node)
 	TID  int     // thread id lane (we use: port or phase lane)
+	ID   uint64  // flow-binding id ("s"/"f" events); 0 omits the field
 	Args PacketArgs
 }
 
@@ -42,9 +43,15 @@ func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
 	for i, ev := range events {
 		b.Reset()
 		fmt.Fprintf(&b,
-			"{\"name\":%q,\"cat\":%q,\"ph\":%q,\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,"+
-				"\"args\":{\"src\":%d,\"dst\":%d,\"bytes\":%d,\"hops\":%d,\"deflections\":%d}}",
-			ev.Name, ev.Cat, ev.Ph, ev.TS, ev.Dur, ev.PID, ev.TID,
+			"{\"name\":%q,\"cat\":%q,\"ph\":%q,\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,",
+			ev.Name, ev.Cat, ev.Ph, ev.TS, ev.Dur, ev.PID, ev.TID)
+		if ev.ID != 0 {
+			// Flow events need a binding id; emitted only when set so legacy
+			// span exports stay byte-identical.
+			fmt.Fprintf(&b, "\"id\":%d,\"bp\":\"e\",", ev.ID)
+		}
+		fmt.Fprintf(&b,
+			"\"args\":{\"src\":%d,\"dst\":%d,\"bytes\":%d,\"hops\":%d,\"deflections\":%d}}",
 			ev.Args.Src, ev.Args.Dst, ev.Args.Bytes, ev.Args.Hops, ev.Args.Deflections)
 		if i < len(events)-1 {
 			b.WriteString(",")

@@ -49,6 +49,8 @@ func TestRegistryDedupsByName(t *testing.T) {
 }
 
 func TestHistogramBucketsAndPercentile(t *testing.T) {
+	defer func(old bool) { InterpolateQuantiles = old }(InterpolateQuantiles)
+	InterpolateQuantiles = false // this test pins the legacy bucket-bound estimate
 	r := NewRegistry()
 	h := r.Histogram("lat")
 	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 100, 1 << 45} {

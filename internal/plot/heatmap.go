@@ -1,0 +1,113 @@
+package plot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Heatmap describes one matrix figure: Cells is row-major [Rows][Cols], and
+// cell colour scales linearly from white (0) to deep blue (the matrix max).
+// cmd/dvprof renders the switch's cylinder×angle deflection census with it.
+type Heatmap struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Rows   int
+	Cols   int
+	Cells  []float64
+	// RowLabels / ColLabels override the default numeric axis labels.
+	RowLabels []string
+	ColLabels []string
+}
+
+// heatRamp interpolates the cell colour for t in [0, 1]: white to #08306b.
+func heatRamp(t float64) string {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	lerp := func(a, b int) int { return a + int(t*float64(b-a)) }
+	return fmt.Sprintf("#%02x%02x%02x", lerp(0xff, 0x08), lerp(0xff, 0x30), lerp(0xff, 0x6b))
+}
+
+// RenderSVG writes the heatmap as a complete SVG document. Output is
+// byte-deterministic: fixed traversal order, fmt-only formatting.
+func (h *Heatmap) RenderSVG(w io.Writer, width, height int) error {
+	if h.Rows <= 0 || h.Cols <= 0 || len(h.Cells) != h.Rows*h.Cols {
+		return fmt.Errorf("plot: heatmap %q has invalid shape %dx%d with %d cells",
+			h.Title, h.Rows, h.Cols, len(h.Cells))
+	}
+	max := 0.0
+	for _, v := range h.Cells {
+		if v > max {
+			max = v
+		}
+	}
+	b := &strings.Builder{}
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(b, `<text x="%d" y="22" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+		marginL, xmlEscape(h.Title))
+
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+	cw := float64(plotW) / float64(h.Cols)
+	ch := float64(plotH) / float64(h.Rows)
+
+	for r := 0; r < h.Rows; r++ {
+		for c := 0; c < h.Cols; c++ {
+			v := h.Cells[r*h.Cols+c]
+			t := 0.0
+			if max > 0 {
+				t = v / max
+			}
+			fmt.Fprintf(b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s"><title>%s</title></rect>`+"\n",
+				float64(marginL)+float64(c)*cw, float64(marginT)+float64(r)*ch,
+				cw, ch, heatRamp(t),
+				xmlEscape(fmt.Sprintf("(%d, %d): %g", r, c, v)))
+		}
+	}
+
+	// Axis labels: every row, and columns thinned to at most 16 ticks.
+	for r := 0; r < h.Rows; r++ {
+		lab := fmt.Sprintf("%d", r)
+		if r < len(h.RowLabels) {
+			lab = h.RowLabels[r]
+		}
+		fmt.Fprintf(b, `<text x="%d" y="%.2f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-6, float64(marginT)+(float64(r)+0.5)*ch+4, xmlEscape(lab))
+	}
+	colStep := 1
+	for h.Cols/colStep > 16 {
+		colStep *= 2
+	}
+	for c := 0; c < h.Cols; c += colStep {
+		lab := fmt.Sprintf("%d", c)
+		if c < len(h.ColLabels) {
+			lab = h.ColLabels[c]
+		}
+		fmt.Fprintf(b, `<text x="%.2f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			float64(marginL)+(float64(c)+0.5)*cw, marginT+plotH+16, xmlEscape(lab))
+	}
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, height-12, xmlEscape(h.XLabel))
+	fmt.Fprintf(b, `<text x="16" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, xmlEscape(h.YLabel))
+
+	// Colour-scale legend: min and max swatches.
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="14" height="14" fill="%s" stroke="#999"/>`+"\n",
+		width-marginR-120, 10, heatRamp(0))
+	fmt.Fprintf(b, `<text x="%d" y="21" font-family="sans-serif" font-size="11">0</text>`+"\n",
+		width-marginR-102)
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="14" height="14" fill="%s" stroke="#999"/>`+"\n",
+		width-marginR-70, 10, heatRamp(1))
+	fmt.Fprintf(b, `<text x="%d" y="21" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+		width-marginR-52, xmlEscape(formatTick(max)))
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,24 @@
+package vic
+
+import "repro/internal/obs/attr"
+
+// SetAttr attaches (or with nil detaches) the attribution tracer. The VIC
+// opens a flow per word at HostSend, stamps the PCIe-transfer and
+// eject-execution boundaries, and closes the flow at host-visible
+// completion (immediately for writes and counter ops; at the host-ring DMA
+// drain for surprise-FIFO words).
+func (v *VIC) SetAttr(t *attr.Tracer) { v.attr = t }
+
+// kindForOp maps a VIC opcode to its attribution flow kind.
+func kindForOp(op Op) attr.Kind {
+	switch op {
+	case OpFIFO:
+		return attr.KindFIFO
+	case OpSetGC, OpDecGC:
+		return attr.KindGC
+	case OpQuery:
+		return attr.KindQuery
+	default:
+		return attr.KindWrite
+	}
+}

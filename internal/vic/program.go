@@ -1,6 +1,9 @@
 package vic
 
-import "repro/internal/sim"
+import (
+	"repro/internal/obs/attr"
+	"repro/internal/sim"
+)
 
 // DMAProgram is a prepared transfer: its packet descriptors (destinations,
 // opcodes, addresses, counters) are staged into the VIC's DMA table once,
@@ -35,6 +38,7 @@ func (pr *DMAProgram) Trigger(p *sim.Proc) {
 	if len(pr.words) == 0 {
 		return
 	}
+	issue := p.Now() // attribution T0 for every word of this trigger
 	if !pr.staged {
 		// Staging the table costs one setup per 8192 descriptors.
 		n := (len(pr.words) + v.par.DMATableEntries - 1) / maxInt(v.par.DMATableEntries, 1)
@@ -59,7 +63,12 @@ func (pr *DMAProgram) Trigger(p *sim.Proc) {
 		}
 		done := v.dmaIn.Occupy(p, sim.BytesAt((end-base)*8, v.par.DMABW))
 		for _, w := range pr.words[base:end] {
-			v.injectAt(done, w)
+			var fl uint32
+			if v.attr != nil {
+				fl = v.attr.Begin(v.ID, w.Dst, kindForOp(w.Op), issue)
+				v.attr.Stamp(fl, attr.StageHostTx, done)
+			}
+			v.injectAt(done, w, fl)
 		}
 	}
 }

@@ -42,6 +42,15 @@ func (v *VIC) SnapshotTo(e *snapshot.Encoder) {
 	e.U64s(v.fifo)
 	e.U64s(v.hostFIFO.Snapshot())
 	e.Bool(v.drainArmed)
+	// Per-word attribution flow ids of the buffered FIFO (index-parallel
+	// with fifo). Encoded only while a tracer is attached, which is
+	// config-determined, so the section shape is stable across a run.
+	if v.attr != nil {
+		e.U32(uint32(len(v.fifoFlows)))
+		for _, fl := range v.fifoFlows {
+			e.U32(fl)
+		}
+	}
 	// PCIe lanes and DMA engines.
 	e.Time(v.pioWr.BusyUntil())
 	e.Time(v.pioWr.Busy)

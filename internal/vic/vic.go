@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dvswitch"
+	"repro/internal/obs/attr"
 	"repro/internal/sim"
 )
 
@@ -102,6 +103,10 @@ type VIC struct {
 	// chk observes state transitions for the invariant layer (SetChecker);
 	// nil when checking is disabled.
 	chk Checker
+	// attr is the attribution tracer (SetAttr); nil when flow tracing is
+	// disabled. Every stamp call is nil-safe, so the disabled path costs
+	// one pointer test per seam.
+	attr *attr.Tracer
 	// mut plants deliberate defects for checker validation (SetMutation).
 	mut Mutation
 
@@ -118,6 +123,14 @@ type VIC struct {
 	rxFree    []*rxEvent
 	drainFree []*drainEvent
 	fifoSpare []uint64 // drained buffer awaiting reuse (double-buffering)
+
+	// fifoFlows tracks, index-parallel with fifo, the attribution flow id of
+	// each buffered surprise word, so the drain can close each flow's drain
+	// stage at the instant its word reaches the host ring. Maintained only
+	// while attr is attached (nil and untouched otherwise); flowSpare
+	// double-buffers it exactly as fifoSpare does fifo.
+	fifoFlows []uint32
+	flowSpare []uint32
 
 	st Stats
 }
@@ -184,10 +197,12 @@ func fireReceive(a any) {
 }
 
 // drainEvent is the pooled payload of one FIFO-drain completion: the batch
-// of words whose DMA transfer into the host ring just finished.
+// of words whose DMA transfer into the host ring just finished, plus their
+// attribution flow ids (nil when tracing is off).
 type drainEvent struct {
 	v     *VIC
 	batch []uint64
+	flows []uint32
 }
 
 // fireDrain lands one drained batch in the host ring, recycles the buffer
@@ -195,13 +210,20 @@ type drainEvent struct {
 // while the DMA was in flight.
 func fireDrain(a any) {
 	d := a.(*drainEvent)
-	v, batch := d.v, d.batch
+	v, batch, flows := d.v, d.batch, d.flows
 	d.batch = nil
+	d.flows = nil
 	v.drainFree = append(v.drainFree, d)
-	for _, w := range batch {
+	for i, w := range batch {
 		v.hostFIFO.Push(v.k, w)
+		if v.attr != nil && i < len(flows) {
+			v.attr.Complete(flows[i], v.k.Now())
+		}
 	}
 	v.fifoSpare = batch[:0]
+	if flows != nil {
+		v.flowSpare = flows[:0]
+	}
 	if len(v.fifo) > 0 {
 		v.k.After(v.par.FIFODrainDelay, v.drainFIFO)
 	} else {
@@ -258,6 +280,7 @@ func (v *VIC) HostSend(p *sim.Proc, mode SendMode, words []Word) {
 	if v.chk != nil {
 		v.chk.HostSent(v, mode, len(words))
 	}
+	issue := p.Now() // attribution T0: the app issued the whole batch here
 	switch mode {
 	case PIO, PIOCached:
 		// Doorbell, then each packet crosses the PCIe lane back to back.
@@ -266,11 +289,18 @@ func (v *VIC) HostSend(p *sim.Proc, mode SendMode, words []Word) {
 		// payloads where the scalar path allocates a closure per word.
 		p.Wait(v.par.PIOLatency)
 		for _, w := range words {
+			var fl uint32
+			if v.attr != nil {
+				fl = v.attr.Begin(v.ID, w.Dst, kindForOp(w.Op), issue)
+			}
 			done := v.pioWr.Occupy(p, sim.BytesAt(bytesPer, v.par.PIOWriteBW))
+			if v.attr != nil {
+				v.attr.Stamp(fl, attr.StageHostTx, done)
+			}
 			if v.scalar {
-				v.injectAt(done, w)
+				v.injectAt(done, w, fl)
 			} else {
-				v.injectBatchAt(done, w)
+				v.injectBatchAt(done, w, fl)
 			}
 		}
 	case DMA, DMACached:
@@ -293,7 +323,12 @@ func (v *VIC) HostSend(p *sim.Proc, mode SendMode, words []Word) {
 			if v.scalar {
 				// Legacy boundary: one kernel event (and closure) per word.
 				for _, w := range words[base:end] {
-					v.injectAt(done, w)
+					var fl uint32
+					if v.attr != nil {
+						fl = v.attr.Begin(v.ID, w.Dst, kindForOp(w.Op), issue)
+						v.attr.Stamp(fl, attr.StageHostTx, done)
+					}
+					v.injectAt(done, w, fl)
 				}
 			} else {
 				// Batched boundary: the whole chunk lands on one kernel
@@ -302,7 +337,12 @@ func (v *VIC) HostSend(p *sim.Proc, mode SendMode, words []Word) {
 				// in order from a single event fires identically.
 				b := v.newBatch()
 				for _, w := range words[base:end] {
-					b.pkts = append(b.pkts, dvswitch.Packet{Src: v.Port, Header: w.header(), Payload: w.Val})
+					var fl uint32
+					if v.attr != nil {
+						fl = v.attr.Begin(v.ID, w.Dst, kindForOp(w.Op), issue)
+						v.attr.Stamp(fl, attr.StageHostTx, done)
+					}
+					b.pkts = append(b.pkts, dvswitch.Packet{Src: v.Port, Header: w.header(), Payload: w.Val, Flow: fl})
 					b.dsts = append(b.dsts, w.Dst)
 				}
 				v.k.AtArg(done+v.par.ProcDelay, fireInjectBatch, b)
@@ -315,9 +355,9 @@ func (v *VIC) HostSend(p *sim.Proc, mode SendMode, words []Word) {
 
 // injectBatchAt schedules a single-packet pooled batch at time t (plus the
 // VIC's processing delay): injectAt without the per-word closure allocation.
-func (v *VIC) injectBatchAt(t sim.Time, w Word) {
+func (v *VIC) injectBatchAt(t sim.Time, w Word, flow uint32) {
 	b := v.newBatch()
-	b.pkts = append(b.pkts, dvswitch.Packet{Src: v.Port, Header: w.header(), Payload: w.Val})
+	b.pkts = append(b.pkts, dvswitch.Packet{Src: v.Port, Header: w.header(), Payload: w.Val, Flow: flow})
 	b.dsts = append(b.dsts, w.Dst)
 	v.k.AtArg(t+v.par.ProcDelay, fireInjectBatch, b)
 }
@@ -331,8 +371,8 @@ func maxInt(a, b int) int {
 
 // injectAt schedules the fabric injection of one word at time t (plus the
 // VIC's processing delay).
-func (v *VIC) injectAt(t sim.Time, w Word) {
-	pkt := dvswitch.Packet{Src: v.Port, Header: w.header(), Payload: w.Val}
+func (v *VIC) injectAt(t sim.Time, w Word, flow uint32) {
+	pkt := dvswitch.Packet{Src: v.Port, Header: w.header(), Payload: w.Val, Flow: flow}
 	v.k.At(t+v.par.ProcDelay, func() { v.injectNow(pkt, w.Dst) })
 }
 
@@ -541,7 +581,7 @@ func (v *VIC) PopSurprise(p *sim.Proc, timeout sim.Time) (uint64, bool) {
 // SurpriseBacklog returns the number of words already visible to the host.
 func (v *VIC) SurpriseBacklog() int { return v.hostFIFO.Len() }
 
-func (v *VIC) pushSurprise(src int, val uint64) {
+func (v *VIC) pushSurprise(src int, val uint64, flow uint32) {
 	cap := v.par.FIFOCapacity
 	if cap <= 0 {
 		cap = 1 << 20
@@ -557,6 +597,9 @@ func (v *VIC) pushSurprise(src int, val uint64) {
 		if v.chk != nil {
 			v.chk.FIFOPush(v, src, val, true)
 		}
+		if v.attr != nil {
+			v.attr.Drop(flow)
+		}
 		return
 	}
 	v.st.FIFOPkts++
@@ -567,6 +610,9 @@ func (v *VIC) pushSurprise(src int, val uint64) {
 		v.chk.FIFOPush(v, src, val, false)
 	}
 	v.fifo = append(v.fifo, val)
+	if v.attr != nil {
+		v.fifoFlows = append(v.fifoFlows, flow)
+	}
 	if !v.drainArmed {
 		v.drainArmed = true
 		v.k.After(v.par.FIFODrainDelay, v.drainFIFO)
@@ -580,11 +626,19 @@ func (v *VIC) pushSurprise(src int, val uint64) {
 // previously drained one so steady-state draining never allocates.
 func (v *VIC) drainFIFO() {
 	batch := v.fifo
+	var flows []uint32
 	if v.scalar {
 		v.fifo = nil
+		if v.attr != nil {
+			flows, v.fifoFlows = v.fifoFlows, nil
+		}
 	} else {
 		v.fifo = v.fifoSpare[:0]
 		v.fifoSpare = nil
+		if v.attr != nil {
+			flows, v.fifoFlows = v.fifoFlows, v.flowSpare[:0]
+			v.flowSpare = nil
+		}
 	}
 	if len(batch) == 0 {
 		v.drainArmed = false
@@ -598,12 +652,18 @@ func (v *VIC) drainFIFO() {
 	if v.mut&MutFIFODrainReorder != 0 {
 		for i, j := 0, len(batch)-1; i < j; i, j = i+1, j-1 {
 			batch[i], batch[j] = batch[j], batch[i]
+			if flows != nil {
+				flows[i], flows[j] = flows[j], flows[i]
+			}
 		}
 	}
 	if v.scalar {
 		v.k.At(done, func() {
-			for _, w := range batch {
+			for i, w := range batch {
 				v.hostFIFO.Push(v.k, w)
+				if v.attr != nil && i < len(flows) {
+					v.attr.Complete(flows[i], v.k.Now())
+				}
 			}
 			if len(v.fifo) > 0 {
 				v.k.After(v.par.FIFODrainDelay, v.drainFIFO)
@@ -615,6 +675,7 @@ func (v *VIC) drainFIFO() {
 	}
 	d := v.newDrain()
 	d.batch = batch
+	d.flows = flows
 	v.k.AtArg(done, fireDrain, d)
 }
 
@@ -644,6 +705,9 @@ func (v *VIC) Receive(pkt dvswitch.Packet) {
 		v.st.CorruptDropped++
 		if v.obs != nil {
 			v.obs.CorruptDropped.Inc()
+		}
+		if v.attr != nil {
+			v.attr.Drop(pkt.Flow)
 		}
 		return
 	}
@@ -686,6 +750,12 @@ func (v *VIC) StallDMA(at, d sim.Time) {
 
 func (v *VIC) execute(pkt dvswitch.Packet) {
 	_, op, gc, addr := DecodeHeader(pkt.Header)
+	// Attribution: the eject stage (eject FIFO + VIC processing delay)
+	// closes here; ops with immediate host visibility complete with a
+	// zero-length drain stage, FIFO words complete at the host-ring drain.
+	if v.attr != nil && pkt.Flow != 0 {
+		v.attr.Stamp(pkt.Flow, attr.StageEject, v.k.Now())
+	}
 	switch op {
 	case OpWrite:
 		v.mem.write(addr, pkt.Payload)
@@ -695,20 +765,36 @@ func (v *VIC) execute(pkt dvswitch.Packet) {
 		if gc != NoGC {
 			v.decGC(gc, 1)
 		}
+		if v.attr != nil {
+			v.attr.Complete(pkt.Flow, v.k.Now())
+		}
 	case OpFIFO:
-		v.pushSurprise(pkt.Src, pkt.Payload)
+		v.pushSurprise(pkt.Src, pkt.Payload, pkt.Flow)
 		if gc != NoGC {
 			v.decGC(gc, 1)
 		}
 	case OpSetGC:
 		v.setGC(int(addr), int64(pkt.Payload))
+		if v.attr != nil {
+			v.attr.Complete(pkt.Flow, v.k.Now())
+		}
 	case OpDecGC:
 		v.decGC(int(addr), int64(pkt.Payload))
+		if v.attr != nil {
+			v.attr.Complete(pkt.Flow, v.k.Now())
+		}
 	case OpQuery:
 		// The payload is the return header; the requested word becomes the
 		// reply payload. The reply VIC need not be the querying VIC.
-		reply := dvswitch.Packet{Src: v.Port, Header: pkt.Payload, Payload: v.mem.read(addr)}
+		// The request flow completes here; the reply is its own flow,
+		// issued by this VIC without a host PCIe crossing.
 		dstVIC, _, _, _ := DecodeHeader(pkt.Payload)
+		var replyFlow uint32
+		if v.attr != nil {
+			v.attr.Complete(pkt.Flow, v.k.Now())
+			replyFlow = v.attr.Begin(v.ID, dstVIC, attr.KindQuery, v.k.Now())
+		}
+		reply := dvswitch.Packet{Src: v.Port, Header: pkt.Payload, Payload: v.mem.read(addr), Flow: replyFlow}
 		if v.scalar {
 			v.k.After(v.par.ProcDelay, func() { v.injectNow(reply, dstVIC) })
 			return
@@ -791,7 +877,11 @@ func (v *VIC) Barrier(p *sim.Proc) {
 // (no PCIe round trip: the barrier runs in VIC hardware).
 func (v *VIC) sendBarrierPkt(p *sim.Proc, dst, gcID int) {
 	w := Word{Dst: dst, Op: OpDecGC, GC: NoGC, Addr: uint32(gcID), Val: 1}
-	pkt := dvswitch.Packet{Src: v.Port, Header: w.header(), Payload: w.Val}
+	var fl uint32
+	if v.attr != nil {
+		fl = v.attr.Begin(v.ID, dst, attr.KindGC, p.Now())
+	}
+	pkt := dvswitch.Packet{Src: v.Port, Header: w.header(), Payload: w.Val, Flow: fl}
 	p.Wait(v.par.ProcDelay)
 	v.injectNow(pkt, dst)
 }
