@@ -60,8 +60,20 @@ type benchFile struct {
 // multi-core hosts, so names match across hosts with different core counts.
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
-// jobsName extracts N from a .../jobsN benchmark name (0 if absent).
-var jobsName = regexp.MustCompile(`/jobs(\d+)$`)
+// widthName matches any .../jobsN or .../workersN benchmark: rows whose
+// ns/op measures N-way parallel execution and is therefore meaningless —
+// pure scheduler and barrier noise — on a host with fewer than N CPUs.
+var widthName = regexp.MustCompile(`/(?:jobs|workers)(\d+)$`)
+
+// widthOf returns the parallel width a benchmark name encodes, 0 if none.
+func widthOf(name string) int {
+	m := widthName.FindStringSubmatch(name)
+	if m == nil {
+		return 0
+	}
+	n, _ := strconv.Atoi(m[1])
+	return n
+}
 
 // parseBenchText reads `go test -bench` output: benchmark result lines
 // become samples keyed by normalized name (input order preserved in names),
@@ -166,12 +178,10 @@ func emitBenchJSON(r io.Reader, path, note string) error {
 			count = len(xs)
 		}
 		out.Summary[name] = meanOf(xs)
-		if m := jobsName.FindStringSubmatch(name); m != nil {
-			if n, _ := strconv.Atoi(m[1]); n > cores {
-				fmt.Fprintf(os.Stderr,
-					"dvbench: warning: %s ran with %d visible CPUs — recorded scaling for %d workers is serialized, not parallel\n",
-					name, cores, n)
-			}
+		if w := widthOf(name); w > cores {
+			fmt.Fprintf(os.Stderr,
+				"dvbench: warning: %s ran with %d visible CPUs — recorded scaling for %d workers is serialized, not parallel\n",
+				name, cores, w)
 		}
 	}
 	out.Count = count
@@ -187,14 +197,26 @@ func emitBenchJSON(r io.Reader, path, note string) error {
 	return os.WriteFile(path, buf, 0o644)
 }
 
-// mannWhitneyP returns the two-sided p-value of the exact Mann-Whitney U
-// test (permutation form over the pooled samples, so ties need no special
-// correction): the probability, under the null of exchangeability, of a U
-// statistic at least as far from n*m/2 as the observed one.
+// maxExactAssignments bounds the exact permutation enumeration: C(n+m, n)
+// assignments each cost O((n+m)^2), so the CI shape (6 fresh samples vs an
+// 18-sample baseline, C(24,6) = 134596) stays exact while pathological
+// shapes (18 vs 18 is C(36,18) ~ 9e9 — hours of spin) fall back to the
+// tie-corrected normal approximation below.
+const maxExactAssignments = 1 << 20
+
+// mannWhitneyP returns the two-sided p-value of the Mann-Whitney U test:
+// exact (permutation form over the pooled samples, so ties need no special
+// correction — the probability, under the null of exchangeability, of a U
+// statistic at least as far from n*m/2 as the observed one) whenever the
+// enumeration is affordable, else the tie-corrected normal approximation
+// with continuity correction (benchstat's large-sample discipline).
 func mannWhitneyP(a, b []float64) float64 {
 	n, m := len(a), len(b)
 	if n == 0 || m == 0 {
 		return 1
+	}
+	if comb := binomialFloat(n+m, n); comb > maxExactAssignments {
+		return mannWhitneyNormalP(a, b)
 	}
 	pool := append(append([]float64(nil), a...), b...)
 	uOf := func(idxA []int) float64 {
@@ -249,6 +271,69 @@ func mannWhitneyP(a, b []float64) float64 {
 	return float64(extreme) / float64(total)
 }
 
+// binomialFloat computes C(n, k) in floating point, saturating instead of
+// overflowing — callers only compare it against a small threshold.
+func binomialFloat(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1.0
+	for i := 1; i <= k; i++ {
+		c *= float64(n - k + i)
+		c /= float64(i)
+		if c > 1e18 {
+			return 1e18
+		}
+	}
+	return c
+}
+
+// mannWhitneyNormalP is the large-sample two-sided p-value: U is compared
+// against a normal with mean n*m/2 and the tie-corrected variance, with a
+// 0.5 continuity correction.
+func mannWhitneyNormalP(a, b []float64) float64 {
+	n, m := len(a), len(b)
+	var u float64
+	for _, x := range a {
+		for _, y := range b {
+			switch {
+			case x > y:
+				u += 1
+			case x == y:
+				u += 0.5
+			}
+		}
+	}
+	// Tie correction sums t^3 - t over groups of equal pooled values.
+	pool := append(append([]float64(nil), a...), b...)
+	sort.Float64s(pool)
+	N := n + m
+	var tieSum float64
+	for i := 0; i < N; {
+		j := i
+		for j < N && pool[j] == pool[i] {
+			j++
+		}
+		t := float64(j - i)
+		tieSum += t*t*t - t
+		i = j
+	}
+	variance := float64(n) * float64(m) / 12 *
+		(float64(N+1) - tieSum/(float64(N)*float64(N-1)))
+	if variance <= 0 {
+		return 1 // every pooled value identical: no evidence of a shift
+	}
+	dev := math.Abs(u-float64(n*m)/2) - 0.5
+	if dev < 0 {
+		dev = 0
+	}
+	z := dev / math.Sqrt(variance)
+	return math.Erfc(z / math.Sqrt2)
+}
+
 // gateResult is one benchmark's verdict in a gate run.
 type gateResult struct {
 	name               string
@@ -259,13 +344,18 @@ type gateResult struct {
 	regressed          bool
 	reason             string
 	improved, untested bool
+	skipped            string // non-empty: ns/op not gated, and why
 }
 
 // gateAgainst compares new samples to baseline samples for every benchmark
 // present in both, using the exact Mann-Whitney U test on ns/op at the
 // given alpha. Alloc counts are deterministic, so any increase of the mean
-// allocs/op is a regression outright, no statistics needed.
-func gateAgainst(baseline, fresh map[string][]benchSample, names []string, alpha float64) []gateResult {
+// allocs/op is a regression outright, no statistics needed. cores is the
+// effective CPU budget (the smaller of the baseline's recorded cores and
+// the current host's): /jobsN and /workersN rows wider than it measure
+// serialized scheduler noise, so their ns/op is reported but not gated
+// (allocs still are).
+func gateAgainst(baseline, fresh map[string][]benchSample, names []string, alpha float64, cores int) []gateResult {
 	var out []gateResult
 	for _, name := range names {
 		nb, ok := baseline[name]
@@ -296,10 +386,15 @@ func gateAgainst(baseline, fresh map[string][]benchSample, names []string, alpha
 		if minSig := minAchievableP(len(oldS), len(newS)); minSig > alpha {
 			r.untested = true
 		}
+		if w := widthOf(name); cores > 0 && w > cores {
+			r.skipped = fmt.Sprintf("width %d > %d CPU(s), ns/op not gated", w, cores)
+		}
 		switch {
 		case newA > oldA+1e-9:
 			r.regressed = true
 			r.reason = fmt.Sprintf("allocs/op %.2f -> %.2f", oldA, newA)
+		case r.skipped != "":
+			// serialized parallel row: ns/op is noise, only allocs gate.
 		case !r.untested && r.p <= alpha && r.newNs > r.oldNs:
 			r.regressed = true
 			r.reason = fmt.Sprintf("ns/op +%.1f%% (p=%.3f)", 100*(r.newNs/r.oldNs-1), r.p)
@@ -331,24 +426,25 @@ func minAchievableP(n, m int) float64 {
 
 // loadBaseline reads a committed BENCH_<area>.json and re-parses its raw
 // benchmark lines into per-benchmark samples (means alone cannot feed a
-// rank test).
-func loadBaseline(path string) (map[string][]benchSample, error) {
+// rank test), alongside the core count the baseline was recorded on
+// (0 when the file predates the cores field).
+func loadBaseline(path string) (map[string][]benchSample, int, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var f benchFile
 	if err := json.Unmarshal(buf, &f); err != nil {
-		return nil, fmt.Errorf("%s: %v", path, err)
+		return nil, 0, fmt.Errorf("%s: %v", path, err)
 	}
 	samples, _, _, _, err := parseBenchText(strings.NewReader(strings.Join(f.Raw, "\n")))
 	if err != nil {
-		return nil, fmt.Errorf("%s: %v", path, err)
+		return nil, 0, fmt.Errorf("%s: %v", path, err)
 	}
 	if len(samples) == 0 {
-		return nil, fmt.Errorf("%s: no raw benchmark lines", path)
+		return nil, 0, fmt.Errorf("%s: no raw benchmark lines", path)
 	}
-	return samples, nil
+	return samples, f.Cores, nil
 }
 
 // runBenchGate reads fresh benchmark text from r, compares it against every
@@ -363,16 +459,20 @@ func runBenchGate(r io.Reader, baselines string, alpha float64) (failed bool, er
 		return false, fmt.Errorf("no benchmark result lines on input")
 	}
 	baseline := make(map[string][]benchSample)
+	cores := runtime.NumCPU()
 	for _, path := range strings.Split(baselines, ",") {
-		bs, err := loadBaseline(strings.TrimSpace(path))
+		bs, c, err := loadBaseline(strings.TrimSpace(path))
 		if err != nil {
 			return false, err
+		}
+		if c > 0 && c < cores {
+			cores = c
 		}
 		for k, v := range bs {
 			baseline[k] = v
 		}
 	}
-	results := gateAgainst(baseline, fresh, names, alpha)
+	results := gateAgainst(baseline, fresh, names, alpha, cores)
 	if len(results) == 0 {
 		return false, fmt.Errorf("no benchmark on input matches any baseline entry")
 	}
@@ -383,6 +483,8 @@ func runBenchGate(r io.Reader, baselines string, alpha float64) (failed bool, er
 		switch {
 		case r.regressed:
 			verdict = "REGRESSED (" + r.reason + ")"
+		case r.skipped != "":
+			verdict = r.skipped
 		case r.improved:
 			verdict = fmt.Sprintf("improved %.1f%% (p=%.3f)", 100*(1-r.newNs/r.oldNs), r.p)
 		case r.untested:

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -34,6 +36,38 @@ func TestMannWhitneyTiesAndSymmetry(t *testing.T) {
 	}
 	if p := mannWhitneyP([]float64{5, 5, 5}, []float64{5, 5, 5}); p != 1 {
 		t.Fatalf("identical samples: p = %v, want 1", p)
+	}
+}
+
+func TestMannWhitneyLargeSampleFallback(t *testing.T) {
+	// 18 vs 18 would need C(36,18) ~ 9e9 exact assignments — the fallback
+	// must answer immediately (this test hangs for hours if it doesn't).
+	sep := make([]float64, 18)
+	shifted := make([]float64, 18)
+	same := make([]float64, 18)
+	for i := range sep {
+		sep[i] = float64(i)
+		shifted[i] = float64(i) + 100
+		same[i] = float64(i % 3)
+	}
+	if p := mannWhitneyP(sep, shifted); p > 1e-6 {
+		t.Fatalf("fully separated 18v18: p = %v, want ~0", p)
+	}
+	if p := mannWhitneyP(sep, sep); p < 0.9 {
+		t.Fatalf("identical 18v18: p = %v, want ~1", p)
+	}
+	if p, q := mannWhitneyP(sep, shifted), mannWhitneyP(shifted, sep); p != q {
+		t.Fatalf("asymmetric fallback: %v vs %v", p, q)
+	}
+	if p := mannWhitneyP(same, same); p != 1 {
+		t.Fatalf("all-tied 18v18: p = %v, want 1", p)
+	}
+	// Threshold sanity: the CI shape (6 fresh vs 18 baseline) stays exact.
+	if c := binomialFloat(24, 6); c != 134596 {
+		t.Fatalf("C(24,6) = %v, want 134596", c)
+	}
+	if c := binomialFloat(36, 18); c <= maxExactAssignments {
+		t.Fatalf("C(36,18) = %v, should exceed the exact-enumeration bound", c)
 	}
 }
 
@@ -118,11 +152,52 @@ func TestEmitBenchJSONRoundTrip(t *testing.T) {
 			t.Fatalf("baseline missing %q:\n%s", want, buf)
 		}
 	}
-	samples, err := loadBaseline(path)
+	samples, cores, err := loadBaseline(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(samples["BenchmarkFoo"]) != 6 {
 		t.Fatalf("raw round trip lost samples: %d", len(samples["BenchmarkFoo"]))
+	}
+	if cores < 1 {
+		t.Fatalf("baseline cores = %d, want >= 1", cores)
+	}
+}
+
+func TestBenchGateSkipsOverWidthParallelRows(t *testing.T) {
+	// A /workersN row wider than the recorded core budget measures barrier
+	// spin, not scaling: huge ns/op swings must not fail the gate, but an
+	// allocs/op increase still must.
+	dir := t.TempDir()
+	raw := []string{
+		"goos: linux", "goarch: amd64", "cpu: test cpu",
+	}
+	for i := 0; i < 6; i++ {
+		raw = append(raw,
+			fmt.Sprintf("BenchmarkPar/workers8 \t 10\t %d.0 ns/op\t 0 B/op\t 0 allocs/op", 1000+i))
+	}
+	base := filepath.Join(dir, "BENCH_w.json")
+	fileJSON, err := json.Marshal(benchFile{Cores: 1, Count: 6, Raw: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(base, fileJSON, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	slower := strings.Repeat("BenchmarkPar/workers8 \t 10\t 9000.0 ns/op\t 0 B/op\t 0 allocs/op\n", 6)
+	failed, err := runBenchGate(strings.NewReader(slower), base, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatal("gate failed on ns/op movement of a serialized parallel row")
+	}
+	allocs := strings.Repeat("BenchmarkPar/workers8 \t 10\t 1000.0 ns/op\t 64 B/op\t 2 allocs/op\n", 6)
+	failed, err = runBenchGate(strings.NewReader(allocs), base, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatal("gate ignored an allocs/op regression on a skipped-width row")
 	}
 }

@@ -11,6 +11,7 @@
 //	dvbench -exp fig6a      # one experiment (ids from -list)
 //	dvbench -app gups       # one registered app, both backends
 //	dvbench -jobs 4         # fan independent sweep points over 4 workers
+//	dvbench -workers 4      # intra-run parallel kernel (results identical)
 //	dvbench -trace out.csv  # where fig5 writes its trace
 //	dvbench -metrics m      # observability reference run -> m.jsonl m.prom
 //	                        # m.trace.json + stage-attribution summary table
@@ -99,6 +100,7 @@ var experiments = []experiment{
 	{id: "extL", aliases: []string{"provisioning"}, desc: "provisioning study", run: one(bench.ExtProvisioning)},
 	{id: "extM", aliases: []string{"appscaling"}, desc: "app scaling study", run: one(bench.ExtAppScaling)},
 	{id: "extN", aliases: []string{"reliability"}, desc: "reliability study", run: one(bench.ExtReliability)},
+	{id: "extP", aliases: []string{"parallel"}, desc: "parallel-kernel worker sweep", run: one(bench.ExtParallelKernel)},
 	{id: "validate", desc: "cross-variant validation", run: one(bench.Validate)},
 }
 
@@ -127,6 +129,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "RNG seed for -app runs")
 	jobs := flag.Int("jobs", runtime.NumCPU(),
 		"worker count for independent sweep points (results identical at any value)")
+	workers := flag.Int("workers", 0,
+		"intra-run parallel-kernel width for -app and the extP sweep (0 = serial reference kernel; results identical at any value)")
 	tracePath := flag.String("trace", "gups_trace.csv", "output file for the fig5 trace CSV")
 	metricsBase := flag.String("metrics", "",
 		"run the observability reference run: write <base>.jsonl, <base>.prom and <base>.trace.json, and print the stage-attribution summary")
@@ -246,9 +250,19 @@ func main() {
 		}
 		return
 	}
+	// Oversubscription warning: sweep jobs each running a parallel kernel
+	// multiply, and widths past the visible cores only add preemption stalls
+	// (results stay identical either way — see Config.Workers).
+	if w := max(*workers, 1); *jobs*w > runtime.NumCPU() {
+		fmt.Fprintf(os.Stderr,
+			"dvbench: warning: %d jobs x %d workers oversubscribes %d visible CPU(s); results are identical but wall-clock scaling will not materialize\n",
+			*jobs, w, runtime.NumCPU())
+	}
+
 	if *app != "" {
 		err := runApp(appRun{
 			name: *app, nodes: *nodes, seed: *seed, net: *netFilter,
+			workers:    *workers,
 			checkpoint: *ckptPath, every: *ckptEvery,
 			budgetWall: *budgetWall, budgetVirtual: *budgetVirtual,
 			resumeFrom: *resumeCkpt, interrupt: interrupt,
@@ -264,7 +278,7 @@ func main() {
 		}
 		return
 	}
-	opt := bench.Options{Small: *small, Jobs: *jobs}
+	opt := bench.Options{Small: *small, Jobs: *jobs, Workers: *workers}
 	if *resumeDir != "" {
 		*journalDir = *resumeDir
 	}
@@ -383,6 +397,7 @@ type appRun struct {
 	nodes      int
 	seed       uint64
 	net        string
+	workers    int
 	checkpoint string
 	every      time.Duration
 	budgetWall time.Duration
@@ -444,7 +459,7 @@ func runApp(r appRun) error {
 		return fmt.Errorf("no backend matches -net %q", r.net)
 	}
 	for _, net := range nets {
-		spec := apprt.RunSpec{Net: net, Nodes: r.nodes, Seed: r.seed}
+		spec := apprt.RunSpec{Net: net, Nodes: r.nodes, Seed: r.seed, Workers: r.workers}
 		var cp *cluster.Checkpoint
 		if managed {
 			cp = &cluster.Checkpoint{

@@ -3,12 +3,13 @@
 // rates — plus the registered workloads, a quick reference for interpreting
 // benchmark output.
 //
-//	dvinfo [-nodes 32] [-rails 1]
+//	dvinfo [-nodes 32] [-rails 1] [-workers 4]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"runtime"
 
 	"repro/internal/apprt"
 	_ "repro/internal/apps/all"
@@ -19,6 +20,7 @@ import (
 func main() {
 	nodes := flag.Int("nodes", 32, "cluster nodes")
 	rails := flag.Int("rails", 1, "VICs per node")
+	workers := flag.Int("workers", 0, "parallel-kernel width to describe (0 = serial reference)")
 	flag.Parse()
 
 	cfg := cluster.DefaultConfig(*nodes)
@@ -48,6 +50,17 @@ func main() {
 		cfg.MPI.EagerLimit, cfg.MPI.SendOverhead, cfg.MPI.RecvOverhead)
 	fmt.Printf("\nHost CPU model: %.0f GFLOPS, %v/random access, %v/small op\n",
 		cfg.CPU.GFLOPS, cfg.CPU.RandomAccess, cfg.CPU.SmallOp)
+	fmt.Printf("\nParallel kernel (dvbench -workers N)\n")
+	if *workers <= 0 {
+		fmt.Printf("  mode            serial reference (workers=0): one event queue, no worker goroutines\n")
+	} else {
+		fmt.Printf("  mode            laned: %d workers fan the cycle-accurate move phase\n", *workers)
+	}
+	fmt.Printf("  event lanes     %d (1 fabric lane + %d nodes x %d rails), merged in (time, seq) order\n",
+		1+*nodes**rails, *nodes, *rails)
+	fmt.Printf("  time grain      %v per calendar bucket (the switch cycle)\n", dvswitch.DefaultCycleTime)
+	fmt.Printf("  fan gate        >= %d packets in flight per cycle (ParMinFlying)\n", dvswitch.DefaultParMinFlying)
+	fmt.Printf("  host CPUs       %d visible; results are byte-identical at any width\n", runtime.NumCPU())
 	fmt.Printf("\nRegistered workloads (dvbench -app NAME)\n")
 	for _, a := range apprt.Apps() {
 		rel := ""

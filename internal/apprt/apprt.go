@@ -47,6 +47,14 @@ type RunSpec struct {
 	// inject/eject boundary (cross-checking knob; bit-identical to the
 	// batched pipeline).
 	ScalarBoundary bool
+	// Workers selects the parallel kernel: 0 (the default) is the reference
+	// serial kernel, n >= 1 shards the event queue into per-VIC lanes and
+	// fans the cycle-accurate switch across n workers. Reports are
+	// byte-identical at every width (see cluster.Config.Workers).
+	Workers int
+	// ParMinFlying gates the fanned switch step by in-flight occupancy
+	// (0 = dvswitch.DefaultParMinFlying, negative = fan every cycle).
+	ParMinFlying int
 	// VICsPerNode attaches multiple Data Vortex rails per node.
 	VICsPerNode int
 	// IBAdaptive enables adaptive fat-tree routing for the MPI stack.
@@ -115,6 +123,8 @@ func Execute(spec RunSpec, kernel Kernel) Report {
 	cfg.CycleAccurate = spec.CycleAccurate
 	cfg.DenseSwitch = spec.DenseSwitch
 	cfg.ScalarBoundary = spec.ScalarBoundary
+	cfg.Workers = spec.Workers
+	cfg.ParMinFlying = spec.ParMinFlying
 	cfg.VICsPerNode = spec.VICsPerNode
 	cfg.IB.Adaptive = spec.IBAdaptive
 	cfg.Faults = spec.Faults

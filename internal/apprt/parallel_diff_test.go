@@ -1,0 +1,142 @@
+// Lockstep differential guarantee for the parallel kernel: for every
+// registered workload, on both backends, through both switch engines, and
+// with fault plans active, a run at Workers ∈ {1, 2, 4, 8} must produce a
+// Summary and full cluster telemetry Report bit-identical to the Workers=0
+// reference — the unsharded serial kernel, which survives in the tree
+// exactly so this suite has an executable oracle. The suite also runs under
+// -race in CI, covering the fan pool, the barrier protocol, and the
+// per-worker mask merges.
+
+package apprt_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/apprt"
+	_ "repro/internal/apps/all"
+	"repro/internal/comm"
+	"repro/internal/faultplan"
+	"repro/internal/sim"
+)
+
+// lockstepWidths is the worker matrix the acceptance criteria name. Width 1
+// exercises the laned (sharded-queue) kernel with an inline fan; widths
+// beyond the host's core count still run real goroutines (the pool does not
+// clamp), so even a single-CPU CI machine exercises true interleavings.
+var lockstepWidths = []int{1, 2, 4, 8}
+
+func runWorkersPair(t *testing.T, a apprt.App, spec apprt.RunSpec, w int) (serial, parallel apprt.Summary) {
+	t.Helper()
+	spec.Workers = 0
+	serial, err := a.Run(spec)
+	if err != nil {
+		t.Fatalf("serial reference run failed: %v", err)
+	}
+	spec.Workers = w
+	parallel, err = a.Run(spec)
+	if err != nil {
+		t.Fatalf("workers=%d run failed: %v", w, err)
+	}
+	return serial, parallel
+}
+
+func assertWorkersIdentical(t *testing.T, w int, serial, parallel apprt.Summary) {
+	t.Helper()
+	if !summariesEqual(serial, parallel) {
+		t.Errorf("workers=%d changed the summary:\n  serial:   %+v\n  parallel: %+v",
+			w, serial, parallel)
+	}
+	if !reflect.DeepEqual(*serial.Cluster, *parallel.Cluster) {
+		t.Errorf("workers=%d changed the cluster report:\n  serial:   %+v\n  parallel: %+v",
+			w, *serial.Cluster, *parallel.Cluster)
+	}
+}
+
+// TestParallelKernelLockstep runs every registered app on both backends at
+// every worker width against the serial reference: results must be
+// bit-identical, Report included.
+func TestParallelKernelLockstep(t *testing.T) {
+	for _, a := range apprt.Apps() {
+		for _, net := range comm.Nets() {
+			a, net := a, net
+			t.Run(a.Name+"/"+net.String(), func(t *testing.T) {
+				if testing.Short() && net != comm.DV {
+					t.Skip("IB lockstep diff in -short mode")
+				}
+				spec := confSpec(a, net, false)
+				spec.Workers = 0
+				serial, err := a.Run(spec)
+				if err != nil {
+					t.Fatalf("serial reference run failed: %v", err)
+				}
+				for _, w := range lockstepWidths {
+					if testing.Short() && w != 1 && w != 4 {
+						continue
+					}
+					wspec := spec
+					wspec.Workers = w
+					parallel, err := a.Run(wspec)
+					if err != nil {
+						t.Fatalf("workers=%d run failed: %v", w, err)
+					}
+					assertWorkersIdentical(t, w, serial, parallel)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelKernelCycleAccurate repeats the lockstep diff through the
+// cycle-level switch core with the occupancy gate forced open
+// (ParMinFlying < 0), so every switch cycle takes the fanned move phase.
+func TestParallelKernelCycleAccurate(t *testing.T) {
+	for _, name := range []string{"gups", "heat"} {
+		a, ok := apprt.Get(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		for _, w := range lockstepWidths {
+			a, w := a, w
+			t.Run(fmt.Sprintf("%s/workers%d", name, w), func(t *testing.T) {
+				spec := confSpec(a, comm.DV, false)
+				spec.CycleAccurate = true
+				spec.ParMinFlying = -1
+				serial, parallel := runWorkersPair(t, a, spec, w)
+				assertWorkersIdentical(t, w, serial, parallel)
+			})
+		}
+	}
+}
+
+// TestParallelKernelUnderFaults repeats the lockstep diff for the
+// reliable-capable apps with every fault class a fast-model run supports
+// active at once — a drop+corrupt window, a VIC DMA stall, and an
+// InfiniBand uplink flap — so retransmission schedules, stall-delayed
+// boundary batches, and rerouted MPI traffic all cross the sharded queues.
+func TestParallelKernelUnderFaults(t *testing.T) {
+	plan := &faultplan.Plan{
+		Seed: 7, DropProb: 1e-4, CorruptProb: 1e-4,
+		Window:    faultplan.Window{Start: 2 * sim.Microsecond, End: 400 * sim.Microsecond},
+		DMAStalls: []faultplan.DMAStall{{VIC: 1, At: 5 * sim.Microsecond, Stall: 3 * sim.Microsecond}},
+		IBFlaps:   []faultplan.LinkFlap{{Leaf: 0, Spine: 0, Start: 4 * sim.Microsecond, Down: 20 * sim.Microsecond}},
+	}
+	for _, a := range apprt.Apps() {
+		if !a.Reliable {
+			continue
+		}
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			spec := confSpec(a, comm.DV, true)
+			spec.Faults = plan
+			for _, w := range lockstepWidths {
+				if testing.Short() && w != 4 {
+					continue
+				}
+				serial, parallel := runWorkersPair(t, a, spec, w)
+				assertWorkersIdentical(t, w, serial, parallel)
+			}
+		})
+	}
+}

@@ -32,6 +32,8 @@ func init() {
 				Faults:         spec.Faults,
 				WaitTimeout:    spec.WaitTimeout,
 				ScalarBoundary: spec.ScalarBoundary,
+				Workers:        spec.Workers,
+				ParMinFlying:   spec.ParMinFlying,
 				Check:          spec.Check,
 				Attr:           spec.Attr,
 				Checkpoint:     spec.Checkpoint,

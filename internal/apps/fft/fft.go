@@ -48,6 +48,14 @@ type Params struct {
 	// ScalarBoundary selects the legacy one-event-per-packet VIC boundary
 	// (cross-checking knob; bit-identical to the batched default).
 	ScalarBoundary bool
+	// Workers selects the parallel kernel: 0 (the default) is the reference
+	// serial kernel; n >= 1 shards the event queue into per-VIC lanes and
+	// fans the cycle-accurate switch across n workers. Results are
+	// byte-identical at every width (see cluster.Config.Workers).
+	Workers int
+	// ParMinFlying gates the fanned switch step by in-flight occupancy
+	// (see cluster.Config.ParMinFlying).
+	ParMinFlying int
 	// IBAdaptive enables adaptive fat-tree routing for the MPI variant.
 	IBAdaptive bool
 	// Check enables the invariant layer for the run.
@@ -147,6 +155,8 @@ func Run(net Net, par Params) Result {
 		Seed:           par.Seed,
 		CycleAccurate:  par.CycleAccurate,
 		ScalarBoundary: par.ScalarBoundary,
+		Workers:        par.Workers,
+		ParMinFlying:   par.ParMinFlying,
 		IBAdaptive:     par.IBAdaptive,
 		Check:          par.Check,
 		Attr:           par.Attr,

@@ -23,6 +23,8 @@ func init() {
 				KeepResult:     true,
 				CycleAccurate:  spec.CycleAccurate,
 				ScalarBoundary: spec.ScalarBoundary,
+				Workers:        spec.Workers,
+				ParMinFlying:   spec.ParMinFlying,
 				IBAdaptive:     spec.IBAdaptive,
 				Check:          spec.Check,
 				Attr:           spec.Attr,

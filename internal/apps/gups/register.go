@@ -24,6 +24,8 @@ func init() {
 				KeepTables:     true,
 				CycleAccurate:  spec.CycleAccurate,
 				ScalarBoundary: spec.ScalarBoundary,
+				Workers:        spec.Workers,
+				ParMinFlying:   spec.ParMinFlying,
 				IBAdaptive:     spec.IBAdaptive,
 				Faults:         spec.Faults,
 				Reliable:       spec.Reliable,

@@ -52,6 +52,14 @@ type Params struct {
 	// ScalarBoundary selects the legacy one-event-per-packet VIC boundary
 	// (cross-checking knob; bit-identical to the batched default).
 	ScalarBoundary bool
+	// Workers selects the parallel kernel: 0 (the default) is the reference
+	// serial kernel; n >= 1 shards the event queue into per-VIC lanes and
+	// fans the cycle-accurate switch across n workers. Results are
+	// byte-identical at every width (see cluster.Config.Workers).
+	Workers int
+	// ParMinFlying gates the fanned switch step by in-flight occupancy
+	// (see cluster.Config.ParMinFlying).
+	ParMinFlying int
 
 	// Faults injects a fault plan into the run's fabrics (Ext N).
 	Faults *faultplan.Plan
@@ -159,6 +167,8 @@ func Run(net Net, par Params) Result {
 		Seed:           par.Seed,
 		CycleAccurate:  par.CycleAccurate,
 		ScalarBoundary: par.ScalarBoundary,
+		Workers:        par.Workers,
+		ParMinFlying:   par.ParMinFlying,
 		Reliable:       par.Reliable,
 		WaitTimeout:    par.WaitTimeout,
 		Faults:         par.Faults,

@@ -24,6 +24,8 @@ func init() {
 				KeepField:      true,
 				CycleAccurate:  spec.CycleAccurate,
 				ScalarBoundary: spec.ScalarBoundary,
+				Workers:        spec.Workers,
+				ParMinFlying:   spec.ParMinFlying,
 				Faults:         spec.Faults,
 				Reliable:       spec.Reliable,
 				WaitTimeout:    spec.WaitTimeout,

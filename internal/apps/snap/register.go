@@ -25,6 +25,8 @@ func init() {
 				Seed:           spec.Seed,
 				CycleAccurate:  spec.CycleAccurate,
 				ScalarBoundary: spec.ScalarBoundary,
+				Workers:        spec.Workers,
+				ParMinFlying:   spec.ParMinFlying,
 				Check:          spec.Check,
 				Attr:           spec.Attr,
 				Checkpoint:     spec.Checkpoint,

@@ -24,6 +24,8 @@ func init() {
 				KeepVector:     true,
 				CycleAccurate:  spec.CycleAccurate,
 				ScalarBoundary: spec.ScalarBoundary,
+				Workers:        spec.Workers,
+				ParMinFlying:   spec.ParMinFlying,
 				Check:          spec.Check,
 				Attr:           spec.Attr,
 				Checkpoint:     spec.Checkpoint,

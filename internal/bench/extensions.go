@@ -609,6 +609,6 @@ func All(opt Options, traceOut io.Writer) []*Table {
 		ExtSwitchTraffic(opt), ExtScale(opt), ExtAblation(opt), ExtScaleApps(opt),
 		ExtRouting(opt), ExtMultiRail(opt), ExtPageRank(opt), ExtFaults(opt),
 		ExtSpMV(opt), ExtSubsetBarrier(opt), ExtSort(opt), ExtProvisioning(opt),
-		ExtAppScaling(opt), ExtReliability(opt),
+		ExtAppScaling(opt), ExtReliability(opt), ExtParallelKernel(opt),
 	}
 }

@@ -72,6 +72,20 @@ type Config struct {
 	// CycleAccurate selects the cycle-level switch engine instead of the
 	// calibrated fast model for the Data Vortex fabric.
 	CycleAccurate bool
+	// Workers selects the parallel kernel. 0 (the default) runs the
+	// reference serial kernel: one event queue, no worker goroutines —
+	// exactly the pre-parallel simulator. n >= 1 shards the event queue
+	// into per-VIC lanes merged in canonical (time, sequence) order and
+	// fans the cycle-accurate switch's move phase across n workers.
+	// Reports are byte-identical to Workers=0 at every width (enforced by
+	// the lockstep differential suite); only wall-clock time changes.
+	Workers int
+	// ParMinFlying gates the fanned switch step by occupancy: cycles with
+	// fewer packets in flight run serially (0 selects
+	// dvswitch.DefaultParMinFlying; negative fans every cycle, which the
+	// differential tests use to force the parallel path). Only meaningful
+	// with CycleAccurate and Workers >= 2.
+	ParMinFlying int
 	// DenseSwitch runs the cycle-accurate core on the dense full-fabric
 	// scan instead of the sparse active-list stepper. The two are
 	// bit-identical (enforced by differential tests); this knob exists for
@@ -273,7 +287,29 @@ func Run(cfg Config, body func(n *Node)) *Report {
 	if cfg.Nodes <= 0 {
 		panic(fmt.Sprintf("cluster: invalid node count %d", cfg.Nodes))
 	}
+	rails := cfg.VICsPerNode
+	if rails < 1 {
+		rails = 1
+	}
 	k := sim.NewKernel()
+	laned := cfg.Workers > 0
+	if laned {
+		// Lane topology: lane 0 is the fabric lane (switch pump, IB, MPI,
+		// samplers); lanes 1..R*N are one per node/VIC pair, with node i's
+		// program pinned to its rail-0 VIC lane. Lane count never changes
+		// results — the merge replays the serial (time, sequence) order
+		// exactly — it only shards the queue so each component schedules
+		// into its own calendar.
+		k.SetLaneCount(1 + rails*cfg.Nodes)
+		k.SetWorkers(cfg.Workers)
+		defer k.SetWorkers(1) // join pool workers even on managed runs
+	}
+	vicLane := func(g int) int {
+		if !laned {
+			return 0
+		}
+		return 1 + g
+	}
 	rng := sim.NewRNG(cfg.Seed)
 
 	var chk *check.Checker
@@ -315,10 +351,6 @@ func Run(cfg Config, body func(n *Node)) *Report {
 	// Data Vortex stack. With R rails, VIC g = rail*Nodes + node sits at
 	// port g*stride; each VIC's resolver maps node ids onto its own rail,
 	// so rails are fully independent planes of the same switch.
-	rails := cfg.VICsPerNode
-	if rails < 1 {
-		rails = 1
-	}
 	var fabric dvswitch.Fabric
 	var eng *dvswitch.Engine
 	var fm *dvswitch.FastModel
@@ -338,6 +370,9 @@ func Run(cfg Config, body func(n *Node)) *Report {
 			eng = dvswitch.NewEngine(k, geom, ct)
 			if cfg.DenseSwitch {
 				eng.Core().Dense = true
+			}
+			if p := k.FanPool(); p != nil {
+				eng.Core().SetFanPool(p, cfg.ParMinFlying)
 			}
 			eng.ApplyPlan(cfg.Faults)
 			eng.SetObs(reg)
@@ -421,23 +456,27 @@ func Run(cfg Config, body func(n *Node)) *Report {
 		for r := 0; r < rails; r++ {
 			for i := 0; i < cfg.Nodes; i++ {
 				g := r*cfg.Nodes + i
-				v := vic.New(k, i, g*stride, vicPar, inject)
-				if cfg.ScalarBoundary {
-					v.SetScalarBoundary(true)
-				} else {
-					v.SetBatchInject(injectBatch)
-				}
-				base := r * cfg.Nodes
-				v.SetPortResolver(func(id int) int { return (base + id) * stride })
-				v.BarrierInit(cfg.Nodes)
-				v.SetObs(vicObs)
-				if tracer != nil {
-					v.SetAttr(tracer)
-				}
-				if chk != nil {
-					chk.AttachVIC(v)
-				}
-				vics[g] = v
+				// Each VIC is built on its own lane so any events it seeds
+				// at construction land in its calendar.
+				k.WithLane(vicLane(g), func() {
+					v := vic.New(k, i, g*stride, vicPar, inject)
+					if cfg.ScalarBoundary {
+						v.SetScalarBoundary(true)
+					} else {
+						v.SetBatchInject(injectBatch)
+					}
+					base := r * cfg.Nodes
+					v.SetPortResolver(func(id int) int { return (base + id) * stride })
+					v.BarrierInit(cfg.Nodes)
+					v.SetObs(vicObs)
+					if tracer != nil {
+						v.SetAttr(tracer)
+					}
+					if chk != nil {
+						chk.AttachVIC(v)
+					}
+					vics[g] = v
+				})
 			}
 		}
 		if sampler != nil {
@@ -588,38 +627,42 @@ func Run(cfg Config, body func(n *Node)) *Report {
 		i := i
 		nodeRNG := rng.Split()
 		nodeRNGs = append(nodeRNGs, nodeRNG)
-		k.Spawn(fmt.Sprintf("node%d", i), func(p *sim.Proc) {
-			n := &Node{ID: i, P: p, RNG: nodeRNG, CPU: cfg.CPU, Trace: cfg.Trace, met: met}
-			if vics != nil {
-				for r := 0; r < rails; r++ {
-					e := dv.NewEndpoint(vics[r*cfg.Nodes+i], i, cfg.Nodes)
-					e.Bind(p)
-					e.SetObs(relObs)
-					if tracer != nil {
-						e.SetAttr(tracer)
+		// The node's program proc lives on its rail-0 VIC lane: everything
+		// it schedules (compute waits, sends, endpoint timers) shards there.
+		k.WithLane(vicLane(i), func() {
+			k.Spawn(fmt.Sprintf("node%d", i), func(p *sim.Proc) {
+				n := &Node{ID: i, P: p, RNG: nodeRNG, CPU: cfg.CPU, Trace: cfg.Trace, met: met}
+				if vics != nil {
+					for r := 0; r < rails; r++ {
+						e := dv.NewEndpoint(vics[r*cfg.Nodes+i], i, cfg.Nodes)
+						e.Bind(p)
+						e.SetObs(relObs)
+						if tracer != nil {
+							e.SetAttr(tracer)
+						}
+						if chk != nil {
+							base := r * cfg.Nodes
+							chk.BindEndpoint(e, func(dst int) *vic.VIC {
+								if dst < 0 || dst >= cfg.Nodes {
+									return nil
+								}
+								return vics[base+dst]
+							})
+						}
+						n.Rails = append(n.Rails, e)
 					}
-					if chk != nil {
-						base := r * cfg.Nodes
-						chk.BindEndpoint(e, func(dst int) *vic.VIC {
-							if dst < 0 || dst >= cfg.Nodes {
-								return nil
-							}
-							return vics[base+dst]
-						})
-					}
-					n.Rails = append(n.Rails, e)
+					n.DV = n.Rails[0]
+					endpoints[i] = n.Rails
 				}
-				n.DV = n.Rails[0]
-				endpoints[i] = n.Rails
-			}
-			if world != nil {
-				n.MPI = world.Bind(i, p)
-			}
-			body(n)
-			rep.NodeTimes[i] = p.Now()
-			if p.Now() > rep.Elapsed {
-				rep.Elapsed = p.Now()
-			}
+				if world != nil {
+					n.MPI = world.Bind(i, p)
+				}
+				body(n)
+				rep.NodeTimes[i] = p.Now()
+				if p.Now() > rep.Elapsed {
+					rep.Elapsed = p.Now()
+				}
+			})
 		})
 	}
 	sampler.Start()

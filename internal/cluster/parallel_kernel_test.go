@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+)
+
+// TestParallelReportIdentity pins the tentpole contract at the cluster
+// level: a run at any worker width — serialized here as the full Report
+// JSON, invariant checker live — is byte-identical to the Workers=0
+// serial-kernel reference, on both the fast model and the cycle-accurate
+// engine with the fan gate forced open.
+func TestParallelReportIdentity(t *testing.T) {
+	for _, cyc := range []bool{false, true} {
+		cfg := DefaultConfig(4)
+		cfg.Check = check.All()
+		cfg.CycleAccurate = cyc
+		if cyc {
+			cfg.ParMinFlying = -1
+		}
+		base := Run(cfg, ckptBody)
+		if !base.Checks.Ok() {
+			t.Fatalf("cycleAccurate=%v: serial invariants: %v", cyc, base.Checks)
+		}
+		baseJSON := reportJSON(t, base)
+		for _, w := range []int{1, 2, 4, 8} {
+			wcfg := cfg
+			wcfg.Workers = w
+			rep := Run(wcfg, ckptBody)
+			if got := reportJSON(t, rep); got != baseJSON {
+				t.Errorf("cycleAccurate=%v workers=%d: Report differs from serial:\n got %s\nwant %s",
+					cyc, w, got, baseJSON)
+			}
+		}
+	}
+}
+
+// TestParallelCheckpointRestore is the mid-window restore contract: a
+// managed parallel run checkpoints on the virtual-time grid, and a second
+// parallel run restored from a mid-run snapshot must finish with a Report
+// byte-identical to the straight-through SERIAL unmanaged run — the
+// strongest cross: parallel + managed + resumed vs serial + unmanaged.
+func TestParallelCheckpointRestore(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Check = check.All()
+	baseJSON := reportJSON(t, Run(cfg, ckptBody))
+
+	var snaps []*snapshot.Snapshot
+	mcfg := cfg
+	mcfg.Workers = 4
+	mcfg.Checkpoint = &Checkpoint{App: "par-ckpt", Net: "both", Every: 2 * sim.Microsecond,
+		Sink: func(s *snapshot.Snapshot) error { snaps = append(snaps, s); return nil }}
+	rep := Run(mcfg, ckptBody)
+	if mcfg.Checkpoint.Err != nil {
+		t.Fatalf("managed parallel run error: %v", mcfg.Checkpoint.Err)
+	}
+	if got := reportJSON(t, rep); got != baseJSON {
+		t.Errorf("managed workers=4 Report differs from serial unmanaged:\n got %s\nwant %s", got, baseJSON)
+	}
+	if len(snaps) < 2 {
+		t.Fatalf("expected >=2 snapshots, got %d", len(snaps))
+	}
+
+	// Restore from the middle snapshot at a different width than the run
+	// that wrote it: snapshots are canonical (the queue fingerprint is
+	// arrangement-invariant), so worker count is a restore-time choice.
+	rcfg := cfg
+	rcfg.Workers = 2
+	rcfg.Checkpoint = &Checkpoint{App: "par-ckpt", Net: "both", Resume: snaps[len(snaps)/2]}
+	rrep := Run(rcfg, ckptBody)
+	if rcfg.Checkpoint.Err != nil {
+		t.Fatalf("resume error: %v", rcfg.Checkpoint.Err)
+	}
+	if got := reportJSON(t, rrep); got != baseJSON {
+		t.Errorf("restored workers=2 Report differs from serial unmanaged:\n got %s\nwant %s", got, baseJSON)
+	}
+}

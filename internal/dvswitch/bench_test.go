@@ -129,3 +129,28 @@ func BenchmarkFastModelInject(b *testing.B) {
 		k.RunUntil(1 << 40)
 	}
 }
+
+// BenchmarkFastModelInjectDeep is FastModelInject in the deep-queue regime
+// that motivated the calendar event queue (ROADMAP item 5): a closed loop
+// over a 128-port fabric keeps ~4k delivery events pending, the depth large
+// runs (gups16 and up) actually reach. Per op = 1024 fired events, each of
+// which re-injects, so the scheduler's push/pop pair at depth dominates.
+func BenchmarkFastModelInjectDeep(b *testing.B) {
+	k := sim.NewKernel()
+	m := NewFastModel(k, Params{Heights: 32, Angles: 4}, DefaultCycleTime, sim.NewRNG(3))
+	rng := sim.NewRNG(5)
+	ports := m.Ports()
+	m.OnDeliver(func(pkt Packet) {
+		m.Inject(Packet{Src: pkt.Dst, Dst: rng.Intn(ports)})
+	})
+	for i := 0; i < 4096; i++ {
+		m.Inject(Packet{Src: rng.Intn(ports), Dst: rng.Intn(ports)})
+	}
+	// Reach steady state: pools, rings, and the calendar warm.
+	k.RunUntilN(1<<40, 1<<17)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		k.RunUntilN(1<<40, 1024)
+	}
+}

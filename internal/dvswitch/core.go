@@ -360,6 +360,11 @@ type Core struct {
 	// instrumented move loops, so cleanPath gates on it. Kept after stats
 	// so the hot counters keep their field offsets.
 	heat *attr.Heat
+
+	// par, when set (SetFanPool), lets clean-path cycles above an occupancy
+	// threshold fan their move phase across a worker pool — bit-identical to
+	// the serial step (see par.go).
+	par *parState
 }
 
 // NewCore builds a cycle-accurate switch. It panics on invalid Params
@@ -567,6 +572,10 @@ func (c *Core) sigSet(idx int) bool {
 func (c *Core) Step() {
 	if c.Dense {
 		c.denseStep()
+		return
+	}
+	if c.parEligible() {
+		c.parStep()
 		return
 	}
 	// Crossover: above ~half occupancy the bitmap walk saves nothing over

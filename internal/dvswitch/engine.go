@@ -42,13 +42,20 @@ type Engine struct {
 	k     *sim.Kernel
 	core  *Core
 	ct    sim.Time
+	lane  int32
 	fn    func(pkt Packet)
 	armed bool
 }
 
-// NewEngine builds a kernel-coupled cycle-accurate switch.
+// NewEngine builds a kernel-coupled cycle-accurate switch. The pump is pinned
+// to the kernel lane current at construction (the fabric lane, when the
+// cluster wraps construction in WithLane), so pump events stay on the fabric's
+// queue no matter which node's event arms them. The switch cycle is also the
+// kernel's natural calendar grain; hint it so the event queue buckets align
+// with cycle boundaries.
 func NewEngine(k *sim.Kernel, p Params, cycleTime sim.Time) *Engine {
-	e := &Engine{k: k, core: NewCore(p), ct: cycleTime}
+	k.HintTimeGrain(cycleTime)
+	e := &Engine{k: k, core: NewCore(p), ct: cycleTime, lane: int32(k.CurrentLane())}
 	e.core.Deliver = func(pkt Packet, _ int64) {
 		if e.fn != nil {
 			e.fn(pkt)
@@ -90,7 +97,7 @@ func (e *Engine) arm() {
 	e.armed = true
 	now := e.k.Now()
 	next := (now/e.ct + 1) * e.ct // next cycle boundary, deterministic grid
-	e.k.At(next, e.pump)
+	e.k.AtLane(int(e.lane), next, e.pump)
 }
 
 func (e *Engine) pump() {
@@ -197,6 +204,7 @@ func NewFastModel(k *sim.Kernel, p Params, cycleTime sim.Time, rng *sim.RNG) *Fa
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
+	k.HintTimeGrain(cycleTime)
 	m := &FastModel{
 		k:      k,
 		p:      p,

@@ -1,0 +1,192 @@
+package dvswitch
+
+import (
+	"repro/internal/sim"
+)
+
+// Parallel stepping. parStep fans the clean-path move phase across a
+// sim.FanPool, one cylinder pass at a time, and is bit-identical to the
+// serial Step at any worker count:
+//
+//   - Within one cylinder pass, move targets are pairwise distinct (circling
+//     and deflection are injective on (height, angle); descend targets land
+//     in the next cylinder, also injectively), so workers write next[] and
+//     per-packet flight state with no two writers on one element.
+//   - Cross-pass collisions are excluded by the deflection-signal protocol
+//     itself — a descend is blocked when its target cell was claimed in the
+//     previous pass — provided each pass observes the previous pass's merged
+//     signals. Workers therefore accumulate signal and occupancy bits in
+//     per-worker local bitmaps, OR-merged into the shared masks between
+//     barriers (each worker merges a disjoint word range, so the merge is
+//     parallel too and the OR order is irrelevant).
+//   - Ejects are order-sensitive (stats, Deliver callbacks, packet-pool
+//     reuse, re-injection), so workers only collect candidate refs in chunk
+//     order; participant 0 applies them serially in ascending-cell order —
+//     exactly the dense-scan order the serial path produces — while the
+//     other participants merge the output ring's signal words.
+//
+// The result: same next occupancy, same signal set, same eject/Deliver
+// sequence, same stats, same pool-reference reuse as the serial clean path,
+// for any pool width. The lockstep differential tests and the sparse/dense
+// goldens enforce this.
+
+// DefaultParMinFlying is the occupancy below which parStep is not worth its
+// barriers: a fan costs a few microseconds of handoff and spin per cycle,
+// which only amortizes once the per-cycle move work is comparable. Runs on
+// reference-size fabrics rarely cross it; 256-port-and-up saturated fabrics
+// do.
+const DefaultParMinFlying = 2048
+
+// parState is the per-core scratch for parallel stepping.
+type parState struct {
+	pool      *sim.FanPool
+	minFlying int
+	nxt       [][]uint64 // per-worker local nxtMask accumulators
+	sig       [][]uint64 // per-worker local sigMask accumulators
+	ej        [][]int32  // per-worker eject candidates, chunk order
+}
+
+// SetFanPool attaches (or, with nil, detaches) a worker pool for parallel
+// stepping. minFlying is the occupancy gate: cycles with fewer in-flight
+// packets run the serial path (0 selects DefaultParMinFlying; negative
+// forces every cycle parallel, which the differential tests use). The
+// parallel path engages only on clean-path cycles (no faults, mutations, or
+// per-event instruments) of the sparse stepper; everything else — and any
+// run with a width-1 pool — is the unchanged serial code.
+func (c *Core) SetFanPool(p *sim.FanPool, minFlying int) {
+	if p == nil || p.Workers() <= 1 {
+		c.par = nil
+		return
+	}
+	if minFlying == 0 {
+		minFlying = DefaultParMinFlying
+	}
+	w := p.Workers()
+	ps := &parState{pool: p, minFlying: minFlying}
+	ps.nxt = make([][]uint64, w)
+	ps.sig = make([][]uint64, w)
+	ps.ej = make([][]int32, w)
+	for i := 0; i < w; i++ {
+		ps.nxt[i] = make([]uint64, len(c.nxtMask))
+		ps.sig[i] = make([]uint64, len(c.sigMask))
+	}
+	c.par = ps
+}
+
+// parEligible reports whether this cycle takes the parallel path.
+func (c *Core) parEligible() bool {
+	return c.par != nil && !c.Dense &&
+		(c.flying >= c.par.minFlying || c.par.minFlying < 0) &&
+		c.cleanPath()
+}
+
+// mergeClear ORs the word range [lo, hi) of every local bitmap into dst,
+// split W ways by participant id so merge work is parallel, and clears the
+// merged local words.
+func mergeClear(dst []uint64, locals [][]uint64, lo, hi, id, parts int) {
+	span := hi - lo
+	mlo := lo + span*id/parts
+	mhi := lo + span*(id+1)/parts
+	for w := mlo; w < mhi; w++ {
+		v := uint64(0)
+		for p := range locals {
+			if x := locals[p][w]; x != 0 {
+				v |= x
+				locals[p][w] = 0
+			}
+		}
+		if v != 0 {
+			dst[w] |= v
+		}
+	}
+}
+
+// parStep is Step's clean-path move phase fanned across the pool, followed
+// by the usual serial inject phase and step finish.
+func (c *Core) parStep() {
+	ps := c.par
+	L := c.levels
+	cylN := c.cylN
+	sigStride := (cylN + 63) / 64
+	ps.pool.Run(func(fc *sim.FanCtx) {
+		id, W := fc.ID(), fc.Parts()
+		lo := cylN * id / W
+		hi := cylN * (id + 1) / W
+		grid := c.grid
+		next := c.next
+		tab := c.tab
+		pstate := c.pstate
+		lnxt := ps.nxt[id]
+		lsig := ps.sig[id]
+		ej := ps.ej[id][:0]
+		// Output ring (cylinder L): eject at the destination angle (deferred
+		// to the serial section below), else circle.
+		base := L * cylN
+		for j := lo; j < hi; j++ {
+			ref := grid[base+j]
+			if ref == 0 {
+				continue
+			}
+			t := &tab[base+j]
+			if pstate[ref-1].da == t.da {
+				ej = append(ej, ref)
+				continue
+			}
+			ni := t.next
+			next[ni] = ref
+			lnxt[ni>>6] |= 1 << (uint32(ni) & 63)
+			ns := t.nextSig
+			lsig[ns>>6] |= 1 << (uint32(ns) & 63)
+		}
+		ps.ej[id] = ej
+		fc.Barrier()
+		// Participant 0 applies ejects in ascending-cell order (Deliver may
+		// re-inject and grow the packet pool); the rest merge cylinder L's
+		// signal words, which ejecting never touches.
+		if id == 0 {
+			for w := 0; w < W; w++ {
+				for _, ref := range ps.ej[w] {
+					c.eject(ref)
+				}
+				ps.ej[w] = ps.ej[w][:0]
+			}
+		} else {
+			mergeClear(c.sigMask, ps.sig, L*sigStride, (L+1)*sigStride, id-1, W-1)
+		}
+		fc.Barrier()
+		pstate = c.pstate // Deliver may have re-injected and grown the pool
+		// Inner cylinders: descend or deflect, branchless, reading the
+		// previous pass's merged signals.
+		for cl := L - 1; cl >= 0; cl-- {
+			base := cl * cylN
+			for j := lo; j < hi; j++ {
+				ref := grid[base+j]
+				if ref == 0 {
+					continue
+				}
+				t := &tab[base+j]
+				f := &pstate[ref-1]
+				d := t.desc
+				ds := t.descSig
+				blocked := uint64((f.dh>>t.bit)&1^t.hbit) | c.sigMask[ds>>6]>>(uint32(ds)&63)&1
+				ni := t.defl
+				if blocked == 0 {
+					ni = d
+				}
+				f.defl += uint32(blocked)
+				next[ni] = ref
+				lnxt[ni>>6] |= 1 << (uint32(ni) & 63)
+				fs := t.deflSig
+				lsig[fs>>6] |= blocked << (uint32(fs) & 63)
+			}
+			fc.Barrier()
+			mergeClear(c.sigMask, ps.sig, cl*sigStride, (cl+1)*sigStride, id, W)
+			fc.Barrier()
+		}
+		// Publish the next-occupancy bitmap; Run's join orders this before
+		// the serial inject phase.
+		mergeClear(c.nxtMask, ps.nxt, 0, len(c.nxtMask), id, W)
+	})
+	c.injectPhase()
+	c.finishStep()
+}

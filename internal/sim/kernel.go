@@ -11,9 +11,14 @@ import (
 // schedule without allocating a capturing closure (see Kernel.AtArg).
 // Daemon events (AtDaemon) do not keep the simulation alive: once only
 // daemons remain queued, Run stops without firing them.
+//
+// lane is the event's home lane (see SetLaneCount): the scheduler keeps one
+// queue per lane and merges lane heads in (at, seq) order, so the lane is a
+// pure queue-placement hint — it never changes when an event fires.
 type event struct {
 	at     Time
 	seq    uint64
+	lane   int32
 	daemon bool
 	fn     func()
 	fnArg  func(any)
@@ -30,8 +35,8 @@ type heapEnt struct {
 }
 
 // entLess orders entries by (at, seq); the pair is unique per event, so the
-// order is total and the heap's pop sequence is fully determined — any
-// correct heap yields the same sequence.
+// order is total and the pop sequence is fully determined — any correct
+// queue arrangement yields the same sequence.
 func entLess(a, b heapEnt) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -43,7 +48,8 @@ func entLess(a, b heapEnt) bool {
 // hand-rolled (rather than container/heap) because the scheduler push/pop pair
 // is the per-event cost floor of every hot path — FastModel deliveries, VIC
 // injections, engine pump cycles — and the interface dispatch of
-// heap.Interface roughly triples it.
+// heap.Interface roughly triples it. It now serves as the mini-heap inside
+// each calendar-queue bucket and the overflow store (see calQ).
 type eventHeap []heapEnt
 
 func (h *eventHeap) push(e *event) {
@@ -91,13 +97,26 @@ func (h *eventHeap) pop() *event {
 	return top
 }
 
-// Kernel is the discrete-event scheduler. It is not safe for concurrent use:
-// exactly one simulated process (or the kernel itself) runs at any moment.
+// Kernel is the discrete-event scheduler. Pending events are sharded across
+// per-lane calendar queues (one lane by default; see SetLaneCount) whose
+// heads merge in global (at, seq) order, so the fire sequence — and
+// everything derived from it — is identical at any lane count. Scheduling
+// calls are not safe for concurrent use: exactly one simulated process (or
+// the kernel itself) runs at any moment. The only concurrency the kernel
+// owns is the Fan worker pool (see SetWorkers), which runs strictly inside a
+// single event callback.
 type Kernel struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	nUser  int      // queued non-daemon events; Run stops when this hits zero
+	now   Time
+	seq   uint64
+	nEv   int // total queued events across lanes
+	nUser int // queued non-daemon events; Run stops when this hits zero
+
+	lanes    []*calQ
+	heads    laneHeap // lane-head merge heap; maintained only when len(lanes) > 1
+	curLane  int32    // home lane inherited by newly scheduled events
+	grain    Time     // calendar-queue bucket width (0 until set/defaulted)
+	grainSet bool     // SetTimeGrain called explicitly (hints no longer apply)
+
 	freeEv []*event // fired events, reused by the next At/AtArg
 
 	// yield is signalled by a process when it parks or exits, handing
@@ -107,18 +126,23 @@ type Kernel struct {
 	procs    []*Proc
 	nlive    int
 	draining bool
+
+	workers int
+	pool    *FanPool
 }
 
-// NewKernel returns an empty kernel at time zero.
+// NewKernel returns an empty kernel at time zero with a single lane.
 func NewKernel() *Kernel {
-	return &Kernel{yield: make(chan struct{})}
+	k := &Kernel{yield: make(chan struct{})}
+	k.lanes = []*calQ{newCalQ(k.grain)}
+	return k
 }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
-// newEvent returns a pooled (or fresh) event stamped with time t and the
-// next sequence number.
+// newEvent returns a pooled (or fresh) event stamped with time t, the next
+// sequence number, and the current home lane.
 func (k *Kernel) newEvent(t Time) *event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event in the past: %v < %v", t, k.now))
@@ -132,16 +156,61 @@ func (k *Kernel) newEvent(t Time) *event {
 		e = &event{}
 	}
 	e.at, e.seq, e.daemon = t, k.seq, false
+	e.lane = k.curLane
+	return e
+}
+
+// schedule enqueues e on its home lane and keeps the lane-head merge heap
+// consistent.
+func (k *Kernel) schedule(e *event) {
+	k.nEv++
+	q := k.lanes[e.lane]
+	q.push(e)
+	if len(k.lanes) > 1 {
+		// The lane's head key can only have decreased (or the lane just
+		// became non-empty), which is exactly what update handles.
+		ent, _ := q.peek()
+		k.heads.update(e.lane, ent.at, ent.seq)
+	}
+}
+
+// peekMin returns the key of the globally earliest queued event.
+func (k *Kernel) peekMin() (heapEnt, bool) {
+	if k.nEv == 0 {
+		return heapEnt{}, false
+	}
+	if len(k.lanes) == 1 {
+		return k.lanes[0].peek()
+	}
+	return k.lanes[k.heads.top()].peek()
+}
+
+// popMin removes and returns the globally earliest queued event.
+func (k *Kernel) popMin() *event {
+	k.nEv--
+	if len(k.lanes) == 1 {
+		return k.lanes[0].pop()
+	}
+	l := k.heads.top()
+	q := k.lanes[l]
+	e := q.pop()
+	if ent, ok := q.peek(); ok {
+		k.heads.reseatTop(ent.at, ent.seq)
+	} else {
+		k.heads.removeTop()
+	}
 	return e
 }
 
 // fire runs one popped event, returning it to the pool first so the callback
-// may immediately schedule again without growing the heap's backing store.
+// may immediately schedule again without growing the queue's backing store.
+// The event's home lane becomes the current lane for anything it schedules.
 func (k *Kernel) fire(e *event) {
 	fn, fnArg, arg := e.fn, e.fnArg, e.arg
 	if !e.daemon {
 		k.nUser--
 	}
+	k.curLane = e.lane
 	e.fn, e.fnArg, e.arg = nil, nil, nil
 	k.freeEv = append(k.freeEv, e)
 	if fn != nil {
@@ -156,7 +225,7 @@ func (k *Kernel) At(t Time, fn func()) {
 	e := k.newEvent(t)
 	e.fn = fn
 	k.nUser++
-	k.events.push(e)
+	k.schedule(e)
 }
 
 // AtDaemon schedules fn at absolute time t like At, but the event does not
@@ -168,7 +237,7 @@ func (k *Kernel) AtDaemon(t Time, fn func()) {
 	e := k.newEvent(t)
 	e.fn = fn
 	e.daemon = true
-	k.events.push(e)
+	k.schedule(e)
 }
 
 // AtArg schedules fn(arg) at absolute time t (>= now). Unlike At, the
@@ -179,7 +248,27 @@ func (k *Kernel) AtArg(t Time, fn func(any), arg any) {
 	e := k.newEvent(t)
 	e.fnArg, e.arg = fn, arg
 	k.nUser++
-	k.events.push(e)
+	k.schedule(e)
+}
+
+// AtLane is At with an explicit home lane, for callers whose scheduling
+// context differs from the component the event belongs to — e.g. the engine
+// pump is pinned to the fabric lane no matter which node's inject armed it.
+func (k *Kernel) AtLane(lane int, t Time, fn func()) {
+	e := k.newEvent(t)
+	e.fn = fn
+	e.lane = int32(lane)
+	k.nUser++
+	k.schedule(e)
+}
+
+// AtArgLane is AtArg with an explicit home lane (see AtLane).
+func (k *Kernel) AtArgLane(lane int, t Time, fn func(any), arg any) {
+	e := k.newEvent(t)
+	e.fnArg, e.arg = fn, arg
+	e.lane = int32(lane)
+	k.nUser++
+	k.schedule(e)
 }
 
 // After schedules fn to run d from now.
@@ -200,6 +289,7 @@ type abortSignal struct{}
 type Proc struct {
 	k      *Kernel
 	name   string
+	lane   int32
 	resume chan bool // value: false => aborted
 	live   bool
 }
@@ -213,10 +303,15 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.k.now }
 
+// Lane returns the process's home lane, inherited from the lane current at
+// Spawn. All of the process's wake-up events are scheduled on it.
+func (p *Proc) Lane() int { return int(p.lane) }
+
 // Spawn creates a process that will start executing fn at the current
-// virtual time (once Run is pumping events).
+// virtual time (once Run is pumping events). The process's home lane is the
+// lane current at the Spawn call (see WithLane).
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{k: k, name: name, resume: make(chan bool), live: true}
+	p := &Proc{k: k, name: name, lane: k.curLane, resume: make(chan bool), live: true}
 	k.procs = append(k.procs, p)
 	k.nlive++
 	k.At(k.now, func() {
@@ -271,7 +366,7 @@ func (p *Proc) Wait(d Time) {
 		return
 	}
 	k := p.k
-	k.AtArg(k.now+d, fireResume, p)
+	k.AtArgLane(int(p.lane), k.now+d, fireResume, p)
 	p.park()
 }
 
@@ -296,7 +391,7 @@ func (p *Proc) WaitUntil(t Time) {
 // event already queued for this instant run first.
 func (p *Proc) Yield() {
 	k := p.k
-	k.AtArg(k.now, fireResume, p)
+	k.AtArgLane(int(p.lane), k.now, fireResume, p)
 	p.park()
 }
 
@@ -305,7 +400,7 @@ func (p *Proc) Yield() {
 // queue are discarded unfired. It returns the final virtual time.
 func (k *Kernel) Run() Time {
 	for k.nUser > 0 {
-		e := k.events.pop()
+		e := k.popMin()
 		k.now = e.at
 		k.fire(e)
 	}
@@ -318,8 +413,12 @@ func (k *Kernel) Run() Time {
 // queued. Processes stay parked (no drain) so the run can continue. Like Run,
 // it stops early once only daemon events remain (leaving them queued).
 func (k *Kernel) RunUntil(limit Time) Time {
-	for k.nUser > 0 && len(k.events) > 0 && k.events[0].at <= limit {
-		e := k.events.pop()
+	for k.nUser > 0 {
+		ent, ok := k.peekMin()
+		if !ok || ent.at > limit {
+			break
+		}
+		e := k.popMin()
 		k.now = e.at
 		k.fire(e)
 	}
@@ -333,8 +432,12 @@ func (k *Kernel) RunUntil(limit Time) Time {
 // batches of work without giving up the deterministic event order.
 func (k *Kernel) RunUntilN(limit Time, n int) int {
 	fired := 0
-	for fired < n && k.nUser > 0 && len(k.events) > 0 && k.events[0].at <= limit {
-		e := k.events.pop()
+	for fired < n && k.nUser > 0 {
+		ent, ok := k.peekMin()
+		if !ok || ent.at > limit {
+			break
+		}
+		e := k.popMin()
 		k.now = e.at
 		k.fire(e)
 		fired++
@@ -351,13 +454,15 @@ func (k *Kernel) PendingUser() int { return k.nUser }
 // across idle stretches of the boundary grid.
 func (k *Kernel) NextUserEvent() (Time, bool) {
 	best, found := Time(0), false
-	for i := range k.events {
-		if k.events[i].e.daemon {
-			continue
-		}
-		if at := k.events[i].at; !found || at < best {
-			best, found = at, true
-		}
+	for _, q := range k.lanes {
+		q.forEach(func(e *event) {
+			if e.daemon {
+				return
+			}
+			if !found || e.at < best {
+				best, found = e.at, true
+			}
+		})
 	}
 	return best, found
 }
@@ -367,10 +472,12 @@ func (k *Kernel) NextUserEvent() (Time, bool) {
 // queue length. Event callbacks are closures and cannot be serialized;
 // because event sequence numbers are assigned deterministically, the
 // fingerprint still pins the queue's identity across a deterministic replay.
+// The canonical order makes the digest lane-merge-invariant: how events are
+// sharded across lanes (or arranged within a lane's calendar) never shows.
 func (k *Kernel) QueueFingerprint() (n int, fp uint64) {
-	evs := make([]*event, len(k.events))
-	for i := range k.events {
-		evs[i] = k.events[i].e
+	evs := make([]*event, 0, k.nEv)
+	for _, q := range k.lanes {
+		q.forEach(func(e *event) { evs = append(evs, e) })
 	}
 	slices.SortFunc(evs, func(a, b *event) int {
 		if a.at != b.at {
@@ -426,14 +533,17 @@ func (k *Kernel) Finish() Time {
 // discardDaemons empties the queue of the daemon events that survived the
 // last non-daemon event, returning them to the pool unfired.
 func (k *Kernel) discardDaemons() {
-	for len(k.events) > 0 {
-		e := k.events.pop()
+	for k.nEv > 0 {
+		e := k.popMin()
+		if !e.daemon {
+			k.nUser--
+		}
 		e.fn, e.fnArg, e.arg = nil, nil, nil
 		k.freeEv = append(k.freeEv, e)
 	}
 }
 
-// drain force-aborts every parked live process.
+// drain force-aborts every parked live process and stops the worker pool.
 func (k *Kernel) drain() {
 	k.draining = true
 	for _, p := range k.procs {
@@ -442,6 +552,7 @@ func (k *Kernel) drain() {
 		}
 	}
 	k.procs = nil
+	k.stopPool()
 }
 
 // LiveProcs returns the number of processes that have not finished.

@@ -1,0 +1,197 @@
+package sim
+
+import "fmt"
+
+// Lanes shard the kernel's pending-event set. A lane is a home for a group
+// of components that schedule among themselves — cluster runs use one lane
+// for the switch fabric and one per node/VIC pair — and each lane owns a
+// calendar queue (calQ). The kernel merges lane heads in global (at, seq)
+// order, so sharding is invisible to simulation results: the fire sequence,
+// QueueFingerprint, and Reports are byte-identical at any lane count. What
+// lanes buy is locality (a lane's near-future events live in a small warm
+// calendar instead of one run-sized heap) and a structural partition that
+// the Fan worker pool exploits between angle-synchronous window barriers.
+//
+// laneHead is one entry of the lane-head merge heap: the key of a non-empty
+// lane's earliest event.
+type laneHead struct {
+	at   Time
+	seq  uint64
+	lane int32
+}
+
+func headLess(a, b laneHead) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// laneHeap is an indexed binary min-heap over non-empty lanes, keyed by each
+// lane's head (at, seq). pos maps lane -> slot (-1 when the lane is empty),
+// so a push to an already-tracked lane is a decrease-key sift instead of a
+// search.
+type laneHeap struct {
+	ents []laneHead
+	pos  []int32
+}
+
+func (h *laneHeap) grow(lanes int) {
+	for len(h.pos) < lanes {
+		h.pos = append(h.pos, -1)
+	}
+}
+
+// top returns the lane holding the globally earliest event. Requires a
+// non-empty heap.
+func (h *laneHeap) top() int32 { return h.ents[0].lane }
+
+// update records that lane's head key decreased to (at, seq) — or that the
+// lane just became non-empty — and restores heap order by sifting up.
+func (h *laneHeap) update(lane int32, at Time, seq uint64) {
+	i := h.pos[lane]
+	if i < 0 {
+		i = int32(len(h.ents))
+		h.ents = append(h.ents, laneHead{})
+	}
+	h.siftUp(int(i), laneHead{at, seq, lane})
+}
+
+// reseatTop replaces the top lane's key with its new (larger) head after a
+// pop and sifts it down.
+func (h *laneHeap) reseatTop(at Time, seq uint64) {
+	h.siftDown(0, laneHead{at, seq, h.ents[0].lane})
+}
+
+// removeTop drops the top lane (it became empty).
+func (h *laneHeap) removeTop() {
+	h.pos[h.ents[0].lane] = -1
+	n := len(h.ents) - 1
+	last := h.ents[n]
+	h.ents = h.ents[:n]
+	if n > 0 {
+		h.siftDown(0, last)
+	}
+}
+
+func (h *laneHeap) siftUp(i int, ent laneHead) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !headLess(ent, h.ents[p]) {
+			break
+		}
+		h.ents[i] = h.ents[p]
+		h.pos[h.ents[i].lane] = int32(i)
+		i = p
+	}
+	h.ents[i] = ent
+	h.pos[ent.lane] = int32(i)
+}
+
+func (h *laneHeap) siftDown(i int, ent laneHead) {
+	n := len(h.ents)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && headLess(h.ents[r], h.ents[c]) {
+			c = r
+		}
+		if !headLess(h.ents[c], ent) {
+			break
+		}
+		h.ents[i] = h.ents[c]
+		h.pos[h.ents[i].lane] = int32(i)
+		i = c
+	}
+	h.ents[i] = ent
+	h.pos[ent.lane] = int32(i)
+}
+
+// SetLaneCount grows the kernel to n lanes (numbered 0..n-1). Lanes can only
+// be added, never removed, and existing queued events stay on their lanes,
+// so the call is safe at any point; cluster construction calls it before
+// spawning node processes. The default single-lane kernel skips the merge
+// heap entirely — serial runs pay nothing for the sharding machinery.
+func (k *Kernel) SetLaneCount(n int) {
+	if n < 1 {
+		panic("sim: lane count must be >= 1")
+	}
+	if n <= len(k.lanes) {
+		return
+	}
+	single := len(k.lanes) == 1
+	for len(k.lanes) < n {
+		k.lanes = append(k.lanes, newCalQ(k.grain))
+	}
+	k.heads.grow(n)
+	if single {
+		// The 1-lane fast path did not maintain the merge heap; seed it with
+		// lane 0's head now that merging is live.
+		if ent, ok := k.lanes[0].peek(); ok {
+			k.heads.update(0, ent.at, ent.seq)
+		}
+	}
+}
+
+// Lanes returns the current lane count.
+func (k *Kernel) Lanes() int { return len(k.lanes) }
+
+// CurrentLane returns the lane new events inherit right now: the home lane
+// of the event being fired, or whatever WithLane set during construction.
+func (k *Kernel) CurrentLane() int { return int(k.curLane) }
+
+// WithLane runs fn with the current lane set to lane, restoring it after.
+// Construction-time wiring uses it so that a component's Spawns and initial
+// events land on the component's home lane.
+func (k *Kernel) WithLane(lane int, fn func()) {
+	if lane < 0 || lane >= len(k.lanes) {
+		panic(fmt.Sprintf("sim: WithLane(%d) with %d lanes", lane, len(k.lanes)))
+	}
+	prev := k.curLane
+	k.curLane = int32(lane)
+	fn()
+	k.curLane = prev
+}
+
+// SetTimeGrain fixes the calendar-queue bucket width: the characteristic
+// event spacing of the run, normally the fabric's angle-synchronous cycle
+// time. Must be called before any event is scheduled. Later HintTimeGrain
+// calls are ignored once the grain is set explicitly.
+func (k *Kernel) SetTimeGrain(g Time) {
+	if g <= 0 {
+		panic("sim: time grain must be positive")
+	}
+	if k.nEv > 0 {
+		panic("sim: SetTimeGrain with events pending")
+	}
+	k.grain = g
+	k.grainSet = true
+	for i := range k.lanes {
+		k.lanes[i] = newCalQ(g)
+	}
+}
+
+// HintTimeGrain is SetTimeGrain for components that know their own timescale
+// (e.g. a fabric's cycle time) but not whether the host run already chose
+// one: the hint applies only if no grain was set explicitly and no events
+// are pending, and is silently ignored otherwise.
+func (k *Kernel) HintTimeGrain(g Time) {
+	if k.grainSet || k.nEv > 0 || g <= 0 {
+		return
+	}
+	k.grain = g
+	for i := range k.lanes {
+		k.lanes[i] = newCalQ(g)
+	}
+}
+
+// TimeGrain returns the calendar bucket width currently in effect (the
+// built-in default if no one set or hinted one).
+func (k *Kernel) TimeGrain() Time {
+	if k.grain <= 0 {
+		return defaultGrain
+	}
+	return k.grain
+}

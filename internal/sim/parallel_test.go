@@ -1,0 +1,320 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestRunUntilNTable pins the stepped pump's edge cases: an empty queue, a
+// queue holding only daemons, a limit falling exactly on an event's
+// timestamp, and budgets on both sides of the eligible count.
+func TestRunUntilNTable(t *testing.T) {
+	type ev struct {
+		at     Time
+		daemon bool
+	}
+	cases := []struct {
+		name      string
+		evs       []ev
+		limit     Time
+		n         int
+		wantFired int
+		wantNow   Time
+	}{
+		{name: "empty queue", limit: 100, n: 10, wantFired: 0, wantNow: 0},
+		{name: "daemon-only queue",
+			evs:   []ev{{10, true}, {20, true}},
+			limit: 100, n: 10, wantFired: 0, wantNow: 0},
+		{name: "limit at exact event time",
+			evs:   []ev{{10, false}, {20, false}, {30, false}},
+			limit: 20, n: 10, wantFired: 2, wantNow: 20},
+		{name: "limit just below event",
+			evs:   []ev{{10, false}, {20, false}},
+			limit: 19, n: 10, wantFired: 1, wantNow: 10},
+		{name: "budget below eligible",
+			evs:   []ev{{10, false}, {20, false}, {30, false}},
+			limit: 100, n: 2, wantFired: 2, wantNow: 20},
+		{name: "daemons interleaved fire within limit",
+			evs:   []ev{{10, false}, {15, true}, {20, false}},
+			limit: 20, n: 10, wantFired: 3, wantNow: 20},
+		{name: "trailing daemons left queued",
+			evs:   []ev{{10, false}, {50, true}},
+			limit: 100, n: 10, wantFired: 1, wantNow: 10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k := NewKernel()
+			for _, e := range tc.evs {
+				if e.daemon {
+					k.AtDaemon(e.at, func() {})
+				} else {
+					k.At(e.at, func() {})
+				}
+			}
+			if got := k.RunUntilN(tc.limit, tc.n); got != tc.wantFired {
+				t.Errorf("fired %d events, want %d", got, tc.wantFired)
+			}
+			if k.Now() != tc.wantNow {
+				t.Errorf("now = %v, want %v", k.Now(), tc.wantNow)
+			}
+		})
+	}
+}
+
+// TestNextUserEventTable pins the idle fast-forward probe: empty queue,
+// daemon-only queue, and a mix where daemons precede the earliest user event.
+func TestNextUserEventTable(t *testing.T) {
+	t.Run("empty queue", func(t *testing.T) {
+		k := NewKernel()
+		if at, ok := k.NextUserEvent(); ok {
+			t.Errorf("NextUserEvent = (%v, true), want none", at)
+		}
+	})
+	t.Run("daemon-only queue", func(t *testing.T) {
+		k := NewKernel()
+		k.AtDaemon(5, func() {})
+		k.AtDaemon(10, func() {})
+		if at, ok := k.NextUserEvent(); ok {
+			t.Errorf("NextUserEvent = (%v, true), want none", at)
+		}
+	})
+	t.Run("daemon before user", func(t *testing.T) {
+		k := NewKernel()
+		k.AtDaemon(5, func() {})
+		k.At(30, func() {})
+		k.At(12, func() {})
+		at, ok := k.NextUserEvent()
+		if !ok || at != 12 {
+			t.Errorf("NextUserEvent = (%v, %v), want (12, true)", at, ok)
+		}
+	})
+	t.Run("across lanes", func(t *testing.T) {
+		k := NewKernel()
+		k.SetLaneCount(4)
+		k.AtLane(3, 7, func() {})
+		k.AtLane(1, 9, func() {})
+		at, ok := k.NextUserEvent()
+		if !ok || at != 7 {
+			t.Errorf("NextUserEvent = (%v, %v), want (7, true)", at, ok)
+		}
+	})
+}
+
+// TestCalendarQueueEdges exercises the calendar store directly through the
+// kernel: events past the ring horizon (overflow promotion), an emptied
+// queue re-anchoring its epoch far in the future, and same-time events
+// popping in schedule order.
+func TestCalendarQueueEdges(t *testing.T) {
+	k := NewKernel()
+	k.SetTimeGrain(100)
+	var order []int
+	rec := func(id int) func() { return func() { order = append(order, id) } }
+	// Far beyond the 512-bucket horizon -> overflow heap.
+	k.At(Time(100*calBuckets*3), rec(4))
+	// Same timestamp: schedule order is fire order.
+	k.At(500, rec(0))
+	k.At(500, rec(1))
+	// Sub-grain timestamps share a bucket.
+	k.At(510, rec(2))
+	k.At(90000, rec(3))
+	k.Run()
+	want := []int{0, 1, 2, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", order, want)
+		}
+	}
+
+	// Re-anchor: run the queue dry, then schedule epochs ahead of the old
+	// base; the calendar must re-anchor rather than scan empty buckets.
+	k2 := NewKernel()
+	k2.SetTimeGrain(100)
+	k2.At(50, func() {})
+	k2.RunUntil(50)
+	fired := false
+	k2.At(Time(100*calBuckets*1000), func() { fired = true })
+	k2.Run()
+	if !fired {
+		t.Error("event scheduled epochs past the drained calendar never fired")
+	}
+}
+
+// TestLaneInvariance is the kernel-level half of the tentpole's identity
+// claim: one event program — including events spawned from inside callbacks,
+// which inherit the firing event's lane — fires in the same order and leaves
+// the same queue fingerprint at every lane count and time grain.
+func TestLaneInvariance(t *testing.T) {
+	type cfg struct {
+		lanes int
+		grain Time
+	}
+	run := func(c cfg) ([]int, uint64) {
+		k := NewKernel()
+		if c.grain != 0 {
+			k.SetTimeGrain(c.grain)
+		}
+		if c.lanes > 1 {
+			k.SetLaneCount(c.lanes)
+		}
+		var order []int
+		for i := 0; i < 64; i++ {
+			i := i
+			lane := 0
+			if c.lanes > 1 {
+				lane = i % c.lanes
+			}
+			at := Time((i * 37) % 29)
+			k.AtLane(lane, at, func() {
+				order = append(order, i)
+				if i%3 == 0 {
+					// Child inherits this event's lane.
+					k.After(Time(i%7+1), func() { order = append(order, 1000+i) })
+				}
+			})
+		}
+		k.RunUntil(20) // leave a tail queued for the fingerprint
+		_, fp := k.QueueFingerprint()
+		k.Run()
+		return order, fp
+	}
+	refOrder, refFP := run(cfg{lanes: 1})
+	for _, c := range []cfg{{1, 7}, {2, 0}, {4, 13}, {8, 1}, {8, 100000}} {
+		order, fp := run(c)
+		if fp != refFP {
+			t.Errorf("lanes=%d grain=%d: queue fingerprint %x != reference %x", c.lanes, c.grain, fp, refFP)
+		}
+		if len(order) != len(refOrder) {
+			t.Fatalf("lanes=%d grain=%d: fired %d events, reference %d", c.lanes, c.grain, len(order), len(refOrder))
+		}
+		for i := range refOrder {
+			if order[i] != refOrder[i] {
+				t.Fatalf("lanes=%d grain=%d: fire order diverges at %d: %d != %d",
+					c.lanes, c.grain, i, order[i], refOrder[i])
+			}
+		}
+	}
+}
+
+// TestFanBarrier exercises the worker pool: static chunking with barriers
+// between phases must produce the serial result at any width, including
+// widths beyond the host's core count, and Stop must be idempotent.
+func TestFanBarrier(t *testing.T) {
+	const n = 1 << 12
+	for _, w := range []int{1, 2, 4, 8} {
+		p := NewFanPool(w)
+		in := make([]int, n)
+		mid := make([]int, n)
+		var sums = make([]int, p.Workers())
+		p.Run(func(c *FanCtx) {
+			lo, hi := n*c.ID()/c.Parts(), n*(c.ID()+1)/c.Parts()
+			for i := lo; i < hi; i++ {
+				in[i] = i
+			}
+			c.Barrier()
+			// Phase 2 reads a neighbour chunk's phase-1 writes: the barrier
+			// must order them.
+			for i := lo; i < hi; i++ {
+				mid[i] = in[(i+n/2)%n] * 2
+			}
+			c.Barrier()
+			s := 0
+			for i := lo; i < hi; i++ {
+				s += mid[i]
+			}
+			sums[c.ID()] = s
+		})
+		total := 0
+		for _, s := range sums {
+			total += s
+		}
+		if want := n * (n - 1); total != want {
+			t.Errorf("width %d: sum %d, want %d", w, total, want)
+		}
+		p.Stop()
+		p.Stop() // idempotent
+	}
+}
+
+// TestKernelWorkersLifecycle checks the kernel-owned pool: serial mode has
+// no pool, widening creates one, Fan runs inline or fanned to match, and
+// drain joins the workers.
+func TestKernelWorkersLifecycle(t *testing.T) {
+	k := NewKernel()
+	if k.Workers() != 1 || k.FanPool() != nil {
+		t.Fatalf("fresh kernel: Workers=%d pool=%v, want 1/nil", k.Workers(), k.FanPool())
+	}
+	k.SetWorkers(4)
+	if k.Workers() != 4 {
+		t.Fatalf("Workers=%d after SetWorkers(4)", k.Workers())
+	}
+	parts := 0
+	k.At(10, func() {
+		k.Fan(func(c *FanCtx) {
+			if c.ID() == 0 {
+				parts = c.Parts()
+			}
+		})
+	})
+	k.Run()
+	if parts != 4 {
+		t.Errorf("Fan ran with %d participants, want 4", parts)
+	}
+}
+
+// FuzzLaneLockstep randomizes the calendar grain (the conservative window
+// boundary), the lane count, and an event program — including same-time
+// ties and callback-spawned children — and requires the sharded kernel to
+// fire the exact sequence the serial oracle fires.
+func FuzzLaneLockstep(f *testing.F) {
+	f.Add([]byte{1, 3, 10, 20, 30, 5, 5, 200}, uint8(4), uint8(50))
+	f.Add([]byte{0, 0, 0, 255, 255}, uint8(2), uint8(0))
+	f.Add([]byte{7, 1, 9}, uint8(8), uint8(255))
+	f.Fuzz(func(t *testing.T, deltas []byte, lanes uint8, grainB uint8) {
+		if len(deltas) == 0 || len(deltas) > 256 {
+			t.Skip()
+		}
+		nl := int(lanes)%8 + 1
+		grain := Time(grainB)*17 + 1
+		run := func(lanes int, grain Time, useGrain bool) []int {
+			k := NewKernel()
+			if useGrain {
+				k.SetTimeGrain(grain)
+			}
+			if lanes > 1 {
+				k.SetLaneCount(lanes)
+			}
+			var order []int
+			at := Time(0)
+			for i, d := range deltas {
+				i := i
+				at += Time(d) * 3
+				lane := 0
+				if lanes > 1 {
+					lane = i % lanes
+				}
+				k.AtLane(lane, at, func() {
+					order = append(order, i)
+					if i%2 == 0 {
+						k.After(Time(int(deltas[i])%11+1), func() {
+							order = append(order, 1000+i)
+						})
+					}
+				})
+			}
+			k.Run()
+			return order
+		}
+		want := run(1, 0, false)
+		got := run(nl, grain, true)
+		if len(got) != len(want) {
+			t.Fatalf("lanes=%d grain=%d: fired %d events, serial oracle fired %d", nl, grain, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("lanes=%d grain=%d: order diverges at %d: got %d want %d", nl, grain, i, got[i], want[i])
+			}
+		}
+	})
+}
