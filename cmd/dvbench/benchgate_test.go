@@ -71,6 +71,95 @@ func TestMannWhitneyLargeSampleFallback(t *testing.T) {
 	}
 }
 
+// TestMannWhitneyNormalAllTied pins the degenerate branch of the normal
+// approximation: when every pooled value is identical the tie correction
+// drives the variance to (or below) zero, and the only defensible answer is
+// p = 1 — no evidence of a shift, never a divide-by-zero NaN.
+func TestMannWhitneyNormalAllTied(t *testing.T) {
+	for _, sizes := range [][2]int{{3, 3}, {5, 4}, {18, 18}} {
+		a := make([]float64, sizes[0])
+		b := make([]float64, sizes[1])
+		for i := range a {
+			a[i] = 42
+		}
+		for i := range b {
+			b[i] = 42
+		}
+		if p := mannWhitneyNormalP(a, b); p != 1 {
+			t.Fatalf("all-tied %dv%d: p = %v, want exactly 1", sizes[0], sizes[1], p)
+		}
+	}
+}
+
+// TestMannWhitneyNormalHeavyTies exercises the tie-corrected variance with
+// samples quantized to a handful of levels: the variance must stay positive,
+// p must stay in (0, 1], symmetry must hold, and a real shift between two
+// heavily tied distributions must still be detected.
+func TestMannWhitneyNormalHeavyTies(t *testing.T) {
+	// 18v18, three levels each, mostly overlapping: no real shift.
+	a := make([]float64, 18)
+	b := make([]float64, 18)
+	for i := range a {
+		a[i] = float64(i % 3)
+		b[i] = float64((i + 1) % 3)
+	}
+	p := mannWhitneyNormalP(a, b)
+	if p <= 0 || p > 1 {
+		t.Fatalf("heavy ties: p = %v out of (0,1]", p)
+	}
+	if p < 0.5 {
+		t.Fatalf("same three-level distribution: p = %v, want no evidence of shift", p)
+	}
+	if q := mannWhitneyNormalP(b, a); q != p {
+		t.Fatalf("asymmetric under ties: %v vs %v", p, q)
+	}
+	// Two levels, nearly disjoint: 17 zeros + one 1 vs 17 ones + one 0.
+	// Uncorrected variance would overstate the spread; the corrected one
+	// must still call this a decisive shift.
+	lo := make([]float64, 18)
+	hi := make([]float64, 18)
+	for i := range lo {
+		lo[i], hi[i] = 0, 1
+	}
+	lo[0], hi[0] = 1, 0
+	if p := mannWhitneyNormalP(lo, hi); p > 1e-6 {
+		t.Fatalf("near-disjoint two-level 18v18: p = %v, want ~0", p)
+	}
+}
+
+// TestMannWhitneyExactVsNormalAgreement cross-checks the two p-value paths
+// on seeded tied draws at the largest size the exact enumeration still
+// covers (10v10; C(20,10) is under the enumeration bound, while the gate's
+// larger shapes fall back to the normal path tested here). The continuity-
+// corrected normal approximation tracks the exact permutation p to within a
+// few hundredths even with samples quantized to five levels.
+func TestMannWhitneyExactVsNormalAgreement(t *testing.T) {
+	if c := binomialFloat(20, 10); c > maxExactAssignments {
+		t.Fatalf("C(20,10) = %v no longer exact; shrink the cross-check size", c)
+	}
+	seed := uint64(12345)
+	next := func() uint64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return seed >> 33
+	}
+	for trial := 0; trial < 12; trial++ {
+		a := make([]float64, 10)
+		b := make([]float64, 10)
+		for i := range a {
+			a[i] = float64(next() % 5)
+		}
+		for i := range b {
+			b[i] = float64(next()%5) + float64(trial%3)
+		}
+		exact := mannWhitneyP(a, b)
+		approx := mannWhitneyNormalP(a, b)
+		if math.Abs(exact-approx) > 0.05 {
+			t.Errorf("trial %d: exact %.4f vs normal %.4f diverge past 0.05\na=%v\nb=%v",
+				trial, exact, approx, a, b)
+		}
+	}
+}
+
 const benchTextOld = `goos: linux
 goarch: amd64
 pkg: repro/internal/dvswitch

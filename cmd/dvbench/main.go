@@ -101,6 +101,7 @@ var experiments = []experiment{
 	{id: "extM", aliases: []string{"appscaling"}, desc: "app scaling study", run: one(bench.ExtAppScaling)},
 	{id: "extN", aliases: []string{"reliability"}, desc: "reliability study", run: one(bench.ExtReliability)},
 	{id: "extP", aliases: []string{"parallel"}, desc: "parallel-kernel worker sweep", run: one(bench.ExtParallelKernel)},
+	{id: "extS", aliases: []string{"crossover"}, desc: "scaling crossover: DV planes vs scaled fat tree", run: one(bench.ExtScalingCrossover)},
 	{id: "validate", desc: "cross-variant validation", run: one(bench.Validate)},
 }
 
@@ -130,7 +131,7 @@ func main() {
 	jobs := flag.Int("jobs", runtime.NumCPU(),
 		"worker count for independent sweep points (results identical at any value)")
 	workers := flag.Int("workers", 0,
-		"intra-run parallel-kernel width for -app and the extP sweep (0 = serial reference kernel; results identical at any value)")
+		"intra-run parallel-kernel width for -app and the extP/extS sweeps (0 = serial reference kernel; results identical at any value)")
 	tracePath := flag.String("trace", "gups_trace.csv", "output file for the fig5 trace CSV")
 	metricsBase := flag.String("metrics", "",
 		"run the observability reference run: write <base>.jsonl, <base>.prom and <base>.trace.json, and print the stage-attribution summary")

@@ -92,6 +92,9 @@ func classByName(name string) *faultClass {
 
 func main() {
 	appFlag := flag.String("app", "", "run only this registered app (default: all)")
+	nodesFlag := flag.Int("nodes", 0, "override the cluster size for every run (0 = each app's reference size)")
+	planesFlag := flag.Int("planes", 0, "Data Vortex switch planes behind each VIC boundary (0/1 = single plane)")
+	policyFlag := flag.String("plane-policy", "", "plane assignment for -planes > 1: hash (default) or rr")
 	netsFlag := flag.String("nets", "dv,ib", "comma-separated backends: dv, ib")
 	seeds := flag.Int("seeds", 8, "seeds per (app, net, fault class)")
 	seed0 := flag.Uint64("seed0", 1, "first seed of the sweep")
@@ -204,6 +207,15 @@ matrix:
 						if *dense {
 							hint += " -dense"
 						}
+						if *nodesFlag > 0 {
+							hint += fmt.Sprintf(" -nodes %d", *nodesFlag)
+						}
+						if *planesFlag > 1 {
+							hint += fmt.Sprintf(" -planes %d", *planesFlag)
+							if *policyFlag != "" {
+								hint += " -plane-policy " + *policyFlag
+							}
+						}
 						fmt.Fprintf(os.Stderr, "dvcheck: interrupted; resume from here with: %s\n", hint)
 						interrupted = true
 						break matrix
@@ -214,7 +226,15 @@ matrix:
 						Seed:          seed,
 						CycleAccurate: *cycle,
 						DenseSwitch:   *dense,
+						DVPlanes:      *planesFlag,
+						PlanePolicy:   *policyFlag,
 						Check:         check.All(),
+					}
+					if *nodesFlag > 0 {
+						spec.Nodes = *nodesFlag
+						// Past-reference sizes exercise the scaled geometries;
+						// keep the fat-tree baseline honest there too.
+						spec.IBScaled = spec.Nodes > a.RefNodes
 					}
 					if lossy {
 						spec.Reliable = true

@@ -3,25 +3,35 @@
 // rates — plus the registered workloads, a quick reference for interpreting
 // benchmark output.
 //
-//	dvinfo [-nodes 32] [-rails 1] [-workers 4]
+//	dvinfo [-nodes 32] [-rails 1] [-planes 1] [-workers 4]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"runtime"
 
 	"repro/internal/apprt"
 	_ "repro/internal/apps/all"
 	"repro/internal/cluster"
 	"repro/internal/dvswitch"
+	"repro/internal/ib"
 )
 
 func main() {
 	nodes := flag.Int("nodes", 32, "cluster nodes")
 	rails := flag.Int("rails", 1, "VICs per node")
+	planes := flag.Int("planes", 1, "Data Vortex switch planes behind each VIC boundary")
+	policy := flag.String("plane-policy", "hash", "plane assignment for -planes > 1: hash or rr")
 	workers := flag.Int("workers", 0, "parallel-kernel width to describe (0 = serial reference)")
 	flag.Parse()
+
+	pol, err := dvswitch.ParsePlanePolicy(*policy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvinfo: %v\n", err)
+		os.Exit(2)
+	}
 
 	cfg := cluster.DefaultConfig(*nodes)
 	geom := dvswitch.ForPorts(*nodes * *rails)
@@ -33,6 +43,12 @@ func main() {
 		geom.Angles*geom.Heights*geom.Cylinders())
 	fmt.Printf("  cycle time      %v (peak payload %.2f GB/s/port)\n",
 		dvswitch.DefaultCycleTime, 8/dvswitch.DefaultCycleTime.Seconds()/1e9)
+	if *planes > 1 {
+		fmt.Printf("  planes          %d parallel fabrics behind each VIC boundary, %s plane policy (aggregate peak %.2f GB/s/port)\n",
+			*planes, pol, float64(*planes)*8/dvswitch.DefaultCycleTime.Seconds()/1e9)
+	} else {
+		fmt.Printf("  planes          1 (the paper's single-plane testbed)\n")
+	}
 	fmt.Printf("\nVIC\n")
 	fmt.Printf("  DV Memory       %d MB (%d words)\n", cfg.VIC.MemWords*8>>20, cfg.VIC.MemWords)
 	fmt.Printf("  group counters  %d (scratch %d, barrier %d/%d)\n",
@@ -46,6 +62,9 @@ func main() {
 		cfg.IB.LinkBW/1e9, cfg.IB.StreamBW/1e9, 100*cfg.IB.StreamBW/cfg.IB.LinkBW)
 	fmt.Printf("  fat tree        %d nodes/leaf, %d spines, hop %v\n",
 		cfg.IB.LeafSize, cfg.IB.Spines, cfg.IB.HopLatency)
+	scaled := ib.ForNodes(*nodes)
+	fmt.Printf("  scaled tree     %d nodes/leaf, %d spines (full bisection for %d nodes; apprt IBScaled)\n",
+		scaled.LeafSize, scaled.Spines, *nodes)
 	fmt.Printf("  MPI eager limit %d B, overheads %v send / %v recv\n",
 		cfg.MPI.EagerLimit, cfg.MPI.SendOverhead, cfg.MPI.RecvOverhead)
 	fmt.Printf("\nHost CPU model: %.0f GFLOPS, %v/random access, %v/small op\n",

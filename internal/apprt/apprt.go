@@ -19,7 +19,9 @@ import (
 	"repro/internal/check"
 	"repro/internal/cluster"
 	"repro/internal/comm"
+	"repro/internal/dvswitch"
 	"repro/internal/faultplan"
+	"repro/internal/ib"
 	"repro/internal/obs"
 	"repro/internal/obs/attr"
 	"repro/internal/sim"
@@ -57,8 +59,22 @@ type RunSpec struct {
 	ParMinFlying int
 	// VICsPerNode attaches multiple Data Vortex rails per node.
 	VICsPerNode int
+	// DVPlanes runs the Data Vortex stack on N parallel switch planes behind
+	// the VIC boundary (0 or 1 = the paper's single-plane testbed); see
+	// cluster.Config.DVPlanes.
+	DVPlanes int
+	// PlanePolicy names the deterministic plane-assignment policy for
+	// DVPlanes > 1: "" or "hash" (per-pair affinity), "rr" (per-source
+	// round-robin). Parsed by dvswitch.ParsePlanePolicy.
+	PlanePolicy string
 	// IBAdaptive enables adaptive fat-tree routing for the MPI stack.
 	IBAdaptive bool
+	// IBScaled sizes the fat-tree IB baseline for the run's node count
+	// (full-bisection two-level tree, ib.ForNodes) instead of the paper's
+	// fixed 8-nodes/leaf × 2-spine testbed tree, which is 4:1 oversubscribed
+	// beyond a few leaves. Scaling studies set this so the comparison stays
+	// honest at size.
+	IBScaled bool
 	// Reliable routes Data Vortex traffic through the reliable-delivery
 	// layer in apps that support it.
 	Reliable bool
@@ -126,6 +142,15 @@ func Execute(spec RunSpec, kernel Kernel) Report {
 	cfg.Workers = spec.Workers
 	cfg.ParMinFlying = spec.ParMinFlying
 	cfg.VICsPerNode = spec.VICsPerNode
+	cfg.DVPlanes = spec.DVPlanes
+	pol, err := dvswitch.ParsePlanePolicy(spec.PlanePolicy)
+	if err != nil {
+		panic(fmt.Sprintf("apprt: %v", err))
+	}
+	cfg.PlanePolicy = pol
+	if spec.IBScaled {
+		cfg.IB = ib.ForNodes(spec.Nodes)
+	}
 	cfg.IB.Adaptive = spec.IBAdaptive
 	cfg.Faults = spec.Faults
 	cfg.Trace = spec.Trace

@@ -73,6 +73,15 @@ type Opts struct {
 	// ParMinFlying gates the fanned switch step by in-flight occupancy
 	// (see cluster.Config.ParMinFlying).
 	ParMinFlying int
+	// DVPlanes runs the Data Vortex stack on N parallel switch planes
+	// behind the VIC boundary; PlanePolicy ("hash" or "rr") selects the
+	// deterministic plane assignment (see cluster.Config.DVPlanes).
+	DVPlanes    int
+	PlanePolicy string
+	// IBScaled sizes the fat-tree IB baseline for the node count
+	// (full-bisection tree, ib.ForNodes) instead of the paper's fixed
+	// testbed tree (see apprt.RunSpec.IBScaled).
+	IBScaled bool
 	// Check enables the invariant layer for the run.
 	Check *check.Config
 	// Attr enables causal flow tracing and stage-level latency attribution
@@ -122,6 +131,9 @@ func RunOpts(impl Impl, nodes, iters int, opts Opts) Result {
 		ScalarBoundary: opts.ScalarBoundary,
 		Workers:        opts.Workers,
 		ParMinFlying:   opts.ParMinFlying,
+		DVPlanes:       opts.DVPlanes,
+		PlanePolicy:    opts.PlanePolicy,
+		IBScaled:       opts.IBScaled,
 		Faults:         opts.Faults,
 		Check:          opts.Check,
 		Attr:           opts.Attr,

@@ -25,6 +25,9 @@ func init() {
 				ScalarBoundary: spec.ScalarBoundary,
 				Workers:        spec.Workers,
 				ParMinFlying:   spec.ParMinFlying,
+				DVPlanes:       spec.DVPlanes,
+				PlanePolicy:    spec.PlanePolicy,
+				IBScaled:       spec.IBScaled,
 				IBAdaptive:     spec.IBAdaptive,
 				Check:          spec.Check,
 				Attr:           spec.Attr,

@@ -26,6 +26,9 @@ func init() {
 				ScalarBoundary: spec.ScalarBoundary,
 				Workers:        spec.Workers,
 				ParMinFlying:   spec.ParMinFlying,
+				DVPlanes:       spec.DVPlanes,
+				PlanePolicy:    spec.PlanePolicy,
+				IBScaled:       spec.IBScaled,
 				Faults:         spec.Faults,
 				Reliable:       spec.Reliable,
 				WaitTimeout:    spec.WaitTimeout,

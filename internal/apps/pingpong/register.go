@@ -26,7 +26,11 @@ func init() {
 			res := Run(mode, Params{Words: 64, Iters: 20, Seed: spec.Seed,
 				ScalarBoundary: spec.ScalarBoundary,
 				Workers:        spec.Workers,
-				ParMinFlying:   spec.ParMinFlying, Check: spec.Check, Attr: spec.Attr, Checkpoint: spec.Checkpoint})
+				ParMinFlying:   spec.ParMinFlying,
+				DVPlanes:       spec.DVPlanes,
+				PlanePolicy:    spec.PlanePolicy,
+				IBScaled:       spec.IBScaled,
+				Check:          spec.Check, Attr: spec.Attr, Checkpoint: spec.Checkpoint})
 			return apprt.Summary{
 				App: "pingpong", Net: spec.Net, Nodes: 2, Elapsed: res.RTT,
 				Check:   fmt.Sprintf("mode=%s words=%d bw=%.3fGB/s", res.Mode, res.Words, res.Bandwidth/1e9),

@@ -65,6 +65,15 @@ type Params struct {
 	// ParMinFlying gates the fanned switch step by in-flight occupancy
 	// (see cluster.Config.ParMinFlying).
 	ParMinFlying int
+	// DVPlanes runs the Data Vortex stack on N parallel switch planes
+	// behind the VIC boundary; PlanePolicy ("hash" or "rr") selects the
+	// deterministic plane assignment (see cluster.Config.DVPlanes).
+	DVPlanes    int
+	PlanePolicy string
+	// IBScaled sizes the fat-tree IB baseline for the node count
+	// (full-bisection tree, ib.ForNodes) instead of the paper's fixed
+	// testbed tree (see apprt.RunSpec.IBScaled).
+	IBScaled bool
 	// Check enables the invariant layer for the run.
 	Check *check.Config
 	// Attr enables causal flow tracing and stage-level latency attribution
@@ -228,6 +237,9 @@ func Run(net Net, par Params) Result {
 		ScalarBoundary: par.ScalarBoundary,
 		Workers:        par.Workers,
 		ParMinFlying:   par.ParMinFlying,
+		DVPlanes:       par.DVPlanes,
+		PlanePolicy:    par.PlanePolicy,
+		IBScaled:       par.IBScaled,
 		Check:          par.Check,
 		Attr:           par.Attr,
 		Checkpoint:     par.Checkpoint,

@@ -610,5 +610,6 @@ func All(opt Options, traceOut io.Writer) []*Table {
 		ExtRouting(opt), ExtMultiRail(opt), ExtPageRank(opt), ExtFaults(opt),
 		ExtSpMV(opt), ExtSubsetBarrier(opt), ExtSort(opt), ExtProvisioning(opt),
 		ExtAppScaling(opt), ExtReliability(opt), ExtParallelKernel(opt),
+		ExtScalingCrossover(opt),
 	}
 }

@@ -46,6 +46,9 @@ func ExtParallelKernel(opt Options) *Table {
 			widths = append(widths, opt.Workers)
 		}
 	}
+	// The dvbench startup warning only sees the -workers flag; the sweep
+	// drives its own widths, so each oversubscribing row warns here.
+	t.Notes = append(t.Notes, oversubRowNotes("extP", widths, 1, runtime.NumCPU())...)
 	for _, cyc := range []bool{false, true} {
 		engine := "fast model"
 		if cyc {

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/apprt"
+	"repro/internal/apps/bfs"
+	"repro/internal/apps/gups"
+	"repro/internal/cluster"
+	"repro/internal/comm"
+	"repro/internal/dvswitch"
+	"repro/internal/sim"
+)
+
+// oversubNote returns a warning when one sweep row driving a w-wide parallel
+// kernel under jobs concurrent sweep workers oversubscribes the cores visible
+// CPUs, and "" when the row fits. The dvbench startup warning covers only the
+// -workers flag; rows that sweep their own widths call this per row.
+func oversubNote(row string, jobs, w, cores int) string {
+	if jobs < 1 {
+		jobs = 1
+	}
+	if w < 1 {
+		w = 1
+	}
+	if jobs*w <= cores {
+		return ""
+	}
+	return fmt.Sprintf("%s: %d sweep job(s) x %d kernel worker(s) oversubscribes %d visible CPU(s); results are identical but wall-clock scaling will not materialize",
+		row, jobs, w, cores)
+}
+
+// oversubRowNotes returns one oversubscription warning per swept worker width
+// whose rows exceed the host (extP steps its widths serially, so its jobs is
+// 1; journaled sweeps fan rows Options.Jobs wide and multiply).
+func oversubRowNotes(table string, widths []int, jobs, cores int) []string {
+	var out []string
+	for _, w := range widths {
+		if note := oversubNote(fmt.Sprintf("%s workers=%d", table, w), jobs, w, cores); note != "" {
+			out = append(out, note)
+		}
+	}
+	return out
+}
+
+// ExtScalingCrossover is extension S: the scaling-crossover study the
+// generalized geometry unlocks. Each row runs one irregular kernel at a node
+// count, on the ForPorts-derived switch (one cylinder per doubling), across
+// three fabrics: the single-plane Data Vortex, a two-plane Data Vortex
+// (deterministic pair-hash plane assignment), and MPI over a full-bisection
+// fat tree sized by ib.ForNodes — the honest InfiniBand baseline at scale,
+// since the paper's fixed 8x2 testbed tree would be 4:1 oversubscribed and
+// flatter deflection routing.
+func ExtScalingCrossover(opt Options) *Table {
+	t := &Table{
+		ID:    "extS",
+		Title: "Scaling crossover: DV single/multi-plane vs full-bisection fat tree",
+		Columns: []string{"kernel", "nodes", "switch", "DV 1-plane", "DV 2-plane",
+			"IB fat tree", "best DV/IB"},
+		Notes: []string{
+			"switch geometry follows dvswitch.ForPorts (HxA/cylinders); IB uses ib.ForNodes full bisection so the baseline never oversubscribes",
+			"2-plane rows stripe traffic over two fabrics behind each VIC with the deterministic pair-hash policy; results are bit-reproducible on every fabric",
+		},
+	}
+	t.Notes = append(t.Notes,
+		oversubRowNotes("extS", []int{opt.Workers}, opt.Jobs, runtime.NumCPU())...)
+	counts := []int{32, 64, 128, 256}
+	gupsUpd := 1 << 12
+	bfsScale := 13
+	a2aWords := 64
+	a2aRounds := 4
+	if opt.Small {
+		counts = []int{8, 16}
+		gupsUpd = 1 << 10
+		bfsScale = 11
+		a2aWords = 16
+		a2aRounds = 2
+	}
+	for _, row := range SweepRows(opt, "extS", 3*len(counts), func(i int) []string {
+		n := counts[i%len(counts)]
+		g := dvswitch.ForPorts(n)
+		geom := fmt.Sprintf("%dx%d/C%d", g.Heights, g.Angles, g.Cylinders())
+		switch i / len(counts) {
+		case 0: // GUPS: fine-grained random updates — the DV sweet spot.
+			par := gups.Params{Nodes: n, TableWordsNode: 1 << 14,
+				UpdatesPerNode: gupsUpd, Workers: opt.Workers}
+			d1 := gups.Run(gups.DV, par)
+			par.DVPlanes = 2
+			d2 := gups.Run(gups.DV, par)
+			par.DVPlanes = 0
+			par.IBScaled = true
+			ib := gups.Run(gups.IB, par)
+			best := d1.MUPS()
+			if d2.MUPS() > best {
+				best = d2.MUPS()
+			}
+			return []string{"GUPS (MUPS)", fmt.Sprintf("%d", n), geom,
+				fmt.Sprintf("%.1f", d1.MUPS()), fmt.Sprintf("%.1f", d2.MUPS()),
+				fmt.Sprintf("%.1f", ib.MUPS()), fmt.Sprintf("%.2fx", best/ib.MUPS())}
+		case 1: // BFS: frontier exchanges of single-edge packets.
+			par := bfs.Params{Nodes: n, Scale: bfsScale, EdgeFactor: 8, NRoots: 1,
+				Workers: opt.Workers}
+			d1 := bfs.Run(bfs.DV, par)
+			par.DVPlanes = 2
+			d2 := bfs.Run(bfs.DV, par)
+			par.DVPlanes = 0
+			par.IBScaled = true
+			ib := bfs.Run(bfs.IB, par)
+			best := d1.HarmonicMeanTEPS()
+			if d2.HarmonicMeanTEPS() > best {
+				best = d2.HarmonicMeanTEPS()
+			}
+			return []string{"BFS (MTEPS)", fmt.Sprintf("%d", n), geom,
+				fmt.Sprintf("%.1f", d1.HarmonicMeanTEPS()/1e6),
+				fmt.Sprintf("%.1f", d2.HarmonicMeanTEPS()/1e6),
+				fmt.Sprintf("%.1f", ib.HarmonicMeanTEPS()/1e6),
+				fmt.Sprintf("%.2fx", best/ib.HarmonicMeanTEPS())}
+		default: // all-to-all: the bulk-exchange contrast case (lower is better).
+			d1 := alltoallExchange(comm.DV, n, a2aWords, a2aRounds, 0, opt.Workers, false)
+			d2 := alltoallExchange(comm.DV, n, a2aWords, a2aRounds, 2, opt.Workers, false)
+			ib := alltoallExchange(comm.IB, n, a2aWords, a2aRounds, 0, opt.Workers, true)
+			best := d1
+			if d2 < best {
+				best = d2
+			}
+			return []string{"alltoall (us/exch)", fmt.Sprintf("%d", n), geom,
+				fmt.Sprintf("%.2f", d1.Micros()), fmt.Sprintf("%.2f", d2.Micros()),
+				fmt.Sprintf("%.2f", ib.Micros()),
+				fmt.Sprintf("%.2fx", float64(ib)/float64(best))}
+		}
+	}) {
+		if row == nil {
+			continue // canceled mid-sweep; finished points are journaled
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// alltoallExchange times rounds personalized all-to-all exchanges of
+// words*8 bytes per peer over the given fabric and returns the mean time of
+// one exchange. planes > 1 stripes the Data Vortex side over that many
+// switch planes; ibScaled selects the full-bisection fat tree.
+func alltoallExchange(net comm.Net, nodes, words, rounds, planes, workers int, ibScaled bool) sim.Time {
+	spec := apprt.RunSpec{Net: net, Nodes: nodes, Workers: workers,
+		DVPlanes: planes, IBScaled: ibScaled}
+	rep := apprt.Execute(spec, func(n *cluster.Node, be comm.Backend) sim.Time {
+		blocks := make([][]byte, nodes)
+		for i := range blocks {
+			b := make([]byte, words*8)
+			for j := range b {
+				b[j] = byte(n.ID ^ i ^ j)
+			}
+			blocks[i] = b
+		}
+		t0 := n.P.Now()
+		for r := 0; r < rounds; r++ {
+			be.Alltoall(blocks)
+		}
+		return n.P.Now() - t0
+	})
+	return rep.Elapsed / sim.Time(rounds)
+}

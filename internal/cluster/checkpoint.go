@@ -100,6 +100,11 @@ func configDigest(cfg *Config) uint64 {
 	fmt.Fprintf(h, "nodes=%d seed=%d stacks=%d rails=%d cycle=%t dense=%t scalar=%t geom=%+v ct=%d",
 		cfg.Nodes, cfg.Seed, cfg.Stacks, cfg.VICsPerNode, cfg.CycleAccurate,
 		cfg.DenseSwitch, cfg.ScalarBoundary, cfg.SwitchGeom, cfg.CycleTime)
+	// Plane count is normalised (0 and 1 run identically); policy only
+	// shapes state when more than one plane exists.
+	if planes := cfg.DVPlanes; planes > 1 {
+		fmt.Fprintf(h, " planes=%d policy=%d", planes, cfg.PlanePolicy)
+	}
 	fmt.Fprintf(h, " vic=%+v ib=%+v mpi=%+v cpu=%+v", cfg.VIC, cfg.IB, cfg.MPI, cfg.CPU)
 	fmt.Fprintf(h, " check=%t", cfg.Check != nil)
 	if cfg.Obs != nil {
@@ -125,8 +130,9 @@ type runState struct {
 	cfg      *Config
 	rootRNG  *sim.RNG
 	nodeRNGs []*sim.RNG
-	eng      *dvswitch.Engine
-	fm       *dvswitch.FastModel
+	engs     []*dvswitch.Engine
+	fms      []*dvswitch.FastModel
+	mp       *dvswitch.MultiPlane
 	vics     []*vic.VIC
 	world    *mpi.World
 	ends     [][]*dv.Endpoint
@@ -168,13 +174,20 @@ func (st *runState) capture(at sim.Time, seq uint64) *snapshot.Snapshot {
 	}
 	s.Add("rng", e.Bytes())
 
-	if st.eng != nil {
+	// Multi-plane fabrics snapshot through the wrapper (plane count, policy
+	// state, then each plane); single-plane runs keep the engines' original
+	// byte encodings so pre-multi-plane snapshots stay comparable.
+	if st.mp != nil {
 		e = snapshot.NewEncoder()
-		st.eng.SnapshotTo(e)
+		st.mp.SnapshotTo(e)
 		s.Add("dvswitch", e.Bytes())
-	} else if st.fm != nil {
+	} else if len(st.engs) > 0 {
 		e = snapshot.NewEncoder()
-		st.fm.SnapshotTo(e)
+		st.engs[0].SnapshotTo(e)
+		s.Add("dvswitch", e.Bytes())
+	} else if len(st.fms) > 0 {
+		e = snapshot.NewEncoder()
+		st.fms[0].SnapshotTo(e)
 		s.Add("dvswitch", e.Bytes())
 	}
 	if st.vics != nil {

@@ -102,6 +102,17 @@ type Config struct {
 	SwitchGeom dvswitch.Params
 	// CycleTime overrides the switch cycle period.
 	CycleTime sim.Time
+	// DVPlanes instantiates N parallel Data Vortex switch planes behind the
+	// VIC boundary (0 or 1 = the paper's single-plane testbed). Every plane
+	// has the full SwitchGeom geometry; packets are dealt to planes by
+	// PlanePolicy, deliveries funnel into one callback, and Report.DVFabric
+	// merges per-plane stats. Plane selection is deterministic, so runs stay
+	// reproducible and checkpoint-restorable at any plane count.
+	DVPlanes int
+	// PlanePolicy selects the deterministic plane-assignment policy for
+	// DVPlanes > 1: dvswitch.PlaneHash (default, per-pair affinity) or
+	// dvswitch.PlaneRR (per-source round-robin).
+	PlanePolicy dvswitch.PlanePolicy
 
 	VIC vic.Params
 	IB  ib.Params
@@ -350,12 +361,21 @@ func Run(cfg Config, body func(n *Node)) *Report {
 
 	// Data Vortex stack. With R rails, VIC g = rail*Nodes + node sits at
 	// port g*stride; each VIC's resolver maps node ids onto its own rail,
-	// so rails are fully independent planes of the same switch.
+	// so rails are fully independent planes of the same switch. With
+	// DVPlanes > 1 the whole switch is replicated into parallel planes
+	// behind one Fabric boundary; a single plane keeps the unwrapped engine
+	// so single-plane runs (and their snapshots) are byte-identical to the
+	// pre-multi-plane simulator.
 	var fabric dvswitch.Fabric
-	var eng *dvswitch.Engine
-	var fm *dvswitch.FastModel
+	var engs []*dvswitch.Engine
+	var fms []*dvswitch.FastModel
+	var mp *dvswitch.MultiPlane
 	var vics []*vic.VIC
 	var stride int
+	planes := cfg.DVPlanes
+	if planes < 1 {
+		planes = 1
+	}
 	if cfg.Stacks&StackDV != 0 {
 		total := cfg.Nodes * rails
 		geom := cfg.SwitchGeom
@@ -367,27 +387,39 @@ func Run(cfg Config, body func(n *Node)) *Report {
 			ct = dvswitch.DefaultCycleTime
 		}
 		if cfg.CycleAccurate {
-			eng = dvswitch.NewEngine(k, geom, ct)
-			if cfg.DenseSwitch {
-				eng.Core().Dense = true
+			for pi := 0; pi < planes; pi++ {
+				eng := dvswitch.NewEngine(k, geom, ct)
+				if cfg.DenseSwitch {
+					eng.Core().Dense = true
+				}
+				if p := k.FanPool(); p != nil {
+					eng.Core().SetFanPool(p, cfg.ParMinFlying)
+				}
+				eng.ApplyPlan(cfg.Faults)
+				eng.SetObs(reg)
+				if tracer != nil {
+					// Per-deflection congestion counts on the cylinder×angle
+					// grid; HeatGrid is idempotent for one geometry, so every
+					// plane accumulates into the same shared census.
+					eng.SetHeat(tracer.HeatGrid(geom.Cylinders(), geom.Angles))
+				}
+				if chk != nil {
+					chk.AttachCore(eng.Core())
+				}
+				engs = append(engs, eng)
 			}
-			if p := k.FanPool(); p != nil {
-				eng.Core().SetFanPool(p, cfg.ParMinFlying)
-			}
-			eng.ApplyPlan(cfg.Faults)
-			eng.SetObs(reg)
-			if tracer != nil {
-				// Per-deflection congestion counts on the cylinder×angle grid.
-				eng.SetHeat(tracer.HeatGrid(geom.Cylinders(), geom.Angles))
-			}
-			if chk != nil {
-				chk.AttachCore(eng.Core())
-			}
-			fabric = eng
+			fabric = engs[0]
 			if sampler != nil {
-				core := eng.Core()
+				cores := make([]*dvswitch.Core, len(engs))
+				for i, eng := range engs {
+					cores[i] = eng.Core()
+				}
 				sampler.Column("inflight", func() float64 {
-					return float64(core.InFlight() + core.QueuedPackets())
+					var n int
+					for _, core := range cores {
+						n += core.InFlight() + core.QueuedPackets()
+					}
+					return float64(n)
 				})
 				for cl := 0; cl < geom.Cylinders(); cl++ {
 					name := fmt.Sprintf("deflected_cyl%d", cl)
@@ -397,21 +429,45 @@ func Run(cfg Config, body func(n *Node)) *Report {
 				}
 			}
 		} else {
-			fm = dvswitch.NewFastModel(k, geom, ct, rng.Split())
-			fm.ApplyPlan(cfg.Faults)
-			fm.SetObs(reg)
-			if tracer != nil {
-				// The fast model stamps inject-wait and fabric stages itself:
-				// both are fully determined when Inject returns.
-				fm.SetAttr(tracer)
+			for pi := 0; pi < planes; pi++ {
+				fm := dvswitch.NewFastModel(k, geom, ct, rng.Split())
+				fm.ApplyPlan(cfg.Faults)
+				fm.SetObs(reg)
+				if tracer != nil {
+					// The fast model stamps inject-wait and fabric stages itself:
+					// both are fully determined when Inject returns.
+					fm.SetAttr(tracer)
+				}
+				if chk != nil {
+					fm.DropHook = chk.FabricDrop
+				}
+				fms = append(fms, fm)
 			}
-			if chk != nil {
-				fm.DropHook = chk.FabricDrop
-			}
-			fabric = fm
+			fabric = fms[0]
 			if sampler != nil {
-				sampler.Column("inflight", func() float64 { return float64(fm.Outstanding()) })
+				local := fms
+				sampler.Column("inflight", func() float64 {
+					var n int64
+					for _, fm := range local {
+						n += fm.Outstanding()
+					}
+					return float64(n)
+				})
 			}
+		}
+		if planes > 1 {
+			list := make([]dvswitch.Fabric, planes)
+			if engs != nil {
+				for i, eng := range engs {
+					list[i] = eng
+				}
+			} else {
+				for i, fm := range fms {
+					list[i] = fm
+				}
+			}
+			mp = dvswitch.NewMultiPlane(list, cfg.PlanePolicy)
+			fabric = mp
 		}
 		if sampler != nil {
 			for _, c := range []string{"injected", "delivered", "deflected", "dropped"} {
@@ -669,7 +725,7 @@ func Run(cfg Config, body func(n *Node)) *Report {
 	if cfg.Checkpoint != nil {
 		st := &runState{
 			k: k, cfg: &cfg, rootRNG: rng, nodeRNGs: nodeRNGs,
-			eng: eng, fm: fm, vics: vics, world: world, ends: endpoints,
+			engs: engs, fms: fms, mp: mp, vics: vics, world: world, ends: endpoints,
 			reg: reg, sampler: sampler, tracer: tracer,
 		}
 		rep.Partial = st.runManaged()

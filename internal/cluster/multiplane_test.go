@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/dvswitch"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+)
+
+// TestMultiPlaneReportDeterministic pins the multi-plane determinism
+// contract: with the invariant checker live, a DVPlanes=2 run on either
+// plane policy and either switch backend yields a byte-identical Report
+// when repeated. It also pins the single-plane identity — DVPlanes 0 and 1
+// are the same (pre-multi-plane) simulator, so their Reports match exactly.
+func TestMultiPlaneReportDeterministic(t *testing.T) {
+	for _, cyc := range []bool{false, true} {
+		base := DefaultConfig(4)
+		base.Check = check.All()
+		base.CycleAccurate = cyc
+		zeroJSON := reportJSON(t, Run(base, ckptBody))
+
+		one := base
+		one.DVPlanes = 1
+		if got := reportJSON(t, Run(one, ckptBody)); got != zeroJSON {
+			t.Errorf("cycleAccurate=%v: DVPlanes=1 Report differs from DVPlanes=0", cyc)
+		}
+
+		for _, pol := range []dvswitch.PlanePolicy{dvswitch.PlaneHash, dvswitch.PlaneRR} {
+			cfg := base
+			cfg.DVPlanes = 2
+			cfg.PlanePolicy = pol
+			a := Run(cfg, ckptBody)
+			if !a.Checks.Ok() {
+				t.Fatalf("cycleAccurate=%v policy=%s: invariants: %v", cyc, pol, a.Checks)
+			}
+			if got, want := reportJSON(t, Run(cfg, ckptBody)), reportJSON(t, a); got != want {
+				t.Errorf("cycleAccurate=%v policy=%s: repeated run Report differs:\n got %s\nwant %s",
+					cyc, pol, got, want)
+			}
+		}
+	}
+}
+
+// TestMultiPlaneCheckpointRestore is the multi-plane restore contract: a
+// managed DVPlanes=2 run checkpoints mid-flight, and a second run restored
+// from a mid-run snapshot (which must carry both planes' switch state and
+// the round-robin counters) finishes with a Report byte-identical to the
+// straight-through unmanaged multi-plane run.
+func TestMultiPlaneCheckpointRestore(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Check = check.All()
+	cfg.DVPlanes = 2
+	cfg.PlanePolicy = dvswitch.PlaneRR
+	baseJSON := reportJSON(t, Run(cfg, ckptBody))
+
+	var snaps []*snapshot.Snapshot
+	mcfg := cfg
+	mcfg.Checkpoint = &Checkpoint{App: "mp-ckpt", Net: "both", Every: 2 * sim.Microsecond,
+		Sink: func(s *snapshot.Snapshot) error { snaps = append(snaps, s); return nil }}
+	rep := Run(mcfg, ckptBody)
+	if mcfg.Checkpoint.Err != nil {
+		t.Fatalf("managed multi-plane run error: %v", mcfg.Checkpoint.Err)
+	}
+	if got := reportJSON(t, rep); got != baseJSON {
+		t.Errorf("managed multi-plane Report differs from unmanaged:\n got %s\nwant %s", got, baseJSON)
+	}
+	if len(snaps) < 2 {
+		t.Fatalf("expected >=2 snapshots, got %d", len(snaps))
+	}
+
+	rcfg := cfg
+	rcfg.Checkpoint = &Checkpoint{App: "mp-ckpt", Net: "both", Resume: snaps[len(snaps)/2]}
+	rrep := Run(rcfg, ckptBody)
+	if rcfg.Checkpoint.Err != nil {
+		t.Fatalf("resume error: %v", rcfg.Checkpoint.Err)
+	}
+	if got := reportJSON(t, rrep); got != baseJSON {
+		t.Errorf("restored multi-plane Report differs from unmanaged:\n got %s\nwant %s", got, baseJSON)
+	}
+}

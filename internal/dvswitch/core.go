@@ -59,13 +59,57 @@ type Params struct {
 	Angles  int // A: switching nodes per ring
 }
 
-// Validate checks structural constraints.
+// MaxGeometryCells bounds the total switching-node count C×H×A of a valid
+// geometry. The core's cell grid, deflection-signal strides, and snapshot
+// grid indexes are all int32/uint32 encodings; past this bound they would
+// wrap silently, so Validate rejects such geometries with a GeometryError
+// instead. 2^30 cells (a ~96 GiB grid) is far past any simulable fabric —
+// the bound exists to make the overflow impossible, not to be reachable.
+const MaxGeometryCells = 1 << 30
+
+// GeometryError reports a structurally invalid or out-of-range switch
+// geometry. Field names the offending Params field (or derived quantity),
+// Value its actual value, and Reason the violated constraint.
+type GeometryError struct {
+	Field  string
+	Value  int
+	Reason string
+}
+
+// Error formats the violation as "field = value: reason".
+func (e *GeometryError) Error() string {
+	return fmt.Sprintf("dvswitch: invalid geometry: %s = %d: %s", e.Field, e.Value, e.Reason)
+}
+
+// Validate checks structural constraints: Heights a positive power of two,
+// Angles >= 1, and the derived cell grid within the int32 index encodings
+// (see MaxGeometryCells). Errors are *GeometryError.
 func (p Params) Validate() error {
 	if p.Heights < 1 || p.Heights&(p.Heights-1) != 0 {
-		return fmt.Errorf("dvswitch: Heights must be a positive power of two, got %d", p.Heights)
+		return &GeometryError{Field: "Heights", Value: p.Heights,
+			Reason: "must be a positive power of two"}
 	}
 	if p.Angles < 1 {
-		return fmt.Errorf("dvswitch: Angles must be >= 1, got %d", p.Angles)
+		return &GeometryError{Field: "Angles", Value: p.Angles, Reason: "must be >= 1"}
+	}
+	// Cells = C*H*A must stay within the int32 cell/signal/pool encodings.
+	// Bound each factor first so the staged products cannot overflow int64.
+	if p.Heights > MaxGeometryCells {
+		return &GeometryError{Field: "Heights", Value: p.Heights,
+			Reason: fmt.Sprintf("exceeds MaxGeometryCells (%d)", MaxGeometryCells)}
+	}
+	if p.Angles > MaxGeometryCells {
+		return &GeometryError{Field: "Angles", Value: p.Angles,
+			Reason: fmt.Sprintf("exceeds MaxGeometryCells (%d)", MaxGeometryCells)}
+	}
+	ports := int64(p.Heights) * int64(p.Angles) // <= 2^60, no overflow
+	if ports > MaxGeometryCells {
+		return &GeometryError{Field: "Heights×Angles", Value: p.Heights,
+			Reason: fmt.Sprintf("%d ports exceed MaxGeometryCells (%d)", ports, MaxGeometryCells)}
+	}
+	if cells := int64(p.Cylinders()) * ports; cells > MaxGeometryCells {
+		return &GeometryError{Field: "Cylinders×Heights×Angles", Value: p.Heights,
+			Reason: fmt.Sprintf("%d switching nodes exceed MaxGeometryCells (%d); int32 cell indexes would wrap", cells, MaxGeometryCells)}
 	}
 	return nil
 }
@@ -78,6 +122,14 @@ func (p Params) Cylinders() int { return bits.Len(uint(p.Heights)) }
 
 // ForPorts returns the smallest square-ish switch geometry with at least n
 // ports, preferring more heights than angles (heights must be a power of 2).
+//
+// The paper's construction needs A >= C = log2(H)+1: a packet entering at an
+// arbitrary angle must be able to resolve one height bit per cylinder within
+// a single revolution, so rings shorter than the cylinder count force extra
+// laps and deflection hot-spots. The old heuristic capped Angles at 4 for
+// every n, which degenerates into tall-thin fabrics (e.g. 1024 ports as
+// H=256×A=4, C=9 > A) at large radix; here we start from that shape and
+// shrink Heights until the ring is long enough for the cylinder count.
 func ForPorts(n int) Params {
 	h := 1
 	for h*4 < n { // grow heights while angles would exceed 4
@@ -86,6 +138,13 @@ func ForPorts(n int) Params {
 	a := (n + h - 1) / h
 	if a < 1 {
 		a = 1
+	}
+	// Rebalance: halving H doubles (roughly) A and drops C by one, so the
+	// loop terminates — at H=1, C=1 <= A. For n <= 32 the initial shape
+	// already satisfies A >= C and is returned unchanged.
+	for a < bits.Len(uint(h)) {
+		h /= 2
+		a = (n + h - 1) / h
 	}
 	return Params{Heights: h, Angles: a}
 }
@@ -111,6 +170,25 @@ type Stats struct {
 	// LatHist buckets delivered-packet latencies by log2(cycles):
 	// bucket i counts latencies in [2^i, 2^(i+1)).
 	LatHist [40]int64
+}
+
+// Merge accumulates o into s: counters and histogram buckets sum,
+// MaxLatency takes the maximum. Used to aggregate multi-plane fabrics.
+func (s *Stats) Merge(o Stats) {
+	s.Injected += o.Injected
+	s.Delivered += o.Delivered
+	s.TotalHops += o.TotalHops
+	s.TotalDeflected += o.TotalDeflected
+	s.TotalLatency += o.TotalLatency
+	if o.MaxLatency > s.MaxLatency {
+		s.MaxLatency = o.MaxLatency
+	}
+	s.QueuedCycles += o.QueuedCycles
+	s.Dropped += o.Dropped
+	s.Corrupted += o.Corrupted
+	for i := range s.LatHist {
+		s.LatHist[i] += o.LatHist[i]
+	}
 }
 
 func (s *Stats) recordLatency(lat int64) {

@@ -474,8 +474,11 @@ func TestLatencyPercentileMonotone(t *testing.T) {
 }
 
 // TestForPortsEdgeGeometries pins the corner geometries of ForPorts: n=1,
-// n=3, and assorted non-power-of-two port counts must yield valid,
-// sufficiently large, square-ish switches — and actually route traffic.
+// n=3, assorted non-power-of-two port counts, and the large radixes
+// (64/256/1024) the scaling studies run at. Every geometry must be valid,
+// sufficiently large, satisfy the paper's A >= C = log2(H)+1 construction,
+// and actually route traffic: small cases run full all-to-all, large ones a
+// set of port permutations so every port both sends and receives.
 func TestForPortsEdgeGeometries(t *testing.T) {
 	cases := []struct {
 		n            int
@@ -489,8 +492,11 @@ func TestForPortsEdgeGeometries(t *testing.T) {
 		{6, 2, 3},
 		{7, 2, 4},
 		{9, 4, 3},
-		{33, 16, 3},
-		{100, 32, 4},
+		{33, 8, 5},
+		{64, 8, 8},
+		{100, 16, 7},
+		{256, 32, 8},
+		{1024, 128, 8},
 	}
 	for _, cse := range cases {
 		p := ForPorts(cse.n)
@@ -503,7 +509,10 @@ func TestForPortsEdgeGeometries(t *testing.T) {
 		if p.Ports() < cse.n {
 			t.Errorf("ForPorts(%d) has only %d ports", cse.n, p.Ports())
 		}
-		// Every edge geometry must actually deliver all-to-all traffic.
+		if c := p.Cylinders(); p.Angles < c {
+			t.Errorf("ForPorts(%d) = %+v: Angles < Cylinders (%d)", cse.n, p, c)
+		}
+		nt := p.Ports()
 		c := NewCore(p)
 		delivered := 0
 		c.Deliver = func(pkt Packet, _ int64) {
@@ -512,13 +521,28 @@ func TestForPortsEdgeGeometries(t *testing.T) {
 			}
 			delivered++
 		}
-		for src := 0; src < p.Ports(); src++ {
-			for dst := 0; dst < p.Ports(); dst++ {
-				c.Inject(Packet{Src: src, Dst: dst, Payload: uint64(dst)})
+		want := 0
+		if nt <= 64 {
+			// Small geometries deliver full all-to-all.
+			for src := 0; src < nt; src++ {
+				for dst := 0; dst < nt; dst++ {
+					c.Inject(Packet{Src: src, Dst: dst, Payload: uint64(dst)})
+				}
 			}
+			want = nt * nt
+		} else {
+			// Large geometries: shifted permutations — every port sends to,
+			// and receives from, several distinct partners.
+			for _, shift := range []int{1, nt/2 + 1, nt - 3} {
+				for src := 0; src < nt; src++ {
+					dst := (src + shift) % nt
+					c.Inject(Packet{Src: src, Dst: dst, Payload: uint64(dst)})
+				}
+			}
+			want = 3 * nt
 		}
-		c.RunUntilIdle(1 << 20)
-		if want := p.Ports() * p.Ports(); delivered != want {
+		c.RunUntilIdle(1 << 22)
+		if delivered != want {
 			t.Errorf("ForPorts(%d): delivered %d of %d", cse.n, delivered, want)
 		}
 	}

@@ -1,0 +1,103 @@
+package dvswitch
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestValidateGeometryBounds pins the MaxGeometryCells bound at its
+// boundaries: geometries whose cell grid C×H×A fits the int32 index
+// encodings validate, one step past fails with a typed *GeometryError.
+func TestValidateGeometryBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+		ok   bool
+	}{
+		{"min", Params{Heights: 1, Angles: 1}, true},
+		{"paper", Params{Heights: 4, Angles: 8}, true},
+		{"1024-port", Params{Heights: 128, Angles: 8}, true},
+		{"under-bound", Params{Heights: 1 << 24, Angles: 2}, true}, // 25×2^25 cells
+		{"over-bound", Params{Heights: 1 << 24, Angles: 3}, false}, // 25×3×2^24 cells
+		{"at-bound", Params{Heights: 1, Angles: MaxGeometryCells}, true},
+		{"past-bound", Params{Heights: 1, Angles: MaxGeometryCells + 1}, false},
+		{"ports-over", Params{Heights: 2, Angles: MaxGeometryCells}, false},
+		{"heights-over", Params{Heights: MaxGeometryCells * 2, Angles: 1}, false},
+		{"not-pow2", Params{Heights: 3, Angles: 4}, false},
+		{"no-angles", Params{Heights: 8, Angles: 0}, false},
+	}
+	for _, cse := range cases {
+		err := cse.p.Validate()
+		if cse.ok {
+			if err != nil {
+				t.Errorf("%s: Validate(%+v) = %v, want nil", cse.name, cse.p, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: Validate(%+v) = nil, want error", cse.name, cse.p)
+			continue
+		}
+		var ge *GeometryError
+		if !errors.As(err, &ge) {
+			t.Errorf("%s: Validate(%+v) error %T is not *GeometryError", cse.name, cse.p, err)
+		} else if ge.Field == "" || ge.Reason == "" {
+			t.Errorf("%s: GeometryError missing Field/Reason: %+v", cse.name, ge)
+		}
+	}
+}
+
+// TestLargeGeometryDifferential routes traffic through the corrected 256-
+// and 1024-port geometries on all three steppers — sparse active-list,
+// dense reference scan, and the fanned parStep — with per-cycle invariant
+// sweeps enabled. Stats, event sequences, and cycle counts must agree
+// exactly, proving the encodings and the fan scale to the larger grids.
+func TestLargeGeometryDifferential(t *testing.T) {
+	cycles := 120
+	if testing.Short() {
+		cycles = 40
+	}
+	for _, n := range []int{256, 1024} {
+		p := ForPorts(n)
+		t.Run(fmt.Sprintf("H%dA%d", p.Heights, p.Angles), func(t *testing.T) {
+			run := func(mode string) (Stats, []diffEvent, int64) {
+				c := NewCore(p)
+				c.CheckInvariants = true
+				switch mode {
+				case "dense":
+					c.Dense = true
+				case "fan":
+					pool := sim.NewFanPool(4)
+					defer pool.Stop()
+					c.SetFanPool(pool, -1) // fan every cycle regardless of occupancy
+				}
+				ev := driveDiffTraffic(c, "uniform", cycles, 42)
+				return c.Stats(), ev, c.Cycle()
+			}
+			sSt, sEv, sCy := run("sparse")
+			dSt, dEv, dCy := run("dense")
+			fSt, fEv, fCy := run("fan")
+			if sSt != dSt || sSt != fSt {
+				t.Errorf("stats diverge:\nsparse: %+v\ndense:  %+v\nfan:    %+v", sSt, dSt, fSt)
+			}
+			if len(sEv) != len(dEv) || len(sEv) != len(fEv) {
+				t.Fatalf("event counts diverge: sparse %d, dense %d, fan %d", len(sEv), len(dEv), len(fEv))
+			}
+			for i := range sEv {
+				if sEv[i] != dEv[i] || sEv[i] != fEv[i] {
+					t.Fatalf("event %d diverges:\nsparse: %+v\ndense:  %+v\nfan:    %+v",
+						i, sEv[i], dEv[i], fEv[i])
+				}
+			}
+			if sCy != dCy || sCy != fCy {
+				t.Errorf("cycle counts diverge: sparse %d, dense %d, fan %d", sCy, dCy, fCy)
+			}
+			if sSt.Delivered == 0 {
+				t.Error("large geometry delivered nothing; differential vacuous")
+			}
+		})
+	}
+}

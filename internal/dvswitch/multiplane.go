@@ -1,0 +1,190 @@
+package dvswitch
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+)
+
+// PlanePolicy selects how a multi-plane fabric assigns packets to planes.
+// Both policies are deterministic pure functions of the traffic, so runs are
+// reproducible and checkpoint-restorable at any plane count.
+type PlanePolicy uint8
+
+const (
+	// PlaneHash spreads packets by a static hash of (src, dst): every
+	// packet of a given port pair rides the same plane, so per-pair
+	// ordering is preserved even though planes progress independently.
+	PlaneHash PlanePolicy = iota
+	// PlaneRR deals packets from each source port across planes round-robin,
+	// maximising plane utilisation for single-pair streams at the cost of
+	// interleaving a pair's packets across planes.
+	PlaneRR
+)
+
+// String returns the policy's config-file spelling.
+func (p PlanePolicy) String() string {
+	switch p {
+	case PlaneHash:
+		return "hash"
+	case PlaneRR:
+		return "rr"
+	}
+	return fmt.Sprintf("PlanePolicy(%d)", uint8(p))
+}
+
+// ParsePlanePolicy parses the config-file spelling of a plane policy.
+// The empty string is the default, PlaneHash.
+func ParsePlanePolicy(s string) (PlanePolicy, error) {
+	switch s {
+	case "", "hash":
+		return PlaneHash, nil
+	case "rr", "round-robin":
+		return PlaneRR, nil
+	}
+	return PlaneHash, fmt.Errorf("dvswitch: unknown plane policy %q (want hash or rr)", s)
+}
+
+// MultiPlane aggregates N identical switch planes behind one Fabric
+// boundary: injection picks a plane by the configured policy, deliveries
+// from every plane funnel into one callback, and stats merge across planes.
+// Planes share no state, so per-plane behavior (and per-plane snapshots)
+// stay bit-identical to the same plane running alone with the same traffic.
+type MultiPlane struct {
+	planes []Fabric
+	policy PlanePolicy
+	rr     []uint32   // per-source-port next-plane counters (PlaneRR)
+	parts  [][]Packet // reused per-plane partitions for InjectBatch
+	fn     func(pkt Packet)
+}
+
+// NewMultiPlane builds a fabric over the given planes, which must agree on
+// port count and cycle time. One plane is legal (the policy degenerates to
+// the identity); zero planes is not.
+func NewMultiPlane(planes []Fabric, policy PlanePolicy) *MultiPlane {
+	if len(planes) == 0 {
+		panic("dvswitch: NewMultiPlane needs at least one plane")
+	}
+	for _, pl := range planes[1:] {
+		if pl.Ports() != planes[0].Ports() || pl.CycleTime() != planes[0].CycleTime() {
+			panic(fmt.Sprintf("dvswitch: mismatched planes: %d ports/%v vs %d ports/%v",
+				pl.Ports(), pl.CycleTime(), planes[0].Ports(), planes[0].CycleTime()))
+		}
+	}
+	m := &MultiPlane{
+		planes: planes,
+		policy: policy,
+		rr:     make([]uint32, planes[0].Ports()),
+		parts:  make([][]Packet, len(planes)),
+	}
+	for _, pl := range planes {
+		pl.OnDeliver(m.deliver)
+	}
+	return m
+}
+
+func (m *MultiPlane) deliver(pkt Packet) {
+	if m.fn != nil {
+		m.fn(pkt)
+	}
+}
+
+// NumPlanes returns the plane count.
+func (m *MultiPlane) NumPlanes() int { return len(m.planes) }
+
+// Policy returns the plane-selection policy.
+func (m *MultiPlane) Policy() PlanePolicy { return m.policy }
+
+// planeFor picks the plane for one packet, advancing round-robin state.
+func (m *MultiPlane) planeFor(src, dst int) int {
+	if len(m.planes) == 1 {
+		return 0
+	}
+	if m.policy == PlaneRR {
+		c := m.rr[src]
+		m.rr[src] = c + 1
+		return int(c % uint32(len(m.planes)))
+	}
+	return int(planeHash(src, dst) % uint64(len(m.planes)))
+}
+
+// planeHash mixes a port pair into a well-spread 64-bit value
+// (splitmix64-style finalisation). The function is part of the simulator's
+// determinism contract: changing it changes every multi-plane Report.
+func planeHash(src, dst int) uint64 {
+	x := uint64(src)<<32 | uint64(uint32(dst))
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Ports implements Fabric.
+func (m *MultiPlane) Ports() int { return m.planes[0].Ports() }
+
+// CycleTime implements Fabric.
+func (m *MultiPlane) CycleTime() sim.Time { return m.planes[0].CycleTime() }
+
+// OnDeliver implements Fabric.
+func (m *MultiPlane) OnDeliver(fn func(pkt Packet)) { m.fn = fn }
+
+// Inject implements Fabric.
+func (m *MultiPlane) Inject(pkt Packet) {
+	m.planes[m.planeFor(pkt.Src, pkt.Dst)].Inject(pkt)
+}
+
+// InjectBatch implements Fabric: the batch is partitioned into per-plane
+// sub-batches preserving slice order within each plane. Planes share no
+// state, so this is semantically identical to per-element Inject calls
+// while keeping each plane's batch amortisation.
+func (m *MultiPlane) InjectBatch(pkts []Packet) {
+	if len(m.planes) == 1 {
+		m.planes[0].InjectBatch(pkts)
+		return
+	}
+	for i := range m.parts {
+		m.parts[i] = m.parts[i][:0]
+	}
+	for i := range pkts {
+		pl := m.planeFor(pkts[i].Src, pkts[i].Dst)
+		m.parts[pl] = append(m.parts[pl], pkts[i])
+	}
+	for pl, part := range m.parts {
+		if len(part) > 0 {
+			m.planes[pl].InjectBatch(part)
+		}
+	}
+}
+
+// FabricStats implements Fabric: the merge of every plane's stats.
+func (m *MultiPlane) FabricStats() Stats {
+	st := m.planes[0].FabricStats()
+	for _, pl := range m.planes[1:] {
+		st.Merge(pl.FabricStats())
+	}
+	return st
+}
+
+// SnapshotTo serialises the multi-plane wrapper's own mutable state — the
+// policy and the round-robin counters — then each plane in index order.
+// Plane encodings reuse the engines' canonical single-plane formats.
+func (m *MultiPlane) SnapshotTo(e *snapshot.Encoder) {
+	e.U32(uint32(len(m.planes)))
+	e.U32(uint32(m.policy))
+	for _, c := range m.rr {
+		e.U32(c)
+	}
+	for _, pl := range m.planes {
+		switch f := pl.(type) {
+		case *Engine:
+			f.SnapshotTo(e)
+		case *FastModel:
+			f.SnapshotTo(e)
+		default:
+			panic(fmt.Sprintf("dvswitch: MultiPlane.SnapshotTo: unsnapshotable plane %T", pl))
+		}
+	}
+}

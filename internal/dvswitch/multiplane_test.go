@@ -1,0 +1,225 @@
+package dvswitch
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// mpHarness builds an n-plane fast-model fabric on a fresh kernel.
+func mpHarness(t *testing.T, planes int, policy PlanePolicy, geom Params) (*sim.Kernel, *MultiPlane) {
+	t.Helper()
+	k := sim.NewKernel()
+	rng := sim.NewRNG(11)
+	fabrics := make([]Fabric, planes)
+	for i := range fabrics {
+		fabrics[i] = NewFastModel(k, geom, DefaultCycleTime, rng.Split())
+	}
+	return k, NewMultiPlane(fabrics, policy)
+}
+
+// TestPlanePolicyParse pins the config spellings and String round trip.
+func TestPlanePolicyParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want PlanePolicy
+		ok   bool
+	}{
+		{"", PlaneHash, true},
+		{"hash", PlaneHash, true},
+		{"rr", PlaneRR, true},
+		{"round-robin", PlaneRR, true},
+		{"bogus", PlaneHash, false},
+	}
+	for _, cse := range cases {
+		got, err := ParsePlanePolicy(cse.in)
+		if cse.ok && (err != nil || got != cse.want) {
+			t.Errorf("ParsePlanePolicy(%q) = %v, %v; want %v", cse.in, got, err, cse.want)
+		}
+		if !cse.ok && err == nil {
+			t.Errorf("ParsePlanePolicy(%q) accepted", cse.in)
+		}
+	}
+	if PlaneHash.String() != "hash" || PlaneRR.String() != "rr" {
+		t.Errorf("String(): %q %q", PlaneHash, PlaneRR)
+	}
+}
+
+// TestPlaneHashPinned pins the plane-selection hash: it is part of the
+// determinism contract (changing it changes every multi-plane Report), so an
+// accidental edit must fail loudly here, not as a silent golden drift.
+func TestPlaneHashPinned(t *testing.T) {
+	cases := []struct {
+		src, dst int
+		want     uint64
+	}{
+		{0, 0, planeHash(0, 0)}, // self-consistency anchor for the table below
+		{0, 1, 0x5692161d100b05e5},
+		{1, 0, 0xd820b7e910b0f93f},
+		{31, 17, 0x67ac4f833d0bb2c3},
+	}
+	for _, cse := range cases[1:] {
+		if got := planeHash(cse.src, cse.dst); got != cse.want {
+			t.Errorf("planeHash(%d, %d) = %#x, want %#x", cse.src, cse.dst, got, cse.want)
+		}
+	}
+	if planeHash(0, 1) == planeHash(1, 0) {
+		t.Error("hash is symmetric in (src, dst); pairs would collide")
+	}
+}
+
+// TestMultiPlaneSpreadsAndMerges drives uniform traffic through a 4-plane
+// fabric under both policies: every plane must carry traffic, the merged
+// stats must equal the per-plane sums, and all packets must deliver.
+func TestMultiPlaneSpreadsAndMerges(t *testing.T) {
+	geom := Params{Heights: 4, Angles: 4}
+	for _, policy := range []PlanePolicy{PlaneHash, PlaneRR} {
+		k, m := mpHarness(t, 4, policy, geom)
+		delivered := 0
+		m.OnDeliver(func(Packet) { delivered++ })
+		rng := sim.NewRNG(5)
+		const pkts = 2000
+		for i := 0; i < pkts; i++ {
+			m.Inject(Packet{Src: rng.Intn(geom.Ports()), Dst: rng.Intn(geom.Ports())})
+		}
+		k.Run()
+		if delivered != pkts {
+			t.Fatalf("%v: delivered %d of %d", policy, delivered, pkts)
+		}
+		st := m.FabricStats()
+		if st.Injected != pkts || st.Delivered != pkts {
+			t.Errorf("%v: merged stats %+v", policy, st)
+		}
+		var sum Stats
+		for _, pl := range m.planes {
+			pst := pl.FabricStats()
+			if pst.Injected == 0 {
+				t.Errorf("%v: a plane carried no traffic", policy)
+			}
+			sum.Merge(pst)
+		}
+		if sum != st {
+			t.Errorf("%v: merge mismatch:\nmerged: %+v\nsummed: %+v", policy, st, sum)
+		}
+	}
+}
+
+// TestMultiPlaneHashPairAffinity: under PlaneHash every packet of a port
+// pair rides the same plane; under PlaneRR a single pair spreads across all
+// planes (that is the point of the policy).
+func TestMultiPlaneHashPairAffinity(t *testing.T) {
+	geom := Params{Heights: 4, Angles: 4}
+	count := func(policy PlanePolicy) map[int]int64 {
+		_, m := mpHarness(t, 4, policy, geom)
+		for i := 0; i < 64; i++ {
+			m.Inject(Packet{Src: 3, Dst: 9})
+		}
+		used := map[int]int64{}
+		for pl, f := range m.planes {
+			if st := f.FabricStats(); st.Injected > 0 {
+				used[pl] = st.Injected
+			}
+		}
+		return used
+	}
+	if used := count(PlaneHash); len(used) != 1 {
+		t.Errorf("PlaneHash spread one pair over %d planes: %v", len(used), used)
+	}
+	used := count(PlaneRR)
+	if len(used) != 4 {
+		t.Fatalf("PlaneRR used %d of 4 planes: %v", len(used), used)
+	}
+	for pl, n := range used {
+		if n != 16 {
+			t.Errorf("PlaneRR plane %d got %d of 64 packets, want 16", pl, n)
+		}
+	}
+}
+
+// TestMultiPlaneBatchMatchesPerPacket: InjectBatch must be semantically
+// identical to per-element Inject — same per-plane assignment, same
+// per-plane order, hence identical merged stats and delivery sets.
+func TestMultiPlaneBatchMatchesPerPacket(t *testing.T) {
+	geom := Params{Heights: 4, Angles: 4}
+	mkTraffic := func() []Packet {
+		rng := sim.NewRNG(17)
+		pkts := make([]Packet, 1500)
+		for i := range pkts {
+			pkts[i] = Packet{Src: rng.Intn(geom.Ports()), Dst: rng.Intn(geom.Ports()),
+				Header: uint64(i)}
+		}
+		return pkts
+	}
+	for _, policy := range []PlanePolicy{PlaneHash, PlaneRR} {
+		run := func(batch bool) (Stats, map[uint64]bool) {
+			k, m := mpHarness(t, 3, policy, geom)
+			got := map[uint64]bool{}
+			m.OnDeliver(func(pkt Packet) { got[pkt.Header] = true })
+			pkts := mkTraffic()
+			if batch {
+				m.InjectBatch(pkts)
+			} else {
+				for _, pkt := range pkts {
+					m.Inject(pkt)
+				}
+			}
+			k.Run()
+			return m.FabricStats(), got
+		}
+		bSt, bGot := run(true)
+		pSt, pGot := run(false)
+		if bSt != pSt {
+			t.Errorf("%v: stats diverge:\nbatch:      %+v\nper-packet: %+v", policy, bSt, pSt)
+		}
+		if len(bGot) != len(pGot) {
+			t.Errorf("%v: delivery sets diverge: %d vs %d", policy, len(bGot), len(pGot))
+		}
+	}
+}
+
+// TestMultiPlaneDeterministic: two identical multi-plane runs produce
+// identical delivery sequences and stats, for both engines behind the planes.
+func TestMultiPlaneDeterministic(t *testing.T) {
+	geom := Params{Heights: 4, Angles: 4}
+	for _, engine := range []string{"fast", "cycle"} {
+		run := func() (Stats, []Packet) {
+			k := sim.NewKernel()
+			rng := sim.NewRNG(11)
+			fabrics := make([]Fabric, 2)
+			for i := range fabrics {
+				if engine == "cycle" {
+					fabrics[i] = NewEngine(k, geom, DefaultCycleTime)
+					_ = rng.Split() // keep RNG consumption aligned across engines
+				} else {
+					fabrics[i] = NewFastModel(k, geom, DefaultCycleTime, rng.Split())
+				}
+			}
+			m := NewMultiPlane(fabrics, PlaneRR)
+			var seq []Packet
+			m.OnDeliver(func(pkt Packet) { seq = append(seq, pkt) })
+			trng := sim.NewRNG(23)
+			for i := 0; i < 800; i++ {
+				m.Inject(Packet{Src: trng.Intn(geom.Ports()), Dst: trng.Intn(geom.Ports()),
+					Header: uint64(i)})
+			}
+			k.Run()
+			return m.FabricStats(), seq
+		}
+		aSt, aSeq := run()
+		bSt, bSeq := run()
+		if aSt != bSt {
+			t.Errorf("%s: stats diverge across identical runs", engine)
+		}
+		if len(aSeq) != len(bSeq) {
+			t.Fatalf("%s: sequence lengths diverge: %d vs %d", engine, len(aSeq), len(bSeq))
+		}
+		for i := range aSeq {
+			if aSeq[i] != bSeq[i] {
+				t.Fatalf("%s: delivery %d diverges: %+v vs %+v", engine, i, aSeq[i], bSeq[i])
+			}
+		}
+		if aSt.Delivered != 800 {
+			t.Errorf("%s: delivered %d of 800", engine, aSt.Delivered)
+		}
+	}
+}

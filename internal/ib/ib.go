@@ -54,6 +54,24 @@ func DefaultParams() Params {
 	}
 }
 
+// ForNodes returns fat-tree parameters scaled to an n-node cluster with
+// full bisection: LeafSize = Spines = the smallest power of two whose square
+// covers n, so every leaf has as many uplinks as nodes and no level is
+// oversubscribed. The paper's fixed testbed tree (8 nodes/leaf, 2 spines) is
+// 4:1 oversubscribed beyond a few leaves; comparing a scaled Data Vortex
+// against it would flatter deflection routing, so scaling studies use this
+// instead. Timing parameters stay at the FDR calibration.
+func ForNodes(n int) Params {
+	k := 1
+	for k*k < n {
+		k *= 2
+	}
+	p := DefaultParams()
+	p.LeafSize = k
+	p.Spines = k
+	return p
+}
+
 // Stats aggregates fabric telemetry.
 type Stats struct {
 	Messages  int64

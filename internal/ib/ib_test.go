@@ -23,6 +23,46 @@ func TestTransferArrives(t *testing.T) {
 	}
 }
 
+// TestForNodesFullBisection pins the scaled fat tree: LeafSize = Spines =
+// the smallest power of two whose square covers n (never oversubscribed),
+// timing calibration untouched, and the resulting fabric routes traffic.
+func TestForNodesFullBisection(t *testing.T) {
+	cases := []struct{ n, k int }{
+		{1, 1}, {4, 2}, {8, 4}, {16, 4}, {32, 8}, {64, 8},
+		{100, 16}, {256, 16}, {1024, 32},
+	}
+	def := DefaultParams()
+	for _, cse := range cases {
+		p := ForNodes(cse.n)
+		if p.LeafSize != cse.k || p.Spines != cse.k {
+			t.Errorf("ForNodes(%d) = leaf %d/spines %d, want %d/%d",
+				cse.n, p.LeafSize, p.Spines, cse.k, cse.k)
+		}
+		if p.LeafSize != p.Spines {
+			t.Errorf("ForNodes(%d) oversubscribed: %d nodes/leaf, %d uplinks",
+				cse.n, p.LeafSize, p.Spines)
+		}
+		if p.LinkBW != def.LinkBW || p.StreamBW != def.StreamBW ||
+			p.HopLatency != def.HopLatency || p.NICGap != def.NICGap ||
+			p.LinkMsgGap != def.LinkMsgGap {
+			t.Errorf("ForNodes(%d) changed timing calibration: %+v", cse.n, p)
+		}
+	}
+	// A scaled fabric must actually deliver cross-leaf traffic at size.
+	k := sim.NewKernel()
+	f := New(k, 256, ForNodes(256))
+	arrived := 0
+	k.Spawn("s", func(p *sim.Proc) {
+		for dst := 1; dst < 256; dst += 17 {
+			f.Transfer(0, dst, 64, func() { arrived++ })
+		}
+	})
+	k.Run()
+	if arrived != 15 {
+		t.Fatalf("arrived %d of 15", arrived)
+	}
+}
+
 func TestIntraVsInterLeafLatency(t *testing.T) {
 	lat := func(dst int) sim.Time {
 		k := sim.NewKernel()
